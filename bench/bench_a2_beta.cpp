@@ -1,0 +1,84 @@
+// Ablation A2 — what does the beta-independence condition actually buy?
+//
+// Theorem 1 charges a (1/(n alpha) + beta)^2 factor.  The clique-flicker
+// family fixes the per-pair alpha and the snapshot distribution while
+// dialing (i) the edge correlation (beta ~ n/(rho m), enormous) and
+// (ii) the membership persistence gamma (subset chain mixing ~ 1/gamma).
+// Findings this bench reproduces:
+//  * i.i.d. cliques (gamma = 1): flooding stays within a small constant
+//    of the matched-alpha independent edge-MEG — the beta^2 charge is
+//    sufficient-side slack;
+//  * sticky cliques (gamma -> 0): flooding blows up ~ 1/gamma — the
+//    conditional epoch structure (M = mixing time) in Theorem 1 is the
+//    binding part, and no bound without it could hold.
+
+#include <iostream>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/trial.hpp"
+#include "meg/clique_flicker.hpp"
+#include "meg/edge_meg.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace megflood;
+  bench::print_header(
+      "A2 / beta-independence ablation (clique flicker)",
+      "Same per-pair alpha throughout; only the correlation structure and\n"
+      "its persistence change.");
+
+  const std::size_t n = 96;
+  const std::size_t m = 6;
+  const double rho = 0.5;
+  CliqueFlickerGraph probe(n, m, rho, 1);
+  const double alpha = probe.edge_probability();
+  std::cout << "per-pair alpha = " << Table::num(alpha, 5)
+            << ", incident beta = " << Table::num(probe.incident_beta(), 1)
+            << " (independent models have beta ~ 1)\n\n";
+
+  TrialConfig cfg;
+  cfg.trials = 16;
+  cfg.max_rounds = 20'000'000;
+
+  Table table({"model", "gamma (subset resample)", "flood p50", "flood p90",
+               "slowdown vs independent"});
+  cfg.seed = 41;
+  const auto indep = measure_flooding(
+      [&](std::uint64_t seed) {
+        return std::make_unique<TwoStateEdgeMEG>(
+            n, TwoStateParams{alpha, 1.0 - alpha}, seed);
+      },
+      cfg);
+  table.add_row({"independent edge-MEG", "-", Table::num(indep.rounds.median, 1),
+                 Table::num(indep.rounds.p90, 1), "1.00"});
+
+  std::vector<double> gammas, slowdowns;
+  for (double gamma : {1.0, 0.25, 0.0625, 0.015625}) {
+    cfg.seed = 47 + static_cast<std::uint64_t>(1.0 / gamma);
+    const auto run = measure_flooding(
+        [&](std::uint64_t seed) {
+          return std::make_unique<CliqueFlickerGraph>(n, m, rho, seed, gamma);
+        },
+        cfg);
+    const double slowdown =
+        run.rounds.median / std::max(1.0, indep.rounds.median);
+    table.add_row({"clique flicker", Table::num(gamma, 4),
+                   Table::num(run.rounds.median, 1),
+                   Table::num(run.rounds.p90, 1), Table::num(slowdown, 2)});
+    gammas.push_back(1.0 / gamma);
+    slowdowns.push_back(run.rounds.median);
+    if (run.incomplete > 0) {
+      std::cout << "WARNING: " << run.incomplete
+                << " incomplete at gamma=" << gamma << "\n";
+    }
+  }
+  table.print(std::cout);
+  bench::print_slope("clique-flicker flooding vs 1/gamma (expect ~1: the "
+                     "epoch length M dominates)",
+                     gammas, slowdowns);
+  std::cout << "Expected shape: gamma = 1 is within a small factor of the\n"
+               "independent model despite beta >> 1; flooding then grows\n"
+               "~ linearly in 1/gamma, the subset chain's mixing time.\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Ablation A6 — how disconnected can the snapshots be?
+//
+// The paper stresses that its conditions tolerate "sparse and
+// disconnected topologies: in every G_t there could be a large subset of
+// all nodes that are isolated", in contrast to worst-case frameworks that
+// assume T-interval connectivity ([21]) per window.  This bench
+// quantifies the temporal structure of the very models the flooding
+// experiments run on: per-snapshot connectivity, the largest
+// T-interval-connectivity (expected: 0 — not even single snapshots
+// connect), the smallest union-connecting window, and the measured
+// flooding time alongside.
+
+#include <iostream>
+#include <memory>
+
+#include "analysis/temporal.hpp"
+#include "bench_util.hpp"
+#include "core/trace.hpp"
+#include "core/trial.hpp"
+#include "meg/edge_meg.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "util/table.hpp"
+
+namespace megflood {
+namespace {
+
+template <typename Factory>
+void analyze(const std::string& name, Factory&& factory,
+             std::uint64_t warmup) {
+  auto model = factory(7);
+  for (std::uint64_t w = 0; w < warmup; ++w) model->step();
+  const auto trace = record_trace(*model, 400);
+  const SnapshotConnectivity conn = snapshot_connectivity(trace);
+  const std::size_t t_interval = t_interval_connectivity(trace);
+  const std::size_t window = smallest_connecting_window(trace);
+
+  TrialConfig cfg;
+  cfg.trials = 12;
+  cfg.max_rounds = 4'000'000;
+  cfg.warmup_steps = warmup;
+  const auto m = measure_flooding(factory, cfg);
+
+  Table table({"metric", "value"});
+  table.add_row({"snapshots connected (fraction)",
+                 Table::num(conn.connected_fraction, 3)});
+  table.add_row({"mean isolated-node fraction",
+                 Table::num(conn.mean_isolated_fraction, 3)});
+  table.add_row({"mean largest-component fraction",
+                 Table::num(conn.mean_largest_component_fraction, 3)});
+  table.add_row({"T-interval connectivity ([21])",
+                 Table::integer(static_cast<long long>(t_interval))});
+  table.add_row({"smallest union-connecting window",
+                 window == SIZE_MAX ? "never"
+                                    : Table::integer(
+                                          static_cast<long long>(window))});
+  table.add_row({"flooding p50 / p90",
+                 Table::num(m.rounds.median, 1) + " / " +
+                     Table::num(m.rounds.p90, 1)});
+  std::cout << "\n-- " << name << " --\n";
+  table.print(std::cout);
+}
+
+}  // namespace
+}  // namespace megflood
+
+int main() {
+  using namespace megflood;
+  bench::print_header(
+      "A6 / Temporal structure of the flooding-friendly regime",
+      "The paper's models flood in polylog-factor-optimal time even when\n"
+      "no snapshot is connected and no short window is T-interval\n"
+      "connected; this bench quantifies that claim on the real traces.");
+
+  const std::size_t n = 128;
+  analyze(
+      "sparse two-state edge-MEG (n = 128, n*alpha ~ 1)",
+      [&](std::uint64_t seed) {
+        return std::make_unique<TwoStateEdgeMEG>(
+            n, TwoStateParams{1.0 / static_cast<double>(n * 3), 0.3}, seed);
+      },
+      0);
+
+  WaypointParams wp;
+  wp.side_length = 11.0;
+  wp.v_min = 0.5;
+  wp.v_max = 1.0;
+  wp.radius = 1.0;
+  wp.resolution = 44;
+  RandomWaypointModel warm(n, wp, 0);
+  analyze(
+      "random waypoint (n = 128, L ~ sqrt(n), r = 1)",
+      [&](std::uint64_t seed) {
+        return std::make_unique<RandomWaypointModel>(n, wp, seed);
+      },
+      warm.suggested_warmup());
+
+  std::cout << "\nExpected shape: connected fraction ~0, many isolated\n"
+               "nodes, T-interval connectivity 0, yet flooding completes in\n"
+               "tens of rounds — the regime worst-case frameworks like [21]\n"
+               "do not cover and the paper's probabilistic analysis does.\n";
+  return 0;
+}

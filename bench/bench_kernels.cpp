@@ -1,0 +1,131 @@
+// Micro-benchmarks (google-benchmark) for the simulator's hot kernels:
+// model steps, snapshot rebuilds, and flooding rounds.  These are the
+// costs that bound how large an experiment the harness can run; tracked
+// here so performance regressions show up alongside the science.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/flooding.hpp"
+#include "graph/builders.hpp"
+#include "meg/edge_meg.hpp"
+#include "meg/general_edge_meg.hpp"
+#include "meg/node_meg.hpp"
+#include "mobility/random_paths.hpp"
+#include "mobility/random_walk.hpp"
+#include "mobility/random_waypoint.hpp"
+
+namespace megflood {
+namespace {
+
+void BM_EdgeMegStepSparse(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  TwoStateEdgeMEG meg(n, {2.0 / static_cast<double>(n * n), 0.2}, 1);
+  for (auto _ : state) {
+    meg.step();
+    benchmark::DoNotOptimize(meg.snapshot().num_edges());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EdgeMegStepSparse)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_EdgeMegStepDense(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  TwoStateEdgeMEG meg(n, {0.2, 0.2}, 1);
+  for (auto _ : state) {
+    meg.step();
+    benchmark::DoNotOptimize(meg.snapshot().num_edges());
+  }
+}
+BENCHMARK(BM_EdgeMegStepDense)->Arg(64)->Arg(256);
+
+void BM_GeneralEdgeMegStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto link = make_bursty_link(0.1, 0.4, 0.3);
+  GeneralEdgeMEG meg(n, link.chain, link.chi, 1);
+  for (auto _ : state) {
+    meg.step();
+    benchmark::DoNotOptimize(meg.snapshot().num_edges());
+  }
+}
+BENCHMARK(BM_GeneralEdgeMegStep)->Arg(64)->Arg(256);
+
+void BM_NodeMegStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ExplicitNodeMEG meg(n, lazy_random_walk_chain(cycle_graph(12)),
+                      cycle_proximity_connection(12, 1), 1);
+  for (auto _ : state) {
+    meg.step();
+    benchmark::DoNotOptimize(meg.snapshot().num_edges());
+  }
+}
+BENCHMARK(BM_NodeMegStep)->Arg(64)->Arg(256);
+
+void BM_RandomWalkStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = std::make_shared<const Graph>(grid_2d(16));
+  RandomWalkModel model(g, n, {}, 1);
+  for (auto _ : state) {
+    model.step();
+    benchmark::DoNotOptimize(model.snapshot().num_edges());
+  }
+}
+BENCHMARK(BM_RandomWalkStep)->Arg(128)->Arg(512);
+
+void BM_WaypointStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  WaypointParams p;
+  p.side_length = 16.0;
+  p.v_min = 0.5;
+  p.v_max = 1.0;
+  p.radius = 1.0;
+  p.resolution = 64;
+  RandomWaypointModel model(n, p, 1);
+  for (auto _ : state) {
+    model.step();
+    benchmark::DoNotOptimize(model.snapshot().num_edges());
+  }
+}
+BENCHMARK(BM_WaypointStep)->Arg(128)->Arg(512);
+
+void BM_GridLPathsStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  GridLPathsModel model(16, n, 1, 1);
+  for (auto _ : state) {
+    model.step();
+    benchmark::DoNotOptimize(model.snapshot().num_edges());
+  }
+}
+BENCHMARK(BM_GridLPathsStep)->Arg(128)->Arg(512);
+
+void BM_FloodRound(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  TwoStateEdgeMEG meg(n, {4.0 / static_cast<double>(n), 0.3}, 1);
+  std::vector<char> informed(n, 0);
+  for (std::size_t i = 0; i < n / 2; ++i) informed[i] = 1;
+  std::vector<NodeId> scratch;
+  for (auto _ : state) {
+    auto copy = informed;
+    benchmark::DoNotOptimize(flood_round(meg.snapshot(), copy, scratch));
+  }
+}
+BENCHMARK(BM_FloodRound)->Arg(256)->Arg(1024);
+
+void BM_FullFloodSparseEdgeMeg(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  TwoStateEdgeMEG meg(n, {1.0 / static_cast<double>(n), 0.3}, 1);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    meg.reset(seed++);
+    const FloodResult r = flood(meg, 0, 1'000'000);
+    benchmark::DoNotOptimize(r.rounds);
+  }
+}
+BENCHMARK(BM_FullFloodSparseEdgeMeg)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace megflood
+
+BENCHMARK_MAIN();

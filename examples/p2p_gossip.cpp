@@ -1,0 +1,86 @@
+// Example: file broadcast over a churning peer-to-peer overlay.
+//
+// Scenario (paper Section 1 / Appendix A): overlay links between peers
+// come and go independently — an off link activates with probability p
+// per round (peers discover each other), an active link fails with
+// probability q (NAT timeouts, churn).  That is exactly the edge-MEG.
+// A seed peer pushes a file announcement; peers gossip it on.  We compare
+// full flooding with bandwidth-capped k-push (each peer forwards to at
+// most k overlay neighbors per round, Section 5's randomized protocol)
+// and a TTL-limited "parsimonious" gossip that stops relaying after a few
+// rounds to save messages.
+//
+//   $ ./p2p_gossip [peers]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/flooding.hpp"
+#include "meg/edge_meg.hpp"
+#include "protocols/k_push.hpp"
+#include "protocols/ttl_flooding.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace megflood;
+
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 256;
+  // Overlay churn: expected stationary degree ~4, link half-life ~2 rounds.
+  const double p = 4.0 / static_cast<double>(n) * 0.3 / (1.0 - 4.0 / n);
+  const double q = 0.3;
+
+  std::cout << "P2P overlay: " << n << " peers, link birth p = " << p
+            << ", death q = " << q << " (stationary degree ~4)\n\n";
+
+  constexpr std::size_t kTrials = 10;
+  Table table({"protocol", "delivery p50 (rounds)", "delivery max",
+               "transmissions p50"});
+
+  auto run = [&](const std::string& name, auto protocol) {
+    std::vector<double> rounds, msgs;
+    for (std::uint64_t trial = 0; trial < kTrials; ++trial) {
+      TwoStateEdgeMEG overlay(n, {p, q}, trial * 13 + 1);
+      const auto [res, transmissions] = protocol(overlay, trial);
+      if (res.completed) {
+        rounds.push_back(static_cast<double>(res.rounds));
+        msgs.push_back(static_cast<double>(transmissions));
+      }
+    }
+    const Summary r = summarize(std::move(rounds));
+    const Summary m = summarize(std::move(msgs));
+    table.add_row({name, Table::num(r.median, 1), Table::num(r.max, 0),
+                   Table::num(m.median, 0)});
+  };
+
+  run("flooding", [&](TwoStateEdgeMEG& overlay, std::uint64_t) {
+    const FloodResult res = flood(overlay, 0, 1'000'000);
+    // Flooding transmissions: every informed peer sends every round.
+    std::uint64_t tx = 0;
+    for (std::size_t c : res.informed_counts) tx += c;
+    return std::pair{res, tx};
+  });
+  for (std::size_t k : {1, 3}) {
+    run("k-push (k=" + std::to_string(k) + ")",
+        [&, k](TwoStateEdgeMEG& overlay, std::uint64_t trial) {
+          const FloodResult res =
+              k_push_flood(overlay, 0, k, 1'000'000, trial * 7 + 5);
+          std::uint64_t tx = 0;
+          for (std::size_t c : res.informed_counts) {
+            tx += c * k;  // at most k sends per informed peer-round
+          }
+          return std::pair{res, tx};
+        });
+  }
+  run("ttl gossip (ttl=8)", [&](TwoStateEdgeMEG& overlay, std::uint64_t) {
+    const TtlFloodResult res = ttl_flood(overlay, 0, 8, 1'000'000);
+    return std::pair{res.flood, res.transmissions};
+  });
+
+  table.print(std::cout);
+  std::cout << "\nNote: k-push trades a modest delivery slowdown for a\n"
+               "per-round bandwidth cap; TTL gossip additionally stops\n"
+               "stable peers from re-sending forever (paper Section 5 /\n"
+               "parsimonious flooding [4]).\n";
+  return 0;
+}

@@ -1,0 +1,125 @@
+#include "analysis/bounds.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace megflood {
+
+namespace {
+
+double log_n(std::size_t n) {
+  // log n with a floor of 1 so the formulas stay meaningful at tiny n
+  // (the paper's asymptotics assume n large).
+  return std::max(1.0, std::log(static_cast<double>(n)));
+}
+
+void require_positive(double v, const char* what) {
+  if (!(v > 0.0)) throw std::invalid_argument(what);
+}
+
+}  // namespace
+
+double theorem1_bound(double epoch_length, std::size_t n, double alpha,
+                      double beta) {
+  require_positive(epoch_length, "theorem1_bound: epoch_length must be > 0");
+  require_positive(alpha, "theorem1_bound: alpha must be > 0");
+  const double nd = static_cast<double>(n);
+  const double core = 1.0 / (nd * alpha) + beta;
+  const double ln = log_n(n);
+  return epoch_length * core * core * ln * ln;
+}
+
+double theorem3_bound(double t_mix, std::size_t n, double p_nm, double eta) {
+  require_positive(t_mix, "theorem3_bound: t_mix must be > 0");
+  require_positive(p_nm, "theorem3_bound: p_nm must be > 0");
+  const double nd = static_cast<double>(n);
+  const double core = 1.0 / (nd * p_nm) + eta;
+  const double ln = log_n(n);
+  return t_mix * core * core * ln * ln * ln;
+}
+
+double corollary4_bound(double t_mix, std::size_t n, double delta,
+                        double lambda, double volume, double radius,
+                        int dimension) {
+  require_positive(t_mix, "corollary4_bound: t_mix must be > 0");
+  require_positive(delta, "corollary4_bound: delta must be > 0");
+  require_positive(lambda, "corollary4_bound: lambda must be > 0");
+  require_positive(radius, "corollary4_bound: radius must be > 0");
+  const double nd = static_cast<double>(n);
+  const double rd = std::pow(radius, dimension);
+  const double core = delta * delta * volume / (lambda * nd * rd) +
+                      std::pow(delta, 6) / (lambda * lambda);
+  const double ln = log_n(n);
+  return t_mix * core * core * ln * ln * ln;
+}
+
+double waypoint_bound(double side_length, double v_max, std::size_t n,
+                      double radius) {
+  require_positive(side_length, "waypoint_bound: side_length must be > 0");
+  require_positive(v_max, "waypoint_bound: v_max must be > 0");
+  require_positive(radius, "waypoint_bound: radius must be > 0");
+  const double nd = static_cast<double>(n);
+  const double core =
+      side_length * side_length / (nd * radius * radius) + 1.0;
+  const double ln = log_n(n);
+  return (side_length / v_max) * core * core * ln * ln * ln;
+}
+
+double waypoint_lower_bound(double side_length, double v_max) {
+  require_positive(side_length, "waypoint_lower_bound: side_length > 0");
+  require_positive(v_max, "waypoint_lower_bound: v_max > 0");
+  return side_length / v_max;
+}
+
+double corollary5_bound(double t_mix, std::size_t n, std::size_t num_points,
+                        double delta) {
+  require_positive(t_mix, "corollary5_bound: t_mix must be > 0");
+  require_positive(delta, "corollary5_bound: delta must be > 0");
+  const double core = static_cast<double>(num_points) / static_cast<double>(n) +
+                      std::pow(delta, 3);
+  const double ln = log_n(n);
+  return t_mix * core * core * ln * ln * ln;
+}
+
+double corollary6_bound(double t_mix, std::size_t n, std::size_t num_points,
+                        double delta) {
+  require_positive(t_mix, "corollary6_bound: t_mix must be > 0");
+  require_positive(delta, "corollary6_bound: delta must be > 0");
+  const double core =
+      delta * delta * static_cast<double>(num_points) / static_cast<double>(n) +
+      std::pow(delta, 7);
+  const double ln = log_n(n);
+  return t_mix * core * core * ln * ln * ln;
+}
+
+double general_edge_meg_bound(double t_mix, std::size_t n, double alpha) {
+  require_positive(t_mix, "general_edge_meg_bound: t_mix must be > 0");
+  require_positive(alpha, "general_edge_meg_bound: alpha must be > 0");
+  const double core = 1.0 / (static_cast<double>(n) * alpha) + 1.0;
+  const double ln = log_n(n);
+  return t_mix * core * core * ln * ln;
+}
+
+double edge_meg_bound(std::size_t n, double p, double q) {
+  require_positive(p, "edge_meg_bound: p must be > 0");
+  if (q < 0.0) throw std::invalid_argument("edge_meg_bound: q must be >= 0");
+  const double pq = p + q;
+  require_positive(pq, "edge_meg_bound: p + q must be > 0");
+  const double core = pq / (static_cast<double>(n) * p) + 1.0;
+  const double ln = log_n(n);
+  return (1.0 / pq) * core * core * ln * ln;
+}
+
+double edge_meg_tight_bound(std::size_t n, double p) {
+  require_positive(p, "edge_meg_tight_bound: p must be > 0");
+  const double np = static_cast<double>(n) * p;
+  return log_n(n) / std::log1p(np);
+}
+
+double meeting_time_bound(double t_star, std::size_t n) {
+  require_positive(t_star, "meeting_time_bound: t_star must be > 0");
+  return t_star * log_n(n);
+}
+
+}  // namespace megflood

@@ -1,0 +1,59 @@
+#pragma once
+
+// Closed-form evaluations of every bound the paper states.  All functions
+// return the *constant-free* value of the O(.) expression; experiments
+// calibrate a single multiplicative constant per model family at the
+// smallest instance and then test that the calibrated bound dominates all
+// larger instances and that measured log-log slopes match.
+
+#include <cstddef>
+
+namespace megflood {
+
+// Theorem 1: flooding = O( M * (1/(n*alpha) + beta)^2 * log^2 n ).
+double theorem1_bound(double epoch_length, std::size_t n, double alpha,
+                      double beta);
+
+// Theorem 3 (node-MEGs): O( T_mix * (1/(n*P_NM) + eta)^2 * log^3 n ).
+double theorem3_bound(double t_mix, std::size_t n, double p_nm, double eta);
+
+// Corollary 4 (random trip over region R in R^d):
+// O( T_mix * (delta^2 vol(R) / (lambda n r^d) + delta^6 / lambda^2)^2 log^3 n ).
+double corollary4_bound(double t_mix, std::size_t n, double delta,
+                        double lambda, double volume, double radius,
+                        int dimension);
+
+// Random waypoint on the square (Section 4.1):
+// O( (L / v_max) * (L^2 / (n r^2) + 1)^2 * log^3 n ).
+double waypoint_bound(double side_length, double v_max, std::size_t n,
+                      double radius);
+
+// Trivial waypoint lower bound Omega(L / v_max) (a message must cross the
+// square at node speed); with L ~ sqrt(n) this is the paper's
+// Omega(sqrt(n) / v_max).
+double waypoint_lower_bound(double side_length, double v_max);
+
+// Corollary 5 (random paths): O( T_mix * (|V|/n + delta^3)^2 * log^3 n ).
+double corollary5_bound(double t_mix, std::size_t n, std::size_t num_points,
+                        double delta);
+
+// Corollary 6 (random walk on a delta-regular graph):
+// O( T_mix * (delta^2 |V| / n + delta^7)^2 * log^3 n ).
+double corollary6_bound(double t_mix, std::size_t n, std::size_t num_points,
+                        double delta);
+
+// Appendix A, generalized edge-MEG: O( T_mix * (1/(n*alpha) + 1)^2 log^2 n ).
+double general_edge_meg_bound(double t_mix, std::size_t n, double alpha);
+
+// Appendix A, two-state edge-MEG with birth p / death q:
+// O( (1/(p+q)) * ((p+q)/(n p) + 1)^2 * log^2 n ).
+double edge_meg_bound(std::size_t n, double p, double q);
+
+// Eq. 2, the known almost-tight bound of [10]: O( log n / log(1 + n p) ).
+double edge_meg_tight_bound(std::size_t n, double p);
+
+// Dimitriou-Nikoletseas-Spirakis [15] style bound: O( T_star * log n ),
+// with T_star the measured meeting time of two random walks.
+double meeting_time_bound(double t_star, std::size_t n);
+
+}  // namespace megflood

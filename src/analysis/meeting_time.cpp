@@ -1,0 +1,76 @@
+#include "analysis/meeting_time.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "util/rng.hpp"
+
+namespace megflood {
+
+MeetingTimeResult measure_meeting_time(const Graph& mobility_graph,
+                                       RandomWalkParams params,
+                                       std::size_t trials,
+                                       std::uint64_t max_steps,
+                                       std::uint64_t seed) {
+  const auto balls = all_balls(mobility_graph, params.move_radius);
+  const std::size_t v = mobility_graph.num_vertices();
+
+  // Stationary position sampling: pi(x) ∝ |ball(x)| + 1 (see
+  // RandomWalkModel).
+  std::vector<double> cdf(v);
+  double total = 0.0;
+  for (std::size_t x = 0; x < v; ++x) {
+    total += static_cast<double>(balls[x].size() + 1);
+  }
+  double acc = 0.0;
+  for (std::size_t x = 0; x < v; ++x) {
+    acc += static_cast<double>(balls[x].size() + 1) / total;
+    cdf[x] = acc;
+  }
+
+  Rng rng(seed);
+  auto sample_stationary = [&]() {
+    const double u = rng.uniform();
+    std::size_t lo = 0, hi = v - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return static_cast<VertexId>(lo);
+  };
+  auto walk_step = [&](VertexId pos) {
+    const auto& ball = balls[pos];
+    const std::uint64_t choice = rng.uniform_int(ball.size() + 1);
+    return choice < ball.size() ? ball[choice] : pos;
+  };
+
+  MeetingTimeResult result;
+  std::vector<double> samples;
+  samples.reserve(trials);
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    VertexId a = sample_stationary();
+    VertexId b = sample_stationary();
+    bool met = a == b;
+    std::uint64_t t = 0;
+    while (!met && t < max_steps) {
+      a = walk_step(a);
+      b = walk_step(b);
+      ++t;
+      met = a == b;
+    }
+    if (met) {
+      samples.push_back(static_cast<double>(t));
+    } else {
+      ++result.timed_out;
+    }
+  }
+  result.steps = summarize(std::move(samples));
+  return result;
+}
+
+}  // namespace megflood

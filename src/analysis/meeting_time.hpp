@@ -1,0 +1,31 @@
+#pragma once
+
+// Meeting time T* of two independent random walks on a mobility graph —
+// the quantity the Dimitriou-Nikoletseas-Spirakis bound O(T* log n) [15]
+// is built on.  Experiment E8 measures T* and T_mix on k-augmented grids
+// to reproduce the paper's claim that its T_mix-based Corollary 6 beats
+// the T*-based bound by a factor k^2 there.
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "mobility/random_walk.hpp"
+#include "util/stats.hpp"
+
+namespace megflood {
+
+struct MeetingTimeResult {
+  Summary steps;              // over trials that met within the budget
+  std::size_t timed_out = 0;  // trials that exhausted max_steps
+};
+
+// Two walkers start at independent stationary positions and perform the
+// same lazy rho-hop walk as RandomWalkModel; a trial ends when they occupy
+// the same point (checked after each synchronous step and at t=0).
+MeetingTimeResult measure_meeting_time(const Graph& mobility_graph,
+                                       RandomWalkParams params,
+                                       std::size_t trials,
+                                       std::uint64_t max_steps,
+                                       std::uint64_t seed);
+
+}  // namespace megflood

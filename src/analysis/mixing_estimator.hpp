@@ -1,0 +1,39 @@
+#pragma once
+
+// Empirical mixing-time estimation for models whose chains are too large
+// to enumerate (the random waypoint's implicit state space).  We track the
+// total-variation distance between the empirical *positional* distribution
+// at time t (aggregated over many independent runs from a worst-case
+// start) and a stationary reference histogram.  Positional TV lower-bounds
+// the full-state TV, and for the mobility models at hand position is the
+// slowest-mixing observable, so the first time it drops below eps is the
+// standard empirical proxy for T_mix (cf. the diameter/vmax heuristics in
+// [1, 29]).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "analysis/positional.hpp"
+#include "core/dynamic_graph.hpp"
+
+namespace megflood {
+
+struct MixingProfile {
+  // tv[t] = TV(empirical positions at time t, reference), t = 0..t_max.
+  std::vector<double> tv;
+  // First t with tv[t] <= eps, or SIZE_MAX if never.
+  std::size_t mixing_time = SIZE_MAX;
+};
+
+// factory(seed) must produce a model started from the *worst-case* initial
+// configuration (e.g. all agents in a corner).  `reference` is the
+// stationary positional distribution (analytic or long-run sampled).
+MixingProfile positional_mixing_profile(
+    const std::function<std::unique_ptr<DynamicGraph>(std::uint64_t)>& factory,
+    std::size_t num_cells, const AgentCellFn& cell_of,
+    const std::vector<double>& reference, std::size_t runs, std::size_t t_max,
+    double eps = 0.25, std::uint64_t seed = 3);
+
+}  // namespace megflood

@@ -1,0 +1,73 @@
+#include "analysis/positional.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace megflood {
+
+Histogram sample_positional(DynamicGraph& graph, std::size_t num_cells,
+                            const AgentCellFn& cell_of, std::size_t samples,
+                            std::size_t stride) {
+  if (samples == 0) {
+    throw std::invalid_argument("sample_positional: samples == 0");
+  }
+  Histogram hist(num_cells);
+  for (std::size_t s = 0; s < samples; ++s) {
+    if (s > 0) {
+      for (std::size_t t = 0; t < stride; ++t) graph.step();
+    }
+    for (NodeId agent = 0; agent < graph.num_nodes(); ++agent) {
+      hist.add(cell_of(graph, agent));
+    }
+  }
+  return hist;
+}
+
+UniformityResult check_uniformity(const Histogram& positional,
+                                  const SquareGrid& grid, double radius) {
+  if (positional.size() != grid.num_points()) {
+    throw std::invalid_argument("check_uniformity: histogram/grid mismatch");
+  }
+  if (positional.total() == 0) {
+    throw std::invalid_argument("check_uniformity: empty histogram");
+  }
+  UniformityResult result;
+  const auto cells = static_cast<double>(grid.num_points());
+  result.relative_density.resize(grid.num_points());
+  result.max_relative = 0.0;
+  result.min_relative = cells;  // upper bound on any relative density
+  for (CellId c = 0; c < grid.num_points(); ++c) {
+    const double rho = positional.mass(c) * cells;  // 1.0 == uniform
+    result.relative_density[c] = rho;
+    result.max_relative = std::max(result.max_relative, rho);
+    result.min_relative = std::min(result.min_relative, rho);
+  }
+
+  // Condition (a) forces delta >= max_relative.  For condition (b) take
+  // B = { u : rho(u) >= 1/delta } with delta = max_relative (the smallest
+  // delta condition (a) allows), then measure lambda as the volume
+  // fraction of the r-interior of B.  This is a conservative empirical
+  // reading: any (delta', lambda') with delta' >= delta and
+  // lambda' <= lambda also satisfies the corollary's hypotheses.
+  result.delta = std::max(1.0, result.max_relative);
+  const double threshold = 1.0 / result.delta;
+  std::size_t interior_in_b = 0;
+  for (CellId c = 0; c < grid.num_points(); ++c) {
+    if (result.relative_density[c] < threshold) continue;
+    if (!grid.disc_inside(c, radius)) continue;
+    // The full r-disc around this cell must stay in B.
+    bool disc_in_b = true;
+    for (CellId other : grid.disc(c, radius)) {
+      if (result.relative_density[other] < threshold) {
+        disc_in_b = false;
+        break;
+      }
+    }
+    if (disc_in_b) ++interior_in_b;
+  }
+  result.lambda = static_cast<double>(interior_in_b) / cells;
+  return result;
+}
+
+}  // namespace megflood

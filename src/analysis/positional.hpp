@@ -1,0 +1,50 @@
+#pragma once
+
+// Positional stationary distribution analysis for geometric mobility
+// models — Corollary 4 turns the pairwise-independence condition into two
+// uniformity conditions on the positional density F_T:
+//   (a)  F_T(u) <= delta / vol(R)          for every u in R
+//   (b)  exists B with vol(B_r) >= lambda vol(R) and
+//        F_T(u) >= 1 / (delta vol(R))      for every u in B.
+// This module estimates F_T empirically (occupancy histogram over the
+// discretization grid) and evaluates the smallest delta / largest lambda
+// the sampled density supports.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/dynamic_graph.hpp"
+#include "geometry/square_grid.hpp"
+#include "util/histogram.hpp"
+
+namespace megflood {
+
+// Returns the cell of an agent at sampling time.
+using AgentCellFn = std::function<CellId(const DynamicGraph&, NodeId)>;
+
+// Accumulates agent cells over `samples` snapshots taken `stride` steps
+// apart.  Caller is responsible for warming the model into stationarity
+// first.
+Histogram sample_positional(DynamicGraph& graph, std::size_t num_cells,
+                            const AgentCellFn& cell_of, std::size_t samples,
+                            std::size_t stride);
+
+struct UniformityResult {
+  // rho(u) = empirical density / uniform density, per cell.
+  std::vector<double> relative_density;
+  double max_relative = 0.0;  // delta from condition (a)
+  double min_relative = 0.0;
+  // Smallest delta satisfying both conditions with the B chosen below.
+  double delta = 0.0;
+  // Fraction of the region covered by B_r where B = cells with
+  // rho >= 1/delta whose r-disc fits inside the square: empirical lambda.
+  double lambda = 0.0;
+};
+
+// Evaluates Corollary 4's uniformity conditions against a sampled
+// positional histogram over `grid` with transmission radius `radius`.
+UniformityResult check_uniformity(const Histogram& positional,
+                                  const SquareGrid& grid, double radius);
+
+}  // namespace megflood

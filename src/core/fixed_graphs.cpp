@@ -1,0 +1,49 @@
+#include "core/fixed_graphs.hpp"
+
+#include <stdexcept>
+
+namespace megflood {
+
+FixedDynamicGraph::FixedDynamicGraph(const Graph& graph) {
+  snapshot_.reset(graph.num_vertices());
+  for (const auto& [u, v] : graph.edges()) snapshot_.add_edge(u, v);
+}
+
+ScriptedDynamicGraph::ScriptedDynamicGraph(std::vector<Snapshot> script,
+                                           bool cycle)
+    : script_(std::move(script)), cycle_(cycle) {
+  if (script_.empty()) {
+    throw std::invalid_argument("ScriptedDynamicGraph: empty script");
+  }
+  const std::size_t n = script_.front().num_nodes();
+  for (const auto& snap : script_) {
+    if (snap.num_nodes() != n) {
+      throw std::invalid_argument(
+          "ScriptedDynamicGraph: inconsistent node counts");
+    }
+  }
+}
+
+std::size_t ScriptedDynamicGraph::num_nodes() const {
+  return script_.front().num_nodes();
+}
+
+const Snapshot& ScriptedDynamicGraph::snapshot() const {
+  return script_[cursor_];
+}
+
+void ScriptedDynamicGraph::step() {
+  if (cursor_ + 1 < script_.size()) {
+    ++cursor_;
+  } else if (cycle_) {
+    cursor_ = 0;
+  }
+  advance_clock();
+}
+
+void ScriptedDynamicGraph::reset(std::uint64_t) {
+  cursor_ = 0;
+  reset_clock();
+}
+
+}  // namespace megflood

@@ -1,0 +1,46 @@
+#pragma once
+
+// Degenerate dynamic graphs: a constant topology (flooding = synchronous
+// BFS) and a scripted sequence of snapshots (for deterministic tests and
+// for replaying recorded traces through the flooding / protocol machinery).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dynamic_graph.hpp"
+#include "graph/graph.hpp"
+
+namespace megflood {
+
+// E_t = E for all t.  reset() is a no-op besides the clock.
+class FixedDynamicGraph final : public DynamicGraph {
+ public:
+  explicit FixedDynamicGraph(const Graph& graph);
+
+  std::size_t num_nodes() const override { return snapshot_.num_nodes(); }
+  const Snapshot& snapshot() const override { return snapshot_; }
+  void step() override { advance_clock(); }
+  void reset(std::uint64_t /*seed*/) override { reset_clock(); }
+
+ private:
+  Snapshot snapshot_;
+};
+
+// Plays a fixed sequence of snapshots; after the last one it repeats the
+// final snapshot forever (or cycles, if `cycle` is set).
+class ScriptedDynamicGraph final : public DynamicGraph {
+ public:
+  ScriptedDynamicGraph(std::vector<Snapshot> script, bool cycle = false);
+
+  std::size_t num_nodes() const override;
+  const Snapshot& snapshot() const override;
+  void step() override;
+  void reset(std::uint64_t /*seed*/) override;
+
+ private:
+  std::vector<Snapshot> script_;
+  bool cycle_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace megflood

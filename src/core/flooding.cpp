@@ -1,0 +1,135 @@
+#include "core/flooding.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace megflood {
+
+std::size_t flood_round(const Snapshot& snapshot, std::vector<char>& informed,
+                        std::vector<NodeId>& frontier) {
+  // The flooding rule informs every node adjacent to *any* informed node,
+  // but a node interior to the informed set (all neighbors informed) can
+  // never inform anyone new; scanning only the informed set is exact and
+  // keeping a frontier would not be (edges change every step, so old
+  // informed nodes can meet new neighbors).  We scan all informed nodes.
+  std::size_t newly = 0;
+  frontier.clear();
+  for (NodeId u = 0; u < informed.size(); ++u) {
+    if (informed[u] != 1) continue;  // skip uninformed and new-this-round
+    for (NodeId v : snapshot.neighbors(u)) {
+      if (!informed[v]) {
+        informed[v] = 2;  // mark as "new this round" to avoid chaining
+        frontier.push_back(v);
+        ++newly;
+      }
+    }
+  }
+  // Commit: nodes informed this round become plain informed.  (Within a
+  // single synchronous round, information must not chain across multiple
+  // hops; the mark-then-commit protocol above enforces exactly
+  // I_{t+1} = I_t ∪ N(I_t).)
+  for (NodeId v : frontier) informed[v] = 1;
+  return newly;
+}
+
+FloodResult flood(DynamicGraph& graph, NodeId source, std::uint64_t max_rounds) {
+  const std::size_t n = graph.num_nodes();
+  if (source >= n) throw std::out_of_range("flood: source out of range");
+
+  FloodResult result;
+  std::vector<char> informed(n, 0);
+  informed[source] = 1;
+  std::size_t informed_count = 1;
+  result.informed_counts.push_back(informed_count);
+
+  if (informed_count == n) {  // n == 1
+    result.completed = true;
+    result.rounds = 0;
+    return result;
+  }
+
+  std::vector<NodeId> scratch;
+  for (std::uint64_t t = 0; t < max_rounds; ++t) {
+    informed_count += flood_round(graph.snapshot(), informed, scratch);
+    result.informed_counts.push_back(informed_count);
+    graph.step();
+    if (informed_count == n) {
+      result.completed = true;
+      result.rounds = t + 1;
+      return result;
+    }
+  }
+  result.completed = false;
+  result.rounds = max_rounds;
+  return result;
+}
+
+AllSourcesResult flood_all_sources(DynamicGraph& graph,
+                                   std::uint64_t max_rounds) {
+  const std::size_t n = graph.num_nodes();
+  // All n floods run interleaved against the same live snapshot stream,
+  // so every source sees the same realization (the definition of F(G))
+  // without materializing the trace: O(n^2) state, O(n (V + E)) per step.
+  AllSourcesResult all;
+  all.per_source.resize(n);
+  std::vector<std::vector<char>> informed(n, std::vector<char>(n, 0));
+  std::vector<std::size_t> counts(n, 1);
+  std::vector<char> done(n, 0);
+  std::size_t remaining = n;
+  for (NodeId s = 0; s < n; ++s) {
+    informed[s][s] = 1;
+    all.per_source[s].informed_counts.push_back(1);
+    if (n == 1) {
+      all.per_source[s].completed = true;
+      done[s] = 1;
+      --remaining;
+    }
+  }
+  std::vector<NodeId> scratch;
+  for (std::uint64_t t = 0; t < max_rounds && remaining > 0; ++t) {
+    const Snapshot& snap = graph.snapshot();
+    for (NodeId s = 0; s < n; ++s) {
+      if (done[s]) continue;
+      counts[s] += flood_round(snap, informed[s], scratch);
+      all.per_source[s].informed_counts.push_back(counts[s]);
+      if (counts[s] == n) {
+        all.per_source[s].completed = true;
+        all.per_source[s].rounds = t + 1;
+        done[s] = 1;
+        --remaining;
+      }
+    }
+    graph.step();
+  }
+  all.all_completed = true;
+  all.min_rounds = max_rounds;
+  for (NodeId s = 0; s < n; ++s) {
+    if (!done[s]) {
+      all.per_source[s].completed = false;
+      all.per_source[s].rounds = max_rounds;
+    }
+    all.all_completed = all.all_completed && all.per_source[s].completed;
+    all.max_rounds = std::max(all.max_rounds, all.per_source[s].rounds);
+    all.min_rounds = std::min(all.min_rounds, all.per_source[s].rounds);
+  }
+  return all;
+}
+
+PhaseSplit split_phases(const FloodResult& result, std::size_t num_nodes) {
+  PhaseSplit split;
+  if (!result.completed) return split;
+  const std::size_t half = (num_nodes + 1) / 2;
+  std::uint64_t first_half_time = result.rounds;
+  for (std::size_t t = 0; t < result.informed_counts.size(); ++t) {
+    if (result.informed_counts[t] >= half) {
+      first_half_time = t;
+      break;
+    }
+  }
+  split.spreading_rounds = first_half_time;
+  split.saturation_rounds = result.rounds - first_half_time;
+  return split;
+}
+
+}  // namespace megflood

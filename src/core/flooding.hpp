@@ -1,0 +1,63 @@
+#pragma once
+
+// The flooding process of Section 2: I_0 = {s};
+// I_{t+1} = I_t ∪ { j : ∃ i ∈ I_t with {i, j} ∈ E_t }.
+// F(G, s) = min { t : I_t = [n] } and F(G) = max_s F(G, s).
+//
+// flood() runs the process on a live DynamicGraph and records the full
+// |I_t| trajectory, which experiment E9 uses to check the paper's
+// spreading-phase doubling (Lemma 11/13) and saturation phase (Lemma 14).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dynamic_graph.hpp"
+
+namespace megflood {
+
+struct FloodResult {
+  // True iff all n nodes were informed within the step budget.
+  bool completed = false;
+  // F(G, s): the first t with |I_t| = n (undefined if !completed; set to
+  // the budget in that case so aggregate statistics stay conservative).
+  std::uint64_t rounds = 0;
+  // informed_counts[t] = |I_t| for t = 0 .. rounds.
+  std::vector<std::size_t> informed_counts;
+};
+
+// Runs flooding from `source` on `graph` starting at the graph's current
+// snapshot.  Advances the graph `rounds` times; the caller owns resetting
+// the graph between trials.
+FloodResult flood(DynamicGraph& graph, NodeId source, std::uint64_t max_rounds);
+
+// One flooding round applied to an explicit informed set: returns the
+// number of newly informed nodes and updates `informed` /
+// `informed_count`.  Shared by flood() and the protocol variants.
+std::size_t flood_round(const Snapshot& snapshot, std::vector<char>& informed,
+                        std::vector<NodeId>& frontier);
+
+// Rounds spent in the spreading phase (|I_t| < n/2) and the saturation
+// phase (n/2 <= |I_t| < n) of a completed flood; {0, 0} if not completed.
+struct PhaseSplit {
+  std::uint64_t spreading_rounds = 0;
+  std::uint64_t saturation_rounds = 0;
+};
+PhaseSplit split_phases(const FloodResult& result, std::size_t num_nodes);
+
+// Runs flooding from *every* source over the SAME realization of the
+// dynamic process (the graph is reset(seed) once, its snapshot sequence
+// recorded, and each source replayed against it) and returns all n
+// per-source results.  max_s rounds is the paper's F(G, s) maximized over
+// s; use all_sources_flooding(...).max_rounds for F(G) on one sample
+// path.  Memory: records up to `max_rounds` snapshots — intended for
+// small/medium instances.
+struct AllSourcesResult {
+  std::vector<FloodResult> per_source;
+  std::uint64_t max_rounds = 0;   // F(G) on this realization
+  std::uint64_t min_rounds = 0;
+  bool all_completed = false;
+};
+AllSourcesResult flood_all_sources(DynamicGraph& graph,
+                                   std::uint64_t max_rounds);
+
+}  // namespace megflood

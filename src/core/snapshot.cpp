@@ -1,0 +1,42 @@
+#include "core/snapshot.hpp"
+
+#include <algorithm>
+
+namespace megflood {
+
+void Snapshot::clear() {
+  for (auto& list : adjacency_) list.clear();
+  num_edges_ = 0;
+}
+
+void Snapshot::reset(std::size_t num_nodes) {
+  adjacency_.resize(num_nodes);
+  clear();
+}
+
+void Snapshot::add_edge(NodeId u, NodeId v) {
+  adjacency_.at(u).push_back(v);
+  adjacency_.at(v).push_back(u);
+  ++num_edges_;
+}
+
+bool Snapshot::has_edge(NodeId u, NodeId v) const {
+  const auto& au = adjacency_.at(u);
+  const auto& av = adjacency_.at(v);
+  const auto& smaller = au.size() <= av.size() ? au : av;
+  const NodeId target = au.size() <= av.size() ? v : u;
+  return std::find(smaller.begin(), smaller.end(), target) != smaller.end();
+}
+
+std::vector<std::pair<NodeId, NodeId>> Snapshot::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> result;
+  result.reserve(num_edges_);
+  for (NodeId u = 0; u < adjacency_.size(); ++u) {
+    for (NodeId v : adjacency_[u]) {
+      if (u < v) result.emplace_back(u, v);
+    }
+  }
+  return result;
+}
+
+}  // namespace megflood

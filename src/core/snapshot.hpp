@@ -1,0 +1,47 @@
+#pragma once
+
+// A snapshot is the edge set E_t of the dynamic graph at one time step,
+// stored as adjacency lists for O(deg) neighbor scans during flooding.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace megflood {
+
+using NodeId = std::uint32_t;
+
+class Snapshot {
+ public:
+  Snapshot() = default;
+  explicit Snapshot(std::size_t num_nodes) : adjacency_(num_nodes) {}
+
+  std::size_t num_nodes() const noexcept { return adjacency_.size(); }
+  std::size_t num_edges() const noexcept { return num_edges_; }
+
+  // Drops all edges, keeps capacity.
+  void clear();
+
+  // Resize to `num_nodes` and drop all edges.
+  void reset(std::size_t num_nodes);
+
+  // Adds undirected {u, v}; caller guarantees no duplicates within a step
+  // (models generate each pair at most once per snapshot).
+  void add_edge(NodeId u, NodeId v);
+
+  const std::vector<NodeId>& neighbors(NodeId v) const {
+    return adjacency_.at(v);
+  }
+
+  std::size_t degree(NodeId v) const { return adjacency_.at(v).size(); }
+
+  bool has_edge(NodeId u, NodeId v) const;
+
+  std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace megflood

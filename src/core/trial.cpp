@@ -1,0 +1,67 @@
+#include "core/trial.hpp"
+
+#include <memory>
+
+#include "util/rng.hpp"
+
+namespace megflood {
+
+namespace {
+
+FloodingMeasurement run_trials(
+    const std::function<DynamicGraph&(std::uint64_t)>& acquire,
+    const TrialConfig& config) {
+  if (config.trials == 0) {
+    throw std::invalid_argument("measure_flooding: trials must be > 0");
+  }
+  std::vector<double> rounds, spreading, saturation;
+  std::size_t incomplete = 0;
+  const auto seeds = derive_seeds(config.seed, config.trials);
+  for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    DynamicGraph& graph = acquire(seeds[trial]);
+    for (std::uint64_t w = 0; w < config.warmup_steps; ++w) graph.step();
+    const auto source = static_cast<NodeId>(
+        config.rotate_sources ? trial % graph.num_nodes() : 0);
+    const FloodResult result = flood(graph, source, config.max_rounds);
+    if (!result.completed) {
+      ++incomplete;
+      continue;
+    }
+    rounds.push_back(static_cast<double>(result.rounds));
+    const PhaseSplit phases = split_phases(result, graph.num_nodes());
+    spreading.push_back(static_cast<double>(phases.spreading_rounds));
+    saturation.push_back(static_cast<double>(phases.saturation_rounds));
+  }
+  FloodingMeasurement m;
+  m.rounds = summarize(std::move(rounds));
+  m.spreading_rounds = summarize(std::move(spreading));
+  m.saturation_rounds = summarize(std::move(saturation));
+  m.incomplete = incomplete;
+  return m;
+}
+
+}  // namespace
+
+FloodingMeasurement measure_flooding(
+    const std::function<std::unique_ptr<DynamicGraph>(std::uint64_t)>& factory,
+    const TrialConfig& config) {
+  std::unique_ptr<DynamicGraph> current;
+  return run_trials(
+      [&](std::uint64_t seed) -> DynamicGraph& {
+        current = factory(seed);
+        return *current;
+      },
+      config);
+}
+
+FloodingMeasurement measure_flooding_reusing(DynamicGraph& graph,
+                                             const TrialConfig& config) {
+  return run_trials(
+      [&](std::uint64_t seed) -> DynamicGraph& {
+        graph.reset(seed);
+        return graph;
+      },
+      config);
+}
+
+}  // namespace megflood

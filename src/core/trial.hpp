@@ -1,0 +1,50 @@
+#pragma once
+
+// Multi-trial measurement harness.  The paper's bounds hold "with high
+// probability", so experiments report upper quantiles (p90/p99/max) of the
+// flooding time over independent trials, each trial with a fresh model
+// seed and (optionally) a rotating source — approximating
+// F(G) = max_s F(G, s).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/dynamic_graph.hpp"
+#include "core/flooding.hpp"
+#include "util/stats.hpp"
+
+namespace megflood {
+
+struct TrialConfig {
+  std::size_t trials = 32;
+  std::uint64_t seed = 1;
+  std::uint64_t max_rounds = 1'000'000;
+  // If true, the source node rotates across trials; otherwise node 0.
+  bool rotate_sources = true;
+  // Number of warm-up steps to run after reset before flooding starts
+  // (lets non-stationary initializations approach stationarity).
+  std::uint64_t warmup_steps = 0;
+};
+
+struct FloodingMeasurement {
+  Summary rounds;                 // over completed trials
+  std::size_t incomplete = 0;     // trials that hit max_rounds
+  Summary spreading_rounds;       // phase split (completed trials only)
+  Summary saturation_rounds;
+};
+
+// Runs `config.trials` flooding experiments on the graph produced by
+// `factory(seed)`; the factory is called once per trial.
+FloodingMeasurement measure_flooding(
+    const std::function<std::unique_ptr<DynamicGraph>(std::uint64_t)>& factory,
+    const TrialConfig& config);
+
+// Same but reusing one graph instance via reset() — cheaper when model
+// construction is expensive (e.g. precomputed hop balls).
+FloodingMeasurement measure_flooding_reusing(DynamicGraph& graph,
+                                             const TrialConfig& config);
+
+}  // namespace megflood

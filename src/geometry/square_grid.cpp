@@ -1,0 +1,130 @@
+#include "geometry/square_grid.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace megflood {
+
+SquareGrid::SquareGrid(std::size_t m, double side_length)
+    : m_(m), length_(side_length) {
+  if (m < 2) throw std::invalid_argument("SquareGrid: resolution m must be >= 2");
+  if (side_length <= 0.0) {
+    throw std::invalid_argument("SquareGrid: side length must be positive");
+  }
+  spacing_ = length_ / static_cast<double>(m_ - 1);
+}
+
+CellId SquareGrid::index(std::size_t row, std::size_t col) const {
+  assert(row < m_ && col < m_);
+  return static_cast<CellId>(row * m_ + col);
+}
+
+Point2D SquareGrid::position(CellId id) const {
+  assert(id < num_points());
+  return {static_cast<double>(col(id)) * spacing_,
+          static_cast<double>(row(id)) * spacing_};
+}
+
+CellId SquareGrid::nearest(const Point2D& p) const {
+  const auto clamp_axis = [&](double v) {
+    const double idx = std::round(v / spacing_);
+    return static_cast<std::size_t>(
+        std::clamp(idx, 0.0, static_cast<double>(m_ - 1)));
+  };
+  return index(clamp_axis(p.y), clamp_axis(p.x));
+}
+
+std::vector<CellId> SquareGrid::disc(CellId id, double radius) const {
+  std::vector<CellId> result;
+  if (radius < 0.0) return result;
+  const Point2D center = position(id);
+  const auto span = static_cast<std::ptrdiff_t>(std::ceil(radius / spacing_));
+  const auto r0 = static_cast<std::ptrdiff_t>(row(id));
+  const auto c0 = static_cast<std::ptrdiff_t>(col(id));
+  const auto mm = static_cast<std::ptrdiff_t>(m_);
+  const double r2 = radius * radius;
+  for (std::ptrdiff_t dr = -span; dr <= span; ++dr) {
+    for (std::ptrdiff_t dc = -span; dc <= span; ++dc) {
+      if (dr == 0 && dc == 0) continue;
+      const std::ptrdiff_t rr = r0 + dr, cc = c0 + dc;
+      if (rr < 0 || rr >= mm || cc < 0 || cc >= mm) continue;
+      const CellId other = index(static_cast<std::size_t>(rr),
+                                 static_cast<std::size_t>(cc));
+      if (squared_distance(center, position(other)) <= r2) {
+        result.push_back(other);
+      }
+    }
+  }
+  return result;
+}
+
+bool SquareGrid::disc_inside(CellId id, double radius) const {
+  const Point2D p = position(id);
+  return p.x - radius >= 0.0 && p.x + radius <= length_ &&
+         p.y - radius >= 0.0 && p.y + radius <= length_;
+}
+
+std::size_t SquareGrid::interior_count(double radius) const {
+  std::size_t count = 0;
+  for (CellId id = 0; id < num_points(); ++id) {
+    if (disc_inside(id, radius)) ++count;
+  }
+  return count;
+}
+
+NeighborIndex::NeighborIndex(const SquareGrid& grid, double radius)
+    : grid_(&grid), radius_(radius) {
+  if (radius <= 0.0) {
+    throw std::invalid_argument("NeighborIndex: radius must be positive");
+  }
+  // Bucket width >= radius so all neighbors of a point lie in the 3x3
+  // bucket neighborhood.
+  buckets_per_side_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::floor(grid.side_length() / radius)));
+  bucket_width_ = grid.side_length() / static_cast<double>(buckets_per_side_);
+  buckets_.resize(buckets_per_side_ * buckets_per_side_);
+}
+
+std::size_t NeighborIndex::bucket_of(CellId cell) const {
+  const Point2D p = grid_->position(cell);
+  auto axis = [&](double v) {
+    const auto b = static_cast<std::size_t>(v / bucket_width_);
+    return std::min(b, buckets_per_side_ - 1);
+  };
+  return axis(p.y) * buckets_per_side_ + axis(p.x);
+}
+
+void NeighborIndex::rebuild(const std::vector<CellId>& positions) {
+  positions_ = positions;
+  for (auto& b : buckets_) b.clear();
+  for (std::uint32_t node = 0; node < positions_.size(); ++node) {
+    buckets_[bucket_of(positions_[node])].push_back(node);
+  }
+}
+
+std::vector<std::uint32_t> NeighborIndex::neighbors_of(std::uint32_t node) const {
+  std::vector<std::uint32_t> result;
+  const Point2D p = grid_->position(positions_.at(node));
+  const double r2 = radius_ * radius_;
+  const auto bps = static_cast<std::ptrdiff_t>(buckets_per_side_);
+  const auto home = bucket_of(positions_[node]);
+  const auto hr = static_cast<std::ptrdiff_t>(home / buckets_per_side_);
+  const auto hc = static_cast<std::ptrdiff_t>(home % buckets_per_side_);
+  for (std::ptrdiff_t dr = -1; dr <= 1; ++dr) {
+    for (std::ptrdiff_t dc = -1; dc <= 1; ++dc) {
+      const std::ptrdiff_t r = hr + dr, c = hc + dc;
+      if (r < 0 || r >= bps || c < 0 || c >= bps) continue;
+      for (std::uint32_t other : buckets_[static_cast<std::size_t>(r * bps + c)]) {
+        if (other == node) continue;
+        if (squared_distance(p, grid_->position(positions_[other])) <= r2) {
+          result.push_back(other);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace megflood

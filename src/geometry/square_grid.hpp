@@ -1,0 +1,127 @@
+#pragma once
+
+// Discretization of the continuous square mobility region: the paper
+// (Section 4.1) approximates the side-L square of R^2 with an m x m grid
+// Q of regularly spaced points.  All geometric mobility models (random
+// waypoint, random trip) run over this grid; footnote 3 guarantees the
+// flooding bound is insensitive to the resolution m, which experiment E5
+// verifies by sweeping m.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point.hpp"
+
+namespace megflood {
+
+using CellId = std::uint32_t;
+
+class SquareGrid {
+ public:
+  // m x m points regularly spaced over [0, L] x [0, L]; m >= 2.
+  SquareGrid(std::size_t m, double side_length);
+
+  std::size_t resolution() const noexcept { return m_; }
+  double side_length() const noexcept { return length_; }
+  std::size_t num_points() const noexcept { return m_ * m_; }
+  // Distance between adjacent grid points.
+  double spacing() const noexcept { return spacing_; }
+  double area() const noexcept { return length_ * length_; }
+
+  CellId index(std::size_t row, std::size_t col) const;
+  std::size_t row(CellId id) const { return id / m_; }
+  std::size_t col(CellId id) const { return id % m_; }
+
+  Point2D position(CellId id) const;
+
+  // Grid point nearest to an arbitrary point of the square (clamped).
+  CellId nearest(const Point2D& p) const;
+
+  // All grid points within Euclidean distance `radius` of point `id`
+  // (excluding `id` itself).
+  std::vector<CellId> disc(CellId id, double radius) const;
+
+  // Whether the full Euclidean disc D(position(id), radius) fits inside
+  // the square — i.e. position(id) lies in the eroded region B_r used by
+  // Corollary 4's condition (b).
+  bool disc_inside(CellId id, double radius) const;
+
+  // Number of grid points whose disc of `radius` fits inside the square.
+  std::size_t interior_count(double radius) const;
+
+ private:
+  std::size_t m_;
+  double length_;
+  double spacing_;
+};
+
+// Bucketed neighbor index for radius queries over a dynamic population of
+// points on a SquareGrid; used by the random-waypoint connection map where
+// the naive all-pairs scan would dominate the simulation.
+class NeighborIndex {
+ public:
+  NeighborIndex(const SquareGrid& grid, double radius);
+
+  // Rebuild from scratch: positions[i] is the grid point of node i.
+  void rebuild(const std::vector<CellId>& positions);
+
+  // All nodes j != i with dist(pos_j, pos_i) <= radius, given the positions
+  // used at the last rebuild().
+  std::vector<std::uint32_t> neighbors_of(std::uint32_t node) const;
+
+  // Visit each unordered pair (i, j) within radius exactly once.
+  template <typename Fn>
+  void for_each_pair(Fn&& fn) const;
+
+  double radius() const noexcept { return radius_; }
+
+ private:
+  std::size_t bucket_of(CellId cell) const;
+
+  const SquareGrid* grid_;
+  double radius_;
+  std::size_t buckets_per_side_;
+  double bucket_width_;
+  std::vector<std::vector<std::uint32_t>> buckets_;
+  std::vector<CellId> positions_;
+};
+
+template <typename Fn>
+void NeighborIndex::for_each_pair(Fn&& fn) const {
+  const double r2 = radius_ * radius_;
+  const auto bps = static_cast<std::ptrdiff_t>(buckets_per_side_);
+  for (std::ptrdiff_t br = 0; br < bps; ++br) {
+    for (std::ptrdiff_t bc = 0; bc < bps; ++bc) {
+      const auto& cell = buckets_[static_cast<std::size_t>(br * bps + bc)];
+      // Within-bucket pairs.
+      for (std::size_t a = 0; a < cell.size(); ++a) {
+        for (std::size_t b = a + 1; b < cell.size(); ++b) {
+          if (squared_distance(grid_->position(positions_[cell[a]]),
+                               grid_->position(positions_[cell[b]])) <= r2) {
+            fn(cell[a], cell[b]);
+          }
+        }
+      }
+      // Forward half-neighborhood (E, SW, S, SE) so each bucket pair is
+      // visited once.
+      static constexpr std::ptrdiff_t kOffsets[4][2] = {
+          {0, 1}, {1, -1}, {1, 0}, {1, 1}};
+      for (const auto& off : kOffsets) {
+        const std::ptrdiff_t nr = br + off[0], nc = bc + off[1];
+        if (nr < 0 || nr >= bps || nc < 0 || nc >= bps) continue;
+        const auto& other = buckets_[static_cast<std::size_t>(nr * bps + nc)];
+        for (std::uint32_t i : cell) {
+          for (std::uint32_t j : other) {
+            if (squared_distance(grid_->position(positions_[i]),
+                                 grid_->position(positions_[j])) <= r2) {
+              fn(i, j);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace megflood

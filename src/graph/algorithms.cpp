@@ -1,0 +1,103 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <stdexcept>
+
+namespace megflood {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, VertexId source) {
+  std::vector<std::uint32_t> dist(g.num_vertices(), kUnreachable);
+  std::queue<VertexId> frontier;
+  dist.at(source) = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const VertexId u = frontier.front();
+    frontier.pop();
+    for (VertexId v : g.neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+Components connected_components(const Graph& g) {
+  Components comps;
+  comps.component_of.assign(g.num_vertices(), kUnreachable);
+  std::vector<std::size_t> sizes;
+  std::queue<VertexId> frontier;
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    if (comps.component_of[s] != kUnreachable) continue;
+    const auto id = static_cast<std::uint32_t>(sizes.size());
+    sizes.push_back(0);
+    comps.component_of[s] = id;
+    frontier.push(s);
+    while (!frontier.empty()) {
+      const VertexId u = frontier.front();
+      frontier.pop();
+      ++sizes[id];
+      for (VertexId v : g.neighbors(u)) {
+        if (comps.component_of[v] == kUnreachable) {
+          comps.component_of[v] = id;
+          frontier.push(v);
+        }
+      }
+    }
+  }
+  comps.count = sizes.size();
+  comps.largest_size =
+      sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+  return comps;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() <= 1) return true;
+  return connected_components(g).count == 1;
+}
+
+std::size_t eccentricity(const Graph& g, VertexId v) {
+  const auto dist = bfs_distances(g, v);
+  std::uint32_t ecc = 0;
+  for (std::uint32_t d : dist) {
+    if (d != kUnreachable) ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::size_t diameter(const Graph& g) {
+  if (g.num_vertices() <= 1) return 0;
+  if (!is_connected(g)) {
+    throw std::invalid_argument("diameter: graph is not connected");
+  }
+  std::size_t best = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    best = std::max(best, eccentricity(g, v));
+  }
+  return best;
+}
+
+std::vector<VertexId> ball(const Graph& g, VertexId v, std::uint32_t radius) {
+  std::vector<VertexId> result;
+  if (radius == 0) return result;
+  const auto dist = bfs_distances(g, v);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    if (u != v && dist[u] != kUnreachable && dist[u] <= radius) {
+      result.push_back(u);
+    }
+  }
+  return result;
+}
+
+std::vector<std::vector<VertexId>> all_balls(const Graph& g, std::uint32_t radius) {
+  std::vector<std::vector<VertexId>> balls(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    balls[v] = ball(g, v, radius);
+  }
+  return balls;
+}
+
+}  // namespace megflood

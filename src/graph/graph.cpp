@@ -1,0 +1,57 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace megflood {
+
+bool Graph::add_edge(VertexId u, VertexId v) {
+  if (u == v) return false;
+  auto& au = adjacency_.at(u);
+  auto& av = adjacency_.at(v);
+  const auto it = std::lower_bound(au.begin(), au.end(), v);
+  if (it != au.end() && *it == v) return false;
+  au.insert(it, v);
+  av.insert(std::lower_bound(av.begin(), av.end(), u), u);
+  ++num_edges_;
+  return true;
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  const auto& au = adjacency_.at(u);
+  const auto& av = adjacency_.at(v);
+  const auto& smaller = au.size() <= av.size() ? au : av;
+  const VertexId target = au.size() <= av.size() ? v : u;
+  return std::binary_search(smaller.begin(), smaller.end(), target);
+}
+
+std::vector<std::pair<VertexId, VertexId>> Graph::edges() const {
+  std::vector<std::pair<VertexId, VertexId>> result;
+  result.reserve(num_edges_);
+  for (VertexId u = 0; u < adjacency_.size(); ++u) {
+    for (VertexId v : adjacency_[u]) {
+      if (u < v) result.emplace_back(u, v);
+    }
+  }
+  return result;
+}
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats s;
+  if (g.num_vertices() == 0) return s;
+  s.min = std::numeric_limits<std::size_t>::max();
+  double sum = 0.0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const std::size_t d = g.degree(v);
+    s.min = std::min(s.min, d);
+    s.max = std::max(s.max, d);
+    sum += static_cast<double>(d);
+  }
+  s.mean = sum / static_cast<double>(g.num_vertices());
+  s.regularity_delta =
+      s.min > 0 ? static_cast<double>(s.max) / static_cast<double>(s.min)
+                : std::numeric_limits<double>::infinity();
+  return s;
+}
+
+}  // namespace megflood

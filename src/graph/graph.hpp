@@ -1,0 +1,55 @@
+#pragma once
+
+// Static undirected graph substrate.  Mobility models walk over these
+// "mobility graphs" H(V, A) (paper Section 4.1); the flooding analysis also
+// uses them for k-augmented grids (Corollary 6) and for snapshot queries.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace megflood {
+
+using VertexId = std::uint32_t;
+
+// Undirected simple graph with adjacency lists.  Vertices are [0, n).
+// Neighbor lists are kept sorted so `has_edge` is O(log deg).
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t num_vertices) : adjacency_(num_vertices) {}
+
+  std::size_t num_vertices() const noexcept { return adjacency_.size(); }
+  std::size_t num_edges() const noexcept { return num_edges_; }
+
+  // Adds the undirected edge {u, v}.  Self loops and duplicates are
+  // rejected (returns false) so the graph stays simple.
+  bool add_edge(VertexId u, VertexId v);
+
+  bool has_edge(VertexId u, VertexId v) const;
+
+  const std::vector<VertexId>& neighbors(VertexId v) const {
+    return adjacency_.at(v);
+  }
+
+  std::size_t degree(VertexId v) const { return adjacency_.at(v).size(); }
+
+  // All edges as (u, v) pairs with u < v.
+  std::vector<std::pair<VertexId, VertexId>> edges() const;
+
+ private:
+  std::vector<std::vector<VertexId>> adjacency_;
+  std::size_t num_edges_ = 0;
+};
+
+struct DegreeStats {
+  std::size_t min = 0;
+  std::size_t max = 0;
+  double mean = 0.0;
+  // max/min degree ratio; the paper's δ-regularity for graphs (Cor. 6).
+  double regularity_delta = 0.0;
+};
+
+DegreeStats degree_stats(const Graph& g);
+
+}  // namespace megflood

@@ -1,0 +1,98 @@
+#include "markov/spectral.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace megflood {
+
+bool is_reversible_chain(const DenseChain& chain, double tol) {
+  const auto pi = chain.stationary();
+  const std::size_t n = chain.num_states();
+  for (StateId i = 0; i < n; ++i) {
+    for (StateId j = i + 1; j < n; ++j) {
+      const double flow_ij = pi[i] * chain.transition(i, j);
+      const double flow_ji = pi[j] * chain.transition(j, i);
+      if (std::abs(flow_ij - flow_ji) > tol) return false;
+    }
+  }
+  return true;
+}
+
+double slem(const DenseChain& chain, double tol, std::size_t max_iters) {
+  const std::size_t n = chain.num_states();
+  if (n < 2) return 0.0;
+  if (!chain.is_irreducible()) {
+    throw std::invalid_argument("slem: chain is not irreducible");
+  }
+  if (!is_reversible_chain(chain, 1e-7)) {
+    throw std::invalid_argument("slem: chain is not reversible");
+  }
+  const auto pi = chain.stationary();
+
+  // Power iteration on functions f: S -> R with the constant direction
+  // deflated in the pi-inner product; P is self-adjoint there, so the
+  // iteration converges to the eigenfunction of the SLEM.
+  auto deflate = [&](std::vector<double>& f) {
+    double mean = 0.0;
+    for (StateId i = 0; i < n; ++i) mean += pi[i] * f[i];
+    for (StateId i = 0; i < n; ++i) f[i] -= mean;
+  };
+  auto pi_norm = [&](const std::vector<double>& f) {
+    double s = 0.0;
+    for (StateId i = 0; i < n; ++i) s += pi[i] * f[i] * f[i];
+    return std::sqrt(s);
+  };
+  auto apply = [&](const std::vector<double>& f) {
+    std::vector<double> out(n, 0.0);
+    for (StateId i = 0; i < n; ++i) {
+      double acc = 0.0;
+      const auto& row = chain.row(i);
+      for (StateId j = 0; j < n; ++j) acc += row[j] * f[j];
+      out[i] = acc;
+    }
+    return out;
+  };
+
+  // Deterministic non-constant start.
+  std::vector<double> f(n);
+  for (StateId i = 0; i < n; ++i) {
+    f[i] = (i % 2 == 0 ? 1.0 : -1.0) + static_cast<double>(i) / n;
+  }
+  deflate(f);
+  double norm = pi_norm(f);
+  if (norm == 0.0) {
+    f[0] += 1.0;
+    deflate(f);
+    norm = pi_norm(f);
+  }
+  for (StateId i = 0; i < n; ++i) f[i] /= norm;
+
+  double lambda = 0.0;
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    std::vector<double> next = apply(f);
+    deflate(next);  // guard numerical drift back into the constant dir
+    const double next_norm = pi_norm(next);
+    if (next_norm < 1e-300) return 0.0;  // second eigenvalue is ~0
+    for (StateId i = 0; i < n; ++i) next[i] /= next_norm;
+    const double new_lambda = next_norm;
+    f = std::move(next);
+    if (iter > 0 && std::abs(new_lambda - lambda) < tol) {
+      return new_lambda;
+    }
+    lambda = new_lambda;
+  }
+  return lambda;  // best estimate after max_iters
+}
+
+double spectral_gap(const DenseChain& chain) { return 1.0 - slem(chain); }
+
+double relaxation_time(const DenseChain& chain) {
+  const double gap = spectral_gap(chain);
+  if (gap <= 0.0) {
+    throw std::runtime_error("relaxation_time: zero spectral gap");
+  }
+  return 1.0 / gap;
+}
+
+}  // namespace megflood

@@ -1,0 +1,64 @@
+#include "markov/two_state.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace megflood {
+
+TwoStateChain::TwoStateChain(TwoStateParams params) : params_(params) {
+  const double p = params_.birth_rate, q = params_.death_rate;
+  if (p < 0.0 || p > 1.0 || q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("TwoStateChain: rates must be in [0,1]");
+  }
+  if (p + q <= 0.0) {
+    throw std::invalid_argument("TwoStateChain: p + q must be positive");
+  }
+}
+
+double TwoStateChain::stationary_on() const noexcept {
+  return params_.birth_rate / (params_.birth_rate + params_.death_rate);
+}
+
+double TwoStateChain::tv_after(std::size_t steps) const noexcept {
+  const double lambda = 1.0 - params_.birth_rate - params_.death_rate;
+  const double pi_on = stationary_on();
+  const double worst_gap = std::max(pi_on, 1.0 - pi_on);
+  return std::pow(std::abs(lambda), static_cast<double>(steps)) * worst_gap;
+}
+
+std::size_t TwoStateChain::mixing_time(double eps) const {
+  if (eps <= 0.0 || eps >= 1.0) {
+    throw std::invalid_argument("mixing_time: eps must be in (0,1)");
+  }
+  // |lambda|^t * c <= eps  =>  t >= log(c/eps) / log(1/|lambda|)
+  const double lambda =
+      std::abs(1.0 - params_.birth_rate - params_.death_rate);
+  if (lambda == 0.0) return tv_after(0) <= eps ? 0 : 1;
+  std::size_t t = 0;
+  // Closed-form guess, then settle exactly (cheap: tv_after is O(1)).
+  const double c = std::max(stationary_on(), 1.0 - stationary_on());
+  if (c > eps) {
+    t = static_cast<std::size_t>(
+        std::ceil(std::log(c / eps) / -std::log(lambda)));
+  }
+  while (t > 0 && tv_after(t - 1) <= eps) --t;
+  while (tv_after(t) > eps) ++t;
+  return t;
+}
+
+bool TwoStateChain::step(bool on, Rng& rng) const noexcept {
+  if (on) return !rng.bernoulli(params_.death_rate);
+  return rng.bernoulli(params_.birth_rate);
+}
+
+bool TwoStateChain::sample_stationary(Rng& rng) const noexcept {
+  return rng.bernoulli(stationary_on());
+}
+
+DenseChain TwoStateChain::as_dense() const {
+  const double p = params_.birth_rate, q = params_.death_rate;
+  return DenseChain({{1.0 - p, p}, {q, 1.0 - q}});
+}
+
+}  // namespace megflood

@@ -1,0 +1,52 @@
+#pragma once
+
+// The two-state on/off chain that drives the classic edge-MEG of
+// Clementi-Macci-Monti-Pasquale-Silvestri (reference [10] in the paper):
+// an off edge is born with probability p per step, an on edge dies with
+// probability q per step.  Closed forms for the stationary distribution
+// and mixing time make this the exactly-analyzable baseline of the suite.
+
+#include <cstddef>
+
+#include "markov/chain.hpp"
+
+namespace megflood {
+
+struct TwoStateParams {
+  double birth_rate = 0.0;  // p: P(off -> on)
+  double death_rate = 0.0;  // q: P(on -> off)
+};
+
+class TwoStateChain {
+ public:
+  // Requires p in [0,1], q in [0,1], p + q > 0 (otherwise frozen).
+  explicit TwoStateChain(TwoStateParams params);
+
+  double birth_rate() const noexcept { return params_.birth_rate; }
+  double death_rate() const noexcept { return params_.death_rate; }
+
+  // Stationary P(on) = p / (p + q).
+  double stationary_on() const noexcept;
+
+  // Exact TV distance from stationarity after t steps from the worst
+  // start: |1 - p - q|^t * max(pi_on, pi_off).
+  double tv_after(std::size_t steps) const noexcept;
+
+  // Exact T_mix(eps): smallest t with tv_after(t) <= eps.  The paper uses
+  // T_mix = Theta(1/(p+q)).
+  std::size_t mixing_time(double eps = 0.25) const;
+
+  // Evolve a single edge state one step.
+  bool step(bool on, Rng& rng) const noexcept;
+
+  // Sample the stationary state.
+  bool sample_stationary(Rng& rng) const noexcept;
+
+  // 2x2 DenseChain view (state 0 = off, state 1 = on).
+  DenseChain as_dense() const;
+
+ private:
+  TwoStateParams params_;
+};
+
+}  // namespace megflood

@@ -1,0 +1,84 @@
+#include "meg/clique_flicker.hpp"
+
+#include <stdexcept>
+
+namespace megflood {
+
+CliqueFlickerGraph::CliqueFlickerGraph(std::size_t num_nodes,
+                                       std::size_t clique_size, double rho,
+                                       std::uint64_t seed,
+                                       double resample_probability)
+    : n_(num_nodes),
+      clique_size_(clique_size),
+      rho_(rho),
+      gamma_(resample_probability),
+      rng_(seed) {
+  if (num_nodes < 2) {
+    throw std::invalid_argument("CliqueFlickerGraph: need at least 2 nodes");
+  }
+  if (clique_size < 2 || clique_size > num_nodes) {
+    throw std::invalid_argument("CliqueFlickerGraph: bad clique size");
+  }
+  if (rho <= 0.0 || rho > 1.0) {
+    throw std::invalid_argument("CliqueFlickerGraph: rho must be in (0,1]");
+  }
+  if (gamma_ <= 0.0 || gamma_ > 1.0) {
+    throw std::invalid_argument(
+        "CliqueFlickerGraph: resample probability must be in (0,1]");
+  }
+  scratch_.resize(n_);
+  for (NodeId v = 0; v < n_; ++v) scratch_[v] = v;
+  snapshot_.reset(n_);
+  resample_subset();
+  rebuild();
+}
+
+double CliqueFlickerGraph::edge_probability() const {
+  const double m = static_cast<double>(clique_size_);
+  const double n = static_cast<double>(n_);
+  return rho_ * m * (m - 1.0) / (n * (n - 1.0));
+}
+
+double CliqueFlickerGraph::incident_beta() const {
+  const double m = static_cast<double>(clique_size_);
+  const double n = static_cast<double>(n_);
+  if (clique_size_ < 3) return 0.0;  // two incident edges need 3 nodes
+  const double p_both =
+      rho_ * m * (m - 1.0) * (m - 2.0) / (n * (n - 1.0) * (n - 2.0));
+  const double p_single = edge_probability();
+  return p_both / (p_single * p_single);
+}
+
+void CliqueFlickerGraph::resample_subset() {
+  // Partial Fisher-Yates: the first clique_size_ entries of scratch_
+  // become a uniform subset.
+  for (std::size_t i = 0; i < clique_size_; ++i) {
+    const std::size_t j = i + rng_.uniform_int(n_ - i);
+    std::swap(scratch_[i], scratch_[j]);
+  }
+}
+
+void CliqueFlickerGraph::rebuild() {
+  snapshot_.clear();
+  if (!rng_.bernoulli(rho_)) return;
+  for (std::size_t a = 0; a < clique_size_; ++a) {
+    for (std::size_t b = a + 1; b < clique_size_; ++b) {
+      snapshot_.add_edge(scratch_[a], scratch_[b]);
+    }
+  }
+}
+
+void CliqueFlickerGraph::step() {
+  if (rng_.bernoulli(gamma_)) resample_subset();
+  rebuild();
+  advance_clock();
+}
+
+void CliqueFlickerGraph::reset(std::uint64_t seed) {
+  rng_.reseed(seed);
+  reset_clock();
+  resample_subset();
+  rebuild();
+}
+
+}  // namespace megflood

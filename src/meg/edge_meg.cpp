@@ -1,0 +1,130 @@
+#include "meg/edge_meg.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace megflood {
+
+TwoStateEdgeMEG::TwoStateEdgeMEG(std::size_t num_nodes, TwoStateParams params,
+                                 std::uint64_t seed, EdgeMegInit init)
+    : n_(num_nodes),
+      chain_(params),
+      init_(init),
+      rng_(seed),
+      total_pairs_(static_cast<std::uint64_t>(num_nodes) * (num_nodes - 1) / 2) {
+  if (num_nodes < 2) {
+    throw std::invalid_argument("TwoStateEdgeMEG: need at least 2 nodes");
+  }
+  snapshot_.reset(n_);
+  initialize();
+}
+
+std::pair<NodeId, NodeId> TwoStateEdgeMEG::pair_of(std::uint64_t index) const {
+  assert(index < total_pairs_);
+  // Row-major enumeration of the strictly-upper-triangular pair matrix:
+  // row i spans indices [offset_i, offset_i + (n-1-i)).  Invert with the
+  // quadratic formula on the cumulative row lengths.
+  const double nd = static_cast<double>(n_);
+  const double idx = static_cast<double>(index);
+  // Solve i from: i*(2n - i - 1)/2 <= index.
+  double guess = std::floor(
+      ((2.0 * nd - 1.0) - std::sqrt((2.0 * nd - 1.0) * (2.0 * nd - 1.0) -
+                                    8.0 * idx)) /
+      2.0);
+  auto i = static_cast<std::uint64_t>(std::max(0.0, guess));
+  auto row_start = [&](std::uint64_t r) {
+    return r * (2 * n_ - r - 1) / 2;
+  };
+  while (i + 1 < n_ && row_start(i + 1) <= index) ++i;
+  while (i > 0 && row_start(i) > index) --i;
+  const std::uint64_t j = i + 1 + (index - row_start(i));
+  assert(j < n_);
+  return {static_cast<NodeId>(i), static_cast<NodeId>(j)};
+}
+
+void TwoStateEdgeMEG::initialize() {
+  on_.clear();
+  switch (init_) {
+    case EdgeMegInit::kAllOff:
+      break;
+    case EdgeMegInit::kAllOn:
+      for (std::uint64_t e = 0; e < total_pairs_; ++e) on_.insert(e);
+      break;
+    case EdgeMegInit::kStationary: {
+      const double pi = chain_.stationary_on();
+      if (pi > 0.0) {
+        // Geometric skipping over the pair enumeration.
+        std::uint64_t e = rng_.geometric(pi);
+        while (e < total_pairs_) {
+          on_.insert(e);
+          e += 1 + rng_.geometric(pi);
+        }
+      }
+      break;
+    }
+  }
+  rebuild_snapshot();
+}
+
+void TwoStateEdgeMEG::rebuild_snapshot() {
+  snapshot_.clear();
+  // Sorted order keeps adjacency lists canonical, so downstream consumers
+  // that sample from neighbor lists (e.g. k-push) stay reproducible.
+  std::vector<std::uint64_t> ordered(on_.begin(), on_.end());
+  std::sort(ordered.begin(), ordered.end());
+  for (std::uint64_t e : ordered) {
+    const auto [i, j] = pair_of(e);
+    snapshot_.add_edge(i, j);
+  }
+}
+
+void TwoStateEdgeMEG::step() {
+  const double p = chain_.birth_rate();
+  const double q = chain_.death_rate();
+
+  // Deaths: each edge that is on at the start of the step dies with
+  // probability q.  Deaths are collected first so that births below can be
+  // decided against the pre-step state (a pair that dies this step was on,
+  // hence cannot also be born this step).  The on-set is visited in sorted
+  // order so the RNG consumption sequence is a pure function of the seed
+  // and the state — unordered_set iteration order is not reproducible
+  // across reset() (bucket layout depends on insertion history).
+  std::unordered_set<std::uint64_t> killed;
+  if (q > 0.0) {
+    std::vector<std::uint64_t> ordered(on_.begin(), on_.end());
+    std::sort(ordered.begin(), ordered.end());
+    for (std::uint64_t e : ordered) {
+      if (rng_.bernoulli(q)) killed.insert(e);
+    }
+    for (std::uint64_t e : killed) on_.erase(e);
+  }
+
+  // Births: mark every pair with probability p via geometric skipping over
+  // the linear pair enumeration.  A mark on a pair that was on pre-step is
+  // a no-op (its dynamics are governed by the death rate), which restricts
+  // births to exactly the pre-step off edges.  Pre-step on = survivor in
+  // `on_` or member of `killed`.
+  if (p > 0.0) {
+    std::uint64_t e = rng_.geometric(p);
+    while (e < total_pairs_) {
+      if (!killed.contains(e)) {
+        on_.insert(e);  // no-op if it survived (was already on)
+      }
+      e += 1 + rng_.geometric(p);
+    }
+  }
+
+  rebuild_snapshot();
+  advance_clock();
+}
+
+void TwoStateEdgeMEG::reset(std::uint64_t seed) {
+  rng_.reseed(seed);
+  reset_clock();
+  initialize();
+}
+
+}  // namespace megflood

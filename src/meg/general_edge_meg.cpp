@@ -1,0 +1,116 @@
+#include "meg/general_edge_meg.hpp"
+
+#include <stdexcept>
+
+namespace megflood {
+
+GeneralEdgeMEG::GeneralEdgeMEG(std::size_t num_nodes, DenseChain chain,
+                               std::vector<bool> chi, std::uint64_t seed)
+    : n_(num_nodes),
+      chain_(std::move(chain)),
+      chi_(std::move(chi)),
+      rng_(seed) {
+  if (num_nodes < 2) {
+    throw std::invalid_argument("GeneralEdgeMEG: need at least 2 nodes");
+  }
+  if (chi_.size() != chain_.num_states()) {
+    throw std::invalid_argument("GeneralEdgeMEG: chi arity != chain states");
+  }
+  if (chain_.num_states() > 256) {
+    throw std::invalid_argument("GeneralEdgeMEG: > 256 states unsupported");
+  }
+  stationary_ = chain_.stationary();
+  states_.resize(n_ * (n_ - 1) / 2);
+  snapshot_.reset(n_);
+  initialize();
+}
+
+double GeneralEdgeMEG::stationary_edge_probability() const {
+  double alpha = 0.0;
+  for (StateId s = 0; s < chi_.size(); ++s) {
+    if (chi_[s]) alpha += stationary_[s];
+  }
+  return alpha;
+}
+
+void GeneralEdgeMEG::initialize() {
+  for (auto& s : states_) {
+    s = static_cast<std::uint8_t>(DenseChain::sample_from(stationary_, rng_));
+  }
+  rebuild_snapshot();
+}
+
+void GeneralEdgeMEG::rebuild_snapshot() {
+  snapshot_.clear();
+  std::size_t e = 0;
+  for (NodeId i = 0; i + 1 < n_; ++i) {
+    for (NodeId j = i + 1; j < n_; ++j, ++e) {
+      if (chi_[states_[e]]) snapshot_.add_edge(i, j);
+    }
+  }
+}
+
+void GeneralEdgeMEG::step() {
+  for (auto& s : states_) {
+    s = static_cast<std::uint8_t>(chain_.sample_next(s, rng_));
+  }
+  rebuild_snapshot();
+  advance_clock();
+}
+
+void GeneralEdgeMEG::reset(std::uint64_t seed) {
+  rng_.reseed(seed);
+  reset_clock();
+  initialize();
+}
+
+BurstyLink make_bursty_link(double wake_rate, double ready_rate,
+                            double drop_rate) {
+  // States: 0 = off, 1 = warming, 2 = on.
+  DenseChain chain({{1.0 - wake_rate, wake_rate, 0.0},
+                    {0.0, 1.0 - ready_rate, ready_rate},
+                    {drop_rate, 0.0, 1.0 - drop_rate}});
+  return {std::move(chain), {false, false, true}};
+}
+
+BurstyLink make_duty_cycle_link(std::size_t period, std::size_t on_states,
+                                double advance) {
+  if (period < 2 || on_states == 0 || on_states >= period) {
+    throw std::invalid_argument("make_duty_cycle_link: need 0 < on < period");
+  }
+  if (advance <= 0.0 || advance > 1.0) {
+    throw std::invalid_argument("make_duty_cycle_link: advance in (0,1]");
+  }
+  std::vector<std::vector<double>> rows(period,
+                                        std::vector<double>(period, 0.0));
+  for (std::size_t s = 0; s < period; ++s) {
+    rows[s][s] = 1.0 - advance;
+    rows[s][(s + 1) % period] = advance;
+  }
+  std::vector<bool> chi(period, false);
+  for (std::size_t s = 0; s < on_states; ++s) chi[s] = true;
+  return {DenseChain(std::move(rows)), std::move(chi)};
+}
+
+BurstyLink make_four_state_link(const FourStateLinkParams& p) {
+  for (double rate : {p.wake, p.connect, p.calm_off, p.drop, p.stabilize,
+                      p.destabilize}) {
+    if (rate < 0.0 || rate > 1.0) {
+      throw std::invalid_argument("make_four_state_link: rate outside [0,1]");
+    }
+  }
+  if (p.connect + p.calm_off > 1.0 || p.drop + p.stabilize > 1.0) {
+    throw std::invalid_argument(
+        "make_four_state_link: volatile-state exit rates exceed 1");
+  }
+  // States: 0 off-sticky, 1 off-volatile, 2 on-volatile, 3 on-sticky.
+  DenseChain chain({
+      {1.0 - p.wake, p.wake, 0.0, 0.0},
+      {p.calm_off, 1.0 - p.calm_off - p.connect, p.connect, 0.0},
+      {0.0, p.drop, 1.0 - p.drop - p.stabilize, p.stabilize},
+      {0.0, 0.0, p.destabilize, 1.0 - p.destabilize},
+  });
+  return {std::move(chain), {false, false, true, true}};
+}
+
+}  // namespace megflood

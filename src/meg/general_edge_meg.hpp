@@ -1,0 +1,84 @@
+#pragma once
+
+// The *generalized* edge-MEG of Appendix A: every potential edge evolves
+// by an arbitrary hidden Markov chain M = (S, P), and an arbitrary map
+// chi : S -> {0, 1} decides whether the edge exists in the snapshot.
+// Edges are independent, so the paper's β-independence holds with β = 1
+// and Theorem 1 applies with α = P_pi(chi = 1).
+//
+// Per-edge state is stored densely (one byte per pair), so this variant
+// targets moderate n (<= ~2000 nodes, i.e. <= ~2M pairs).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dynamic_graph.hpp"
+#include "markov/chain.hpp"
+#include "util/rng.hpp"
+
+namespace megflood {
+
+class GeneralEdgeMEG final : public DynamicGraph {
+ public:
+  // `chi[s]` is true iff an edge in state s exists.  Initial states are
+  // drawn from the chain's stationary distribution.
+  GeneralEdgeMEG(std::size_t num_nodes, DenseChain chain,
+                 std::vector<bool> chi, std::uint64_t seed);
+
+  std::size_t num_nodes() const override { return n_; }
+  const Snapshot& snapshot() const override { return snapshot_; }
+  void step() override;
+  void reset(std::uint64_t seed) override;
+
+  const DenseChain& chain() const noexcept { return chain_; }
+
+  // Stationary probability that an edge exists: alpha = sum_{s: chi(s)} pi_s.
+  double stationary_edge_probability() const;
+
+ private:
+  void initialize();
+  void rebuild_snapshot();
+
+  std::size_t n_;
+  DenseChain chain_;
+  std::vector<bool> chi_;
+  Rng rng_;
+  std::vector<double> stationary_;
+  std::vector<std::uint8_t> states_;  // one per pair, row-major upper triangle
+  Snapshot snapshot_;
+};
+
+// Ready-made hidden chains for experiments and tests.
+
+// Three-state "bursty link": off <-> warming -> on -> off.  Models links
+// with a setup delay; exists only in state 2 (on).
+struct BurstyLink {
+  DenseChain chain;
+  std::vector<bool> chi;
+};
+BurstyLink make_bursty_link(double wake_rate, double ready_rate, double drop_rate);
+
+// Cyclic k-state chain that advances with probability `advance` per step
+// and is "on" in exactly `on_states` of the k states; a duty-cycled link.
+BurstyLink make_duty_cycle_link(std::size_t period, std::size_t on_states,
+                                double advance);
+
+// Four-state link chain in the spirit of the refined edge model of
+// Becchetti et al. [5] (the paper's reference for "a more refined model
+// with four states"): the off and on macro-states each split into a
+// sticky and a volatile sub-state, which produces bursty contact patterns
+// (heavy-tailed-ish inter-contact times) that the plain two-state chain
+// cannot express.
+//   states: 0 = off-sticky, 1 = off-volatile, 2 = on-volatile,
+//           3 = on-sticky;  chi = {0, 0, 1, 1}.
+struct FourStateLinkParams {
+  double wake = 0.01;        // off-sticky -> off-volatile
+  double connect = 0.4;      // off-volatile -> on-volatile
+  double calm_off = 0.05;    // off-volatile -> off-sticky
+  double drop = 0.4;         // on-volatile -> off-volatile
+  double stabilize = 0.05;   // on-volatile -> on-sticky
+  double destabilize = 0.02; // on-sticky -> on-volatile
+};
+BurstyLink make_four_state_link(const FourStateLinkParams& params);
+
+}  // namespace megflood

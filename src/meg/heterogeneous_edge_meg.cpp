@@ -1,0 +1,124 @@
+#include "meg/heterogeneous_edge_meg.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace megflood {
+
+HeterogeneousEdgeMEG::HeterogeneousEdgeMEG(std::size_t num_nodes,
+                                           EdgeRateSampler sampler,
+                                           std::uint64_t seed)
+    : n_(num_nodes), rng_(seed) {
+  if (num_nodes < 2) {
+    throw std::invalid_argument("HeterogeneousEdgeMEG: need at least 2 nodes");
+  }
+  if (!sampler) {
+    throw std::invalid_argument("HeterogeneousEdgeMEG: null sampler");
+  }
+  const std::size_t pairs = n_ * (n_ - 1) / 2;
+  rates_.reserve(pairs);
+  // Rates come from a dedicated stream so the topology identity depends
+  // only on the construction seed, not on how many state steps follow.
+  Rng rate_rng(seed ^ 0x5bf03635d1f4bb21ULL);
+  for (std::size_t e = 0; e < pairs; ++e) {
+    const TwoStateParams rates = sampler(rate_rng);
+    const TwoStateChain chain(rates);  // validates the pair
+    min_alpha_ = std::min(min_alpha_, chain.stationary_on());
+    max_alpha_ = std::max(max_alpha_, chain.stationary_on());
+    max_mixing_ = std::max(max_mixing_, chain.mixing_time());
+    rates_.push_back(rates);
+  }
+  on_.resize(pairs, 0);
+  snapshot_.reset(n_);
+  initialize();
+}
+
+std::size_t HeterogeneousEdgeMEG::pair_index(NodeId i, NodeId j) const {
+  assert(i < j && j < n_);
+  const std::size_t row_start =
+      static_cast<std::size_t>(i) * (2 * n_ - i - 1) / 2;
+  return row_start + (j - i - 1);
+}
+
+TwoStateParams HeterogeneousEdgeMEG::edge_rates(NodeId i, NodeId j) const {
+  if (i == j || i >= n_ || j >= n_) {
+    throw std::out_of_range("edge_rates: bad pair");
+  }
+  if (i > j) std::swap(i, j);
+  return rates_[pair_index(i, j)];
+}
+
+void HeterogeneousEdgeMEG::initialize() {
+  for (std::size_t e = 0; e < on_.size(); ++e) {
+    const auto& r = rates_[e];
+    on_[e] = rng_.bernoulli(r.birth_rate / (r.birth_rate + r.death_rate))
+                 ? 1
+                 : 0;
+  }
+  rebuild_snapshot();
+}
+
+void HeterogeneousEdgeMEG::rebuild_snapshot() {
+  snapshot_.clear();
+  std::size_t e = 0;
+  for (NodeId i = 0; i + 1 < n_; ++i) {
+    for (NodeId j = i + 1; j < n_; ++j, ++e) {
+      if (on_[e]) snapshot_.add_edge(i, j);
+    }
+  }
+}
+
+void HeterogeneousEdgeMEG::step() {
+  for (std::size_t e = 0; e < on_.size(); ++e) {
+    const auto& r = rates_[e];
+    if (on_[e]) {
+      if (rng_.bernoulli(r.death_rate)) on_[e] = 0;
+    } else {
+      if (rng_.bernoulli(r.birth_rate)) on_[e] = 1;
+    }
+  }
+  rebuild_snapshot();
+  advance_clock();
+}
+
+void HeterogeneousEdgeMEG::reset(std::uint64_t seed) {
+  rng_.reseed(seed);
+  reset_clock();
+  initialize();
+}
+
+EdgeRateSampler uniform_alpha_rates(double speed_lo, double speed_hi,
+                                    double alpha_lo, double alpha_hi) {
+  if (!(0.0 < speed_lo && speed_lo <= speed_hi && speed_hi <= 1.0)) {
+    throw std::invalid_argument("uniform_alpha_rates: bad speed range");
+  }
+  if (!(0.0 < alpha_lo && alpha_lo <= alpha_hi && alpha_hi < 1.0)) {
+    throw std::invalid_argument("uniform_alpha_rates: bad alpha range");
+  }
+  return [=](Rng& rng) {
+    const double lambda = rng.uniform(speed_lo, speed_hi);
+    const double alpha = rng.uniform(alpha_lo, alpha_hi);
+    return TwoStateParams{alpha * lambda, (1.0 - alpha) * lambda};
+  };
+}
+
+EdgeRateSampler two_speed_rates(TwoStateParams base, double slow_fraction,
+                                double slow_factor) {
+  if (slow_fraction < 0.0 || slow_fraction > 1.0) {
+    throw std::invalid_argument("two_speed_rates: bad fraction");
+  }
+  if (slow_factor <= 0.0 || slow_factor > 1.0) {
+    throw std::invalid_argument("two_speed_rates: factor must be in (0,1]");
+  }
+  (void)TwoStateChain(base);  // validate
+  return [=](Rng& rng) {
+    if (rng.bernoulli(slow_fraction)) {
+      return TwoStateParams{base.birth_rate * slow_factor,
+                            base.death_rate * slow_factor};
+    }
+    return base;
+  };
+}
+
+}  // namespace megflood

@@ -1,0 +1,75 @@
+#pragma once
+
+// Heterogeneous two-state edge-MEG: every potential edge has its *own*
+// (p_e, q_e) pair.  The paper's generalized edge-MEG framework (Appendix
+// A) only needs edges to evolve independently; Theorem 1's Density
+// Condition is then governed by alpha = min_e p_e/(p_e + q_e) and the
+// epoch length by the slowest edge, M = max_e T_mix(p_e, q_e).  This
+// model exercises exactly that worst-edge structure — the ablation
+// bench_a3 compares it against a homogeneous model matched to the same
+// worst-edge alpha.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/dynamic_graph.hpp"
+#include "markov/two_state.hpp"
+#include "util/rng.hpp"
+
+namespace megflood {
+
+// Draws the (p, q) of one edge; called once per pair at construction with
+// a dedicated RNG (so the assignment is a pure function of the seed).
+using EdgeRateSampler = std::function<TwoStateParams(Rng&)>;
+
+class HeterogeneousEdgeMEG final : public DynamicGraph {
+ public:
+  HeterogeneousEdgeMEG(std::size_t num_nodes, EdgeRateSampler sampler,
+                       std::uint64_t seed);
+
+  std::size_t num_nodes() const override { return n_; }
+  const Snapshot& snapshot() const override { return snapshot_; }
+  void step() override;
+  // Re-samples edge *states* from their stationary laws; the per-edge
+  // rates themselves are part of the model identity and stay fixed.
+  void reset(std::uint64_t seed) override;
+
+  // Theorem-1 inputs for this instance.
+  double min_alpha() const noexcept { return min_alpha_; }
+  double max_alpha() const noexcept { return max_alpha_; }
+  std::size_t max_mixing_time() const noexcept { return max_mixing_; }
+
+  TwoStateParams edge_rates(NodeId i, NodeId j) const;
+
+ private:
+  std::size_t pair_index(NodeId i, NodeId j) const;
+  void initialize();
+  void rebuild_snapshot();
+
+  std::size_t n_;
+  Rng rng_;
+  std::vector<TwoStateParams> rates_;  // row-major upper triangle
+  std::vector<char> on_;
+  double min_alpha_ = 1.0;
+  double max_alpha_ = 0.0;
+  std::size_t max_mixing_ = 0;
+  Snapshot snapshot_;
+};
+
+// Ready-made samplers.
+
+// Each edge draws alpha uniform in [alpha_lo, alpha_hi] and a speed
+// lambda = p + q uniform in [speed_lo, speed_hi]; then p = alpha * lambda
+// and q = (1 - alpha) * lambda.  This parameterization hits the requested
+// alpha exactly (both rates stay in [0, 1] by construction) and makes the
+// per-edge mixing time Theta(1 / lambda).
+EdgeRateSampler uniform_alpha_rates(double speed_lo, double speed_hi,
+                                    double alpha_lo, double alpha_hi);
+
+// A fraction `slow_fraction` of edges are "slow" (rates scaled down by
+// `slow_factor`, same alpha): stresses the max-mixing epoch length.
+EdgeRateSampler two_speed_rates(TwoStateParams base, double slow_fraction,
+                                double slow_factor);
+
+}  // namespace megflood

@@ -1,0 +1,124 @@
+#include "mobility/random_walk.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace megflood {
+
+RandomWalkModel::RandomWalkModel(std::shared_ptr<const Graph> mobility_graph,
+                                 std::size_t num_agents,
+                                 RandomWalkParams params, std::uint64_t seed)
+    : graph_(std::move(mobility_graph)),
+      num_agents_(num_agents),
+      params_(params),
+      rng_(seed) {
+  if (!graph_) throw std::invalid_argument("RandomWalkModel: null graph");
+  if (num_agents < 2) {
+    throw std::invalid_argument("RandomWalkModel: need at least 2 agents");
+  }
+  if (params_.move_radius == 0) {
+    throw std::invalid_argument("RandomWalkModel: move radius must be >= 1");
+  }
+  if (params_.mobile_fraction < 0.0 || params_.mobile_fraction > 1.0) {
+    throw std::invalid_argument(
+        "RandomWalkModel: mobile fraction must be in [0,1]");
+  }
+  num_mobile_ = static_cast<std::size_t>(
+      std::ceil(params_.mobile_fraction * static_cast<double>(num_agents)));
+  const std::size_t v = graph_->num_vertices();
+  move_balls_ = all_balls(*graph_, params_.move_radius);
+  if (params_.connect_radius > 0) {
+    connect_balls_ = all_balls(*graph_, params_.connect_radius);
+  }
+
+  // pi(x) ∝ |N+(x)| with N+(x) = ball(x) ∪ {x}: the move graph (with self
+  // loops) is symmetric, so this degree-proportional measure is stationary.
+  stationary_.resize(v);
+  double total = 0.0;
+  for (std::size_t x = 0; x < v; ++x) {
+    stationary_[x] = static_cast<double>(move_balls_[x].size() + 1);
+    total += stationary_[x];
+  }
+  stationary_cdf_.resize(v);
+  double acc = 0.0;
+  for (std::size_t x = 0; x < v; ++x) {
+    stationary_[x] /= total;
+    acc += stationary_[x];
+    stationary_cdf_[x] = acc;
+  }
+
+  positions_.resize(num_agents_);
+  occupants_.resize(v);
+  snapshot_.reset(num_agents_);
+  initialize();
+}
+
+void RandomWalkModel::initialize() {
+  for (auto& pos : positions_) {
+    const double u = rng_.uniform();
+    const auto it = std::lower_bound(stationary_cdf_.begin(),
+                                     stationary_cdf_.end(), u);
+    pos = static_cast<VertexId>(
+        std::min<std::size_t>(it - stationary_cdf_.begin(),
+                              stationary_cdf_.size() - 1));
+  }
+  rebuild_snapshot();
+}
+
+void RandomWalkModel::rebuild_snapshot() {
+  snapshot_.clear();
+  for (auto& o : occupants_) o.clear();
+  for (NodeId agent = 0; agent < num_agents_; ++agent) {
+    occupants_[positions_[agent]].push_back(agent);
+  }
+  for (VertexId point = 0; point < occupants_.size(); ++point) {
+    const auto& here = occupants_[point];
+    if (here.empty()) continue;
+    // Co-located agents are always connected (hop distance 0 <= r).
+    for (std::size_t a = 0; a < here.size(); ++a) {
+      for (std::size_t b = a + 1; b < here.size(); ++b) {
+        snapshot_.add_edge(here[a], here[b]);
+      }
+    }
+    if (params_.connect_radius > 0) {
+      // Cross-point edges, each point pair visited once via point < other.
+      for (VertexId other : connect_balls_[point]) {
+        if (other <= point) continue;
+        for (NodeId a : here) {
+          for (NodeId b : occupants_[other]) snapshot_.add_edge(a, b);
+        }
+      }
+    }
+  }
+}
+
+void RandomWalkModel::step() {
+  for (NodeId agent = 0; agent < num_mobile_; ++agent) {
+    auto& pos = positions_[agent];
+    const auto& ball = move_balls_[pos];
+    const std::uint64_t choice = rng_.uniform_int(ball.size() + 1);
+    if (choice < ball.size()) pos = ball[choice];
+    // else: stay put (the self-loop option)
+  }
+  // Agents in [num_mobile_, n) are static and never move.
+  rebuild_snapshot();
+  advance_clock();
+}
+
+void RandomWalkModel::reset(std::uint64_t seed) {
+  rng_.reseed(seed);
+  reset_clock();
+  initialize();
+}
+
+void RandomWalkModel::set_all_positions(VertexId point) {
+  if (point >= graph_->num_vertices()) {
+    throw std::out_of_range("set_all_positions: point out of range");
+  }
+  for (auto& pos : positions_) pos = point;
+  rebuild_snapshot();
+}
+
+}  // namespace megflood

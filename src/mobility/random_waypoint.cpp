@@ -1,0 +1,103 @@
+#include "mobility/random_waypoint.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace megflood {
+
+RandomWaypointModel::RandomWaypointModel(std::size_t num_agents,
+                                         WaypointParams params,
+                                         std::uint64_t seed)
+    : num_agents_(num_agents),
+      params_(params),
+      grid_(params.resolution, params.side_length),
+      rng_(seed),
+      index_(grid_, params.radius) {
+  if (num_agents < 2) {
+    throw std::invalid_argument("RandomWaypointModel: need at least 2 agents");
+  }
+  if (params_.v_min <= 0.0 || params_.v_max < params_.v_min) {
+    throw std::invalid_argument(
+        "RandomWaypointModel: need 0 < v_min <= v_max");
+  }
+  if (params_.radius <= 0.0) {
+    throw std::invalid_argument("RandomWaypointModel: radius must be > 0");
+  }
+  agents_.resize(num_agents_);
+  cells_.resize(num_agents_);
+  snapshot_.reset(num_agents_);
+  initialize();
+}
+
+void RandomWaypointModel::new_trip(AgentState& agent) {
+  // Destination uniform over the grid points (the paper's discretization
+  // of "uniform over the square"); speed uniform in [v_min, v_max].
+  const auto dest_cell =
+      static_cast<CellId>(rng_.uniform_int(grid_.num_points()));
+  agent.dest = grid_.position(dest_cell);
+  agent.speed = rng_.uniform(params_.v_min, params_.v_max);
+}
+
+void RandomWaypointModel::initialize() {
+  for (auto& agent : agents_) {
+    const auto cell = static_cast<CellId>(rng_.uniform_int(grid_.num_points()));
+    agent.pos = grid_.position(cell);
+    new_trip(agent);
+  }
+  rebuild_snapshot();
+}
+
+void RandomWaypointModel::step() {
+  for (auto& agent : agents_) {
+    double budget = agent.speed;
+    // Travel `speed` distance this round, switching trips at waypoints so
+    // agents never stall (leftover budget carries into the new leg).
+    for (int leg = 0; leg < 16 && budget > 0.0; ++leg) {
+      const double dist = euclidean_distance(agent.pos, agent.dest);
+      if (dist <= budget) {
+        budget -= dist;
+        agent.pos = agent.dest;
+        new_trip(agent);
+      } else {
+        const double frac = budget / dist;
+        agent.pos.x += (agent.dest.x - agent.pos.x) * frac;
+        agent.pos.y += (agent.dest.y - agent.pos.y) * frac;
+        budget = 0.0;
+      }
+    }
+  }
+  rebuild_snapshot();
+  advance_clock();
+}
+
+void RandomWaypointModel::rebuild_snapshot() {
+  for (NodeId i = 0; i < num_agents_; ++i) {
+    cells_[i] = grid_.nearest(agents_[i].pos);
+  }
+  index_.rebuild(cells_);
+  snapshot_.clear();
+  index_.for_each_pair(
+      [&](std::uint32_t a, std::uint32_t b) { snapshot_.add_edge(a, b); });
+}
+
+void RandomWaypointModel::reset(std::uint64_t seed) {
+  rng_.reseed(seed);
+  reset_clock();
+  initialize();
+}
+
+void RandomWaypointModel::collapse_to(const Point2D& point) {
+  for (auto& agent : agents_) {
+    agent.pos = point;
+    new_trip(agent);
+  }
+  rebuild_snapshot();
+}
+
+std::uint64_t RandomWaypointModel::suggested_warmup(double c) const {
+  return static_cast<std::uint64_t>(
+      std::ceil(c * params_.side_length / params_.v_max));
+}
+
+}  // namespace megflood

@@ -1,0 +1,69 @@
+#include "protocols/gossip.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace megflood {
+
+GossipResult gossip_flood(DynamicGraph& graph, NodeId source, GossipMode mode,
+                          std::uint64_t max_rounds, std::uint64_t seed) {
+  const std::size_t n = graph.num_nodes();
+  if (source >= n) throw std::out_of_range("gossip_flood: bad source");
+
+  const bool push = mode != GossipMode::kPull;
+  const bool pull = mode != GossipMode::kPush;
+
+  Rng rng(seed);
+  GossipResult result;
+  std::vector<char> informed(n, 0);
+  informed[source] = 1;
+  std::size_t count = 1;
+  result.flood.informed_counts.push_back(count);
+  if (count == n) {
+    result.flood.completed = true;
+    return result;
+  }
+
+  std::vector<NodeId> newly;
+  for (std::uint64_t t = 0; t < max_rounds; ++t) {
+    const Snapshot& snap = graph.snapshot();
+    newly.clear();
+    for (NodeId u = 0; u < n; ++u) {
+      const auto& nbrs = snap.neighbors(u);
+      if (nbrs.empty()) continue;
+      const bool participates =
+          (informed[u] == 1 && push) || (informed[u] == 0 && pull);
+      if (!participates) continue;
+      const NodeId target = nbrs[rng.uniform_int(nbrs.size())];
+      ++result.contacts;
+      if (informed[u] == 1) {
+        // push: u sends to target
+        if (!informed[target]) {
+          informed[target] = 2;
+          newly.push_back(target);
+        }
+      } else {
+        // pull: u fetches from target (only pre-round informed targets
+        // count — mark-2 nodes learned it this round and cannot serve it)
+        if (informed[target] == 1) {
+          informed[u] = 2;
+          newly.push_back(u);
+        }
+      }
+    }
+    for (NodeId v : newly) informed[v] = 1;
+    count += newly.size();
+    result.flood.informed_counts.push_back(count);
+    graph.step();
+    if (count == n) {
+      result.flood.completed = true;
+      result.flood.rounds = t + 1;
+      return result;
+    }
+  }
+  result.flood.completed = false;
+  result.flood.rounds = max_rounds;
+  return result;
+}
+
+}  // namespace megflood

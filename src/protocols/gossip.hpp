@@ -1,0 +1,34 @@
+#pragma once
+
+// Classic randomized gossip on dynamic graphs: per round every node
+// contacts ONE uniformly random current neighbor; in push mode informed
+// nodes send, in pull mode uninformed nodes fetch, push-pull does both.
+// The paper's Section 5 sketches how such protocols reduce to flooding on
+// a virtual dynamic graph (keep only the contacted edges); these
+// implementations give the protocol-level ground truth that reduction is
+// compared against.
+
+#include <cstdint>
+
+#include "core/dynamic_graph.hpp"
+#include "core/flooding.hpp"
+#include "util/rng.hpp"
+
+namespace megflood {
+
+enum class GossipMode {
+  kPush,      // informed nodes send to one random neighbor
+  kPull,      // uninformed nodes fetch from one random neighbor
+  kPushPull,  // both
+};
+
+struct GossipResult {
+  FloodResult flood;
+  // Total contacts made (one per node per round that participates).
+  std::uint64_t contacts = 0;
+};
+
+GossipResult gossip_flood(DynamicGraph& graph, NodeId source, GossipMode mode,
+                          std::uint64_t max_rounds, std::uint64_t seed);
+
+}  // namespace megflood

@@ -1,0 +1,128 @@
+#include "protocols/k_push.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace megflood {
+
+FloodResult k_push_flood(DynamicGraph& graph, NodeId source, std::size_t k,
+                         std::uint64_t max_rounds, std::uint64_t seed) {
+  const std::size_t n = graph.num_nodes();
+  if (source >= n) throw std::out_of_range("k_push_flood: bad source");
+  if (k == 0) throw std::invalid_argument("k_push_flood: k must be >= 1");
+
+  Rng rng(seed);
+  FloodResult result;
+  std::vector<char> informed(n, 0);
+  informed[source] = 1;
+  std::size_t informed_count = 1;
+  result.informed_counts.push_back(informed_count);
+  if (informed_count == n) {
+    result.completed = true;
+    return result;
+  }
+
+  std::vector<NodeId> picks;
+  std::vector<NodeId> newly;
+  for (std::uint64_t t = 0; t < max_rounds; ++t) {
+    const Snapshot& snap = graph.snapshot();
+    newly.clear();
+    for (NodeId u = 0; u < n; ++u) {
+      if (informed[u] != 1) continue;
+      const auto& nbrs = snap.neighbors(u);
+      if (nbrs.empty()) continue;
+      if (nbrs.size() <= k) {
+        picks.assign(nbrs.begin(), nbrs.end());
+      } else {
+        // Partial Fisher-Yates over a copy: k distinct uniform picks.
+        picks.assign(nbrs.begin(), nbrs.end());
+        for (std::size_t i = 0; i < k; ++i) {
+          const std::size_t j =
+              i + rng.uniform_int(picks.size() - i);
+          std::swap(picks[i], picks[j]);
+        }
+        picks.resize(k);
+      }
+      for (NodeId v : picks) {
+        if (!informed[v]) {
+          informed[v] = 2;
+          newly.push_back(v);
+        }
+      }
+    }
+    for (NodeId v : newly) informed[v] = 1;
+    informed_count += newly.size();
+    result.informed_counts.push_back(informed_count);
+    graph.step();
+    if (informed_count == n) {
+      result.completed = true;
+      result.rounds = t + 1;
+      return result;
+    }
+  }
+  result.completed = false;
+  result.rounds = max_rounds;
+  return result;
+}
+
+RandomSubsetOverlay::RandomSubsetOverlay(DynamicGraph& inner, std::size_t k,
+                                         std::uint64_t seed)
+    : inner_(&inner), k_(k), rng_(seed) {
+  if (k == 0) {
+    throw std::invalid_argument("RandomSubsetOverlay: k must be >= 1");
+  }
+  overlay_.reset(inner_->num_nodes());
+  rebuild_overlay();
+}
+
+void RandomSubsetOverlay::rebuild_overlay() {
+  const Snapshot& snap = inner_->snapshot();
+  const std::size_t n = inner_->num_nodes();
+  overlay_.clear();
+  // Each node selects up to k incident edges; an edge is kept iff either
+  // endpoint selected it.  Dedup via a "kept" membership test on the
+  // smaller endpoint's selection set.
+  std::vector<std::vector<NodeId>> selected(n);
+  std::vector<NodeId> picks;
+  for (NodeId u = 0; u < n; ++u) {
+    const auto& nbrs = snap.neighbors(u);
+    if (nbrs.empty()) continue;
+    picks.assign(nbrs.begin(), nbrs.end());
+    const std::size_t keep = std::min(k_, picks.size());
+    for (std::size_t i = 0; i < keep; ++i) {
+      const std::size_t j = i + rng_.uniform_int(picks.size() - i);
+      std::swap(picks[i], picks[j]);
+    }
+    picks.resize(keep);
+    std::sort(picks.begin(), picks.end());
+    selected[u] = picks;
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : selected[u]) {
+      if (v > u) {
+        overlay_.add_edge(u, v);
+      } else {
+        // Emit (v, u) pairs once: only if v did not already select u.
+        if (!std::binary_search(selected[v].begin(), selected[v].end(), u)) {
+          overlay_.add_edge(u, v);
+        }
+      }
+    }
+  }
+}
+
+void RandomSubsetOverlay::step() {
+  inner_->step();
+  rebuild_overlay();
+  advance_clock();
+}
+
+void RandomSubsetOverlay::reset(std::uint64_t seed) {
+  inner_->reset(seed);
+  rng_.reseed(seed ^ 0xabcdef1234567890ULL);
+  reset_clock();
+  rebuild_overlay();
+}
+
+}  // namespace megflood

@@ -1,0 +1,48 @@
+#pragma once
+
+// The randomized protocol sketched in the paper's Conclusions (Section 5):
+// at every step, a node that possesses the information transmits it to a
+// randomly chosen subset of its current neighbors.  The paper observes
+// that its analysis reduces to flooding on a "virtual" dynamic graph from
+// which a subset of the edges has been removed; both the direct protocol
+// and that reduction are implemented here, and experiment E10 checks they
+// behave alike and stay within the flooding bound's regime.
+
+#include <cstdint>
+
+#include "core/dynamic_graph.hpp"
+#include "core/flooding.hpp"
+#include "util/rng.hpp"
+
+namespace megflood {
+
+// Direct simulation: every informed node pushes to min(k, deg) uniformly
+// chosen distinct current neighbors per round.
+FloodResult k_push_flood(DynamicGraph& graph, NodeId source, std::size_t k,
+                         std::uint64_t max_rounds, std::uint64_t seed);
+
+// The reduction: a DynamicGraph whose snapshot keeps, for every node, at
+// most k uniformly chosen incident edges of the inner model's snapshot
+// (an edge survives if either endpoint selects it).  Plain flooding on
+// this overlay is the paper's virtual-dynamic-graph view of the k-push
+// protocol.
+class RandomSubsetOverlay final : public DynamicGraph {
+ public:
+  // Does not own `inner`; the overlay advances it on step().
+  RandomSubsetOverlay(DynamicGraph& inner, std::size_t k, std::uint64_t seed);
+
+  std::size_t num_nodes() const override { return inner_->num_nodes(); }
+  const Snapshot& snapshot() const override { return overlay_; }
+  void step() override;
+  void reset(std::uint64_t seed) override;
+
+ private:
+  void rebuild_overlay();
+
+  DynamicGraph* inner_;
+  std::size_t k_;
+  Rng rng_;
+  Snapshot overlay_;
+};
+
+}  // namespace megflood

@@ -1,0 +1,66 @@
+#include "protocols/radio_broadcast.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace megflood {
+
+RadioResult radio_broadcast(DynamicGraph& graph, NodeId source, double tau,
+                            std::uint64_t max_rounds, std::uint64_t seed) {
+  const std::size_t n = graph.num_nodes();
+  if (source >= n) throw std::out_of_range("radio_broadcast: bad source");
+  if (tau <= 0.0 || tau > 1.0) {
+    throw std::invalid_argument("radio_broadcast: tau must be in (0,1]");
+  }
+
+  Rng rng(seed);
+  RadioResult result;
+  std::vector<char> informed(n, 0);
+  informed[source] = 1;
+  std::size_t count = 1;
+  result.flood.informed_counts.push_back(count);
+  if (count == n) {
+    result.flood.completed = true;
+    return result;
+  }
+
+  std::vector<char> transmitting(n, 0);
+  std::vector<std::uint32_t> heard(n, 0);  // transmitting-neighbor count
+  for (std::uint64_t t = 0; t < max_rounds; ++t) {
+    const Snapshot& snap = graph.snapshot();
+    // Phase 1: informed nodes decide whether to transmit.
+    for (NodeId u = 0; u < n; ++u) {
+      transmitting[u] = informed[u] && (tau >= 1.0 || rng.bernoulli(tau));
+      if (transmitting[u]) ++result.transmissions;
+    }
+    // Phase 2: reception — exactly one transmitting neighbor.
+    for (NodeId u = 0; u < n; ++u) heard[u] = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (!transmitting[u]) continue;
+      for (NodeId v : snap.neighbors(u)) ++heard[v];
+    }
+    std::size_t newly = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (informed[v]) continue;
+      if (heard[v] == 1) {
+        informed[v] = 1;
+        ++newly;
+      } else if (heard[v] > 1) {
+        ++result.collisions;
+      }
+    }
+    count += newly;
+    result.flood.informed_counts.push_back(count);
+    graph.step();
+    if (count == n) {
+      result.flood.completed = true;
+      result.flood.rounds = t + 1;
+      return result;
+    }
+  }
+  result.flood.completed = false;
+  result.flood.rounds = max_rounds;
+  return result;
+}
+
+}  // namespace megflood

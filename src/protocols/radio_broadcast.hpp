@@ -1,0 +1,34 @@
+#pragma once
+
+// Radio broadcast with collisions on dynamic graphs — the communication
+// model of the paper's reference [9] (Clementi-Monti-Pasquale-Silvestri,
+// "Broadcasting in dynamic radio networks").  In each round every
+// informed node decides to transmit; an uninformed node receives the
+// message iff *exactly one* of its current neighbors transmits (two or
+// more collide, zero is silence).  Flooding is the collision-free
+// idealization; the gap between them is the price of contention.
+//
+// With always-transmit (tau = 1) dense neighborhoods self-jam; the
+// standard remedy is ALOHA-style random transmission with probability
+// tau < 1.  Both are exposed here.
+
+#include <cstdint>
+
+#include "core/dynamic_graph.hpp"
+#include "core/flooding.hpp"
+#include "util/rng.hpp"
+
+namespace megflood {
+
+struct RadioResult {
+  FloodResult flood;
+  std::uint64_t transmissions = 0;
+  std::uint64_t collisions = 0;  // (node, round) receptions lost to collision
+};
+
+// Informed nodes transmit independently with probability `tau` per round.
+// tau = 1.0 reproduces the deterministic always-transmit protocol.
+RadioResult radio_broadcast(DynamicGraph& graph, NodeId source, double tau,
+                            std::uint64_t max_rounds, std::uint64_t seed);
+
+}  // namespace megflood

@@ -1,0 +1,27 @@
+#pragma once
+
+// Parsimonious flooding (Baumann-Crescenzi-Fraigniaud, reference [4] in
+// the paper): a node relays the message only for the first `ttl` rounds
+// after becoming informed, then stops transmitting (it stays informed).
+// With ttl = infinity this is exactly the paper's flooding; small ttl
+// trades completion probability for message complexity.  Included as a
+// protocol baseline for the experiments on refined protocols (Section 5).
+
+#include <cstdint>
+
+#include "core/dynamic_graph.hpp"
+#include "core/flooding.hpp"
+
+namespace megflood {
+
+struct TtlFloodResult {
+  FloodResult flood;
+  // Total number of (node, round) transmissions attempted — the message
+  // complexity the parsimonious variant tries to reduce.
+  std::uint64_t transmissions = 0;
+};
+
+TtlFloodResult ttl_flood(DynamicGraph& graph, NodeId source,
+                         std::uint64_t ttl, std::uint64_t max_rounds);
+
+}  // namespace megflood

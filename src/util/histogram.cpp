@@ -1,0 +1,58 @@
+#include "util/histogram.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+namespace megflood {
+
+void Histogram::add(std::size_t index, std::uint64_t weight) {
+  counts_.at(index) += weight;
+  total_ += weight;
+}
+
+double Histogram::mass(std::size_t index) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(index)) / static_cast<double>(total_);
+}
+
+std::vector<double> Histogram::distribution() const {
+  std::vector<double> d(counts_.size(), 0.0);
+  if (total_ == 0) return d;
+  const auto t = static_cast<double>(total_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    d[i] = static_cast<double>(counts_[i]) / t;
+  }
+  return d;
+}
+
+void Histogram::clear() {
+  counts_.assign(counts_.size(), 0);
+  total_ = 0;
+}
+
+double total_variation(const std::vector<double>& p, const std::vector<double>& q) {
+  if (p.size() != q.size()) {
+    throw std::invalid_argument("total_variation: size mismatch");
+  }
+  double sp = 0.0, sq = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    assert(p[i] >= 0.0 && q[i] >= 0.0);
+    sp += p[i];
+    sq += q[i];
+  }
+  const double np = sp > 0.0 ? 1.0 / sp : 0.0;
+  const double nq = sq > 0.0 ? 1.0 / sq : 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    acc += std::abs(p[i] * np - q[i] * nq);
+  }
+  return 0.5 * acc;
+}
+
+double total_variation(const Histogram& a, const Histogram& b) {
+  return total_variation(a.distribution(), b.distribution());
+}
+
+}  // namespace megflood

@@ -1,0 +1,47 @@
+#pragma once
+
+// Discrete histograms over finite index sets (grid points, chain states)
+// plus total-variation distance between empirical distributions.  Used for
+// positional stationary distributions (Corollary 4's F_T) and for the
+// empirical mixing-time estimator.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace megflood {
+
+// Counts over a fixed index range [0, size).
+class Histogram {
+ public:
+  explicit Histogram(std::size_t size) : counts_(size, 0), total_(0) {}
+
+  void add(std::size_t index, std::uint64_t weight = 1);
+
+  std::size_t size() const noexcept { return counts_.size(); }
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t count(std::size_t index) const { return counts_.at(index); }
+
+  // Empirical probability mass at `index`; 0 if no samples at all.
+  double mass(std::size_t index) const;
+
+  // Full normalized distribution (sums to 1 when total() > 0).
+  std::vector<double> distribution() const;
+
+  void clear();
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_;
+};
+
+// Total-variation distance between two distributions over the same index
+// set: (1/2) * sum_i |p_i - q_i|.  Inputs need not be normalized; they are
+// normalized internally (all-zero input is treated as uniform-free zero
+// vector, yielding distance vs. the other normalized input).
+double total_variation(const std::vector<double>& p, const std::vector<double>& q);
+
+// TV distance between two histograms over the same index range.
+double total_variation(const Histogram& a, const Histogram& b);
+
+}  // namespace megflood

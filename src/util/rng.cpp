@@ -1,0 +1,60 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace megflood {
+
+std::uint64_t Rng::uniform_int(std::uint64_t bound) noexcept {
+  assert(bound > 0);
+  // Lemire's method: multiply-shift with rejection to remove modulo bias.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t Rng::geometric(double p) noexcept {
+  assert(p > 0.0 && p <= 1.0);
+  if (p >= 1.0) return 0;
+  const double u = 1.0 - uniform();  // in (0, 1]
+  const double draw = std::floor(std::log(u) / std::log1p(-p));
+  if (!(draw >= 0.0) || draw > 9.0e18) return 9'000'000'000'000'000'000ULL;
+  return static_cast<std::uint64_t>(draw);
+}
+
+std::vector<std::uint64_t> derive_seeds(std::uint64_t master, std::size_t count) {
+  SplitMix64 sm(master);
+  std::vector<std::uint64_t> seeds(count);
+  for (auto& s : seeds) s = sm.next();
+  return seeds;
+}
+
+std::size_t sample_discrete(Rng& rng, const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+  double u = rng.uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u < 0.0) return i;
+  }
+  // Floating point slack: return the last index with positive weight.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return 0;
+}
+
+}  // namespace megflood

@@ -1,0 +1,110 @@
+#pragma once
+
+// Deterministic, seedable random number generation for all stochastic
+// processes in megflood.  Every model takes an explicit 64-bit seed so that
+// experiments are reproducible bit-for-bit; we deliberately avoid
+// std::mt19937 to keep cross-platform stream identity trivial to audit.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace megflood {
+
+// SplitMix64: used to expand a single user seed into independent stream
+// seeds (one per node / per edge).  Reference: Steele, Lea, Flood (2014).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Xoshiro256**: the workhorse generator.  Satisfies the C++ named
+// requirement UniformRandomBitGenerator so it also plugs into <random>.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    reseed(seed);
+  }
+
+  void reseed(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+    // A zero state is a fixed point of xoshiro; SplitMix64 cannot emit four
+    // zeros in a row, so the state is always valid.
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  // Uniform integer in [0, bound). Lemire's unbiased multiply-shift method.
+  std::uint64_t uniform_int(std::uint64_t bound) noexcept;
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    uniform_int(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  // Geometric number of failures before first success, success prob p in
+  // (0,1].  Returns a saturating large value if p is tiny enough that the
+  // draw overflows.
+  std::uint64_t geometric(double p) noexcept;
+
+  // Derive a statistically independent child generator (e.g. one per node).
+  Rng split() noexcept { return Rng((*this)() ^ 0x6a09e667f3bcc909ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+// Expand one master seed into `count` per-entity seeds.
+std::vector<std::uint64_t> derive_seeds(std::uint64_t master, std::size_t count);
+
+// Sample an index from a discrete distribution given by non-negative
+// weights (need not be normalized).  Precondition: sum of weights > 0.
+std::size_t sample_discrete(Rng& rng, const std::vector<double>& weights);
+
+}  // namespace megflood

@@ -1,0 +1,99 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace megflood {
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  assert(!sorted.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::vector<double> samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  OnlineStats os;
+  for (double x : samples) os.add(x);
+  s.count = samples.size();
+  s.mean = os.mean();
+  s.stddev = os.stddev();
+  s.min = samples.front();
+  s.p25 = quantile_sorted(samples, 0.25);
+  s.median = quantile_sorted(samples, 0.50);
+  s.p75 = quantile_sorted(samples, 0.75);
+  s.p90 = quantile_sorted(samples, 0.90);
+  s.p99 = quantile_sorted(samples, 0.99);
+  s.max = samples.back();
+  return s;
+}
+
+LinearFit linear_fit(const std::vector<double>& x, const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  assert(x.size() >= 2);
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx, dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  LinearFit fit;
+  if (sxx <= 0.0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+LinearFit loglog_fit(const std::vector<double>& x, const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  std::vector<double> lx(x.size()), ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    assert(x[i] > 0.0 && y[i] > 0.0);
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  return linear_fit(lx, ly);
+}
+
+double mean_ci_halfwidth(const Summary& s) {
+  if (s.count < 2) return 0.0;
+  return 1.96 * s.stddev / std::sqrt(static_cast<double>(s.count));
+}
+
+}  // namespace megflood

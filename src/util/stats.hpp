@@ -1,0 +1,72 @@
+#pragma once
+
+// Summary statistics and least-squares fits used by the experiment
+// harnesses: flooding-time samples are summarized with mean / median /
+// high-quantiles (the paper's bounds are "with high probability" bounds, so
+// upper quantiles are the quantity of interest), and scaling exponents are
+// recovered with log-log linear regression.
+
+#include <cstddef>
+#include <vector>
+
+namespace megflood {
+
+// One-pass accumulator (Welford) for mean and variance.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  // Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Five-number-plus summary of a sample set.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+// Builds a Summary; the input vector is copied (callers keep their data).
+Summary summarize(std::vector<double> samples);
+
+// Linear interpolation quantile on a *sorted* sample vector, q in [0,1].
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
+// Ordinary least squares fit of y = intercept + slope * x.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+LinearFit linear_fit(const std::vector<double>& x, const std::vector<double>& y);
+
+// Fit y = c * x^e by OLS in log-log space; returns {slope = e,
+// intercept = log(c)}.  All inputs must be strictly positive.
+LinearFit loglog_fit(const std::vector<double>& x, const std::vector<double>& y);
+
+// Approximate two-sided confidence half-width of the mean at ~95% using the
+// normal approximation (adequate for the trial counts we use, >= 20).
+double mean_ci_halfwidth(const Summary& s);
+
+}  // namespace megflood

@@ -1,0 +1,32 @@
+#pragma once
+
+// Aligned plain-text table output for the experiment harnesses.  Every
+// bench binary prints paper-style rows through this, so EXPERIMENTS.md can
+// quote the output verbatim.
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace megflood {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: format a double with `precision` significant handling.
+  static std::string num(double value, int precision = 3);
+  static std::string integer(long long value);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace megflood

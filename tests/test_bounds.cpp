@@ -1,0 +1,153 @@
+// Tests for the closed-form bound calculators: formula spot checks,
+// monotonicity in each parameter, and validation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/bounds.hpp"
+
+namespace megflood {
+namespace {
+
+TEST(Theorem1Bound, FormulaSpotCheck) {
+  // M = 10, n = e (so log n = 1... use n with known log), alpha = 1/n,
+  // beta = 1: M * (1 + 1)^2 * log^2 n.
+  const std::size_t n = 100;
+  const double ln = std::log(100.0);
+  EXPECT_NEAR(theorem1_bound(10.0, n, 1.0 / 100.0, 1.0),
+              10.0 * 4.0 * ln * ln, 1e-9);
+}
+
+TEST(Theorem1Bound, MonotoneInParameters) {
+  const std::size_t n = 256;
+  EXPECT_LT(theorem1_bound(5.0, n, 0.1, 1.0),
+            theorem1_bound(10.0, n, 0.1, 1.0));
+  EXPECT_LT(theorem1_bound(5.0, n, 0.2, 1.0),
+            theorem1_bound(5.0, n, 0.1, 1.0));  // larger alpha, smaller bound
+  EXPECT_LT(theorem1_bound(5.0, n, 0.1, 1.0),
+            theorem1_bound(5.0, n, 0.1, 2.0));
+}
+
+TEST(Theorem1Bound, Validation) {
+  EXPECT_THROW((void)theorem1_bound(0.0, 10, 0.1, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)theorem1_bound(1.0, 10, 0.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Theorem3Bound, ReducesLikeTheorem1) {
+  // Same structure with log^3: spot check.
+  const std::size_t n = 64;
+  const double ln = std::log(64.0);
+  EXPECT_NEAR(theorem3_bound(7.0, n, 1.0 / 64.0, 2.0),
+              7.0 * 9.0 * ln * ln * ln, 1e-9);
+}
+
+TEST(Corollary4Bound, SparseRegimeDominatedByDensityTerm) {
+  // vol / (n r^d) >> delta^6/lambda^2 when r tiny: bound scales like
+  // (vol/(n r^2))^2.
+  const double b1 = corollary4_bound(10.0, 100, 1.0, 1.0, 100.0, 0.1, 2);
+  const double b2 = corollary4_bound(10.0, 100, 1.0, 1.0, 100.0, 0.05, 2);
+  EXPECT_GT(b2, b1 * 8.0);  // quartic in 1/r as r -> 0
+}
+
+TEST(WaypointBound, SparseSettingMatchesPaperForm) {
+  // L ~ sqrt(n), r = 1, v = 1: bound ~ sqrt(n) (L^2/(n r^2) + 1)^2 log^3 n
+  // = sqrt(n) * 4 * log^3 n.
+  const std::size_t n = 400;
+  const double L = 20.0;
+  const double ln = std::log(400.0);
+  EXPECT_NEAR(waypoint_bound(L, 1.0, n, 1.0), 20.0 * 4.0 * ln * ln * ln,
+              1e-9);
+}
+
+TEST(WaypointBound, DecreasesWithSpeedAndRadius) {
+  EXPECT_LT(waypoint_bound(10.0, 2.0, 100, 1.0),
+            waypoint_bound(10.0, 1.0, 100, 1.0));
+  EXPECT_LT(waypoint_bound(10.0, 1.0, 100, 2.0),
+            waypoint_bound(10.0, 1.0, 100, 1.0));
+}
+
+TEST(WaypointLowerBound, Form) {
+  EXPECT_DOUBLE_EQ(waypoint_lower_bound(30.0, 2.0), 15.0);
+  EXPECT_THROW((void)waypoint_lower_bound(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(Corollary5Bound, SpotCheck) {
+  const std::size_t n = 64;
+  const double ln = std::log(64.0);
+  // |V| = 64, delta = 1: (1 + 1)^2 * T * log^3 n.
+  EXPECT_NEAR(corollary5_bound(3.0, n, 64, 1.0), 3.0 * 4.0 * ln * ln * ln,
+              1e-9);
+}
+
+TEST(Corollary6Bound, DeltaSeventhPower) {
+  // Doubling delta at fixed small |V|/n multiplies the bound by ~2^14.
+  const double b1 = corollary6_bound(1.0, 1 << 20, 4, 1.0);
+  const double b2 = corollary6_bound(1.0, 1 << 20, 4, 2.0);
+  EXPECT_GT(b2 / b1, std::pow(2.0, 13.0));
+}
+
+TEST(EdgeMegBound, TightnessCrossover) {
+  // The paper: our bound is almost tight whenever q >= n p.  In the
+  // regime q >> np the bound is ~ (1/(p+q)) * log^2 n while Eq. 2 is
+  // ~ log n / (np); check our bound is within polylog of Eq. 2 there.
+  const std::size_t n = 1024;
+  const double p = 1.0 / (1024.0 * 64.0);  // np = 1/64
+  const double q = 0.5;                    // q >> np
+  const double ours = edge_meg_bound(n, p, q);
+  const double tight = edge_meg_tight_bound(n, p);
+  const double polylog = std::pow(std::log(static_cast<double>(n)), 3.0);
+  EXPECT_LT(ours, tight * polylog);
+  EXPECT_GT(ours, tight / polylog);
+}
+
+TEST(EdgeMegBound, LooseWhenDeathsRare) {
+  // q << np: our bound pays 1/(p+q) while Eq. 2 is O(log n / log(1+np));
+  // ours must be much larger there (the paper's admitted gap).
+  const std::size_t n = 1024;
+  const double p = 0.01;  // np = 10.24
+  const double q = 1e-5;
+  EXPECT_GT(edge_meg_bound(n, p, q),
+            10.0 * edge_meg_tight_bound(n, p));
+}
+
+TEST(GeneralEdgeMegBound, BetaOneStructure) {
+  const std::size_t n = 128;
+  const double ln = std::log(128.0);
+  EXPECT_NEAR(general_edge_meg_bound(5.0, n, 1.0 / 128.0),
+              5.0 * 4.0 * ln * ln, 1e-9);
+}
+
+TEST(MeetingTimeBound, Form) {
+  const std::size_t n = 64;
+  EXPECT_NEAR(meeting_time_bound(100.0, n), 100.0 * std::log(64.0), 1e-9);
+}
+
+TEST(AllBounds, SmallNLogFloor) {
+  // log n floors at 1 for n < 3 so formulas stay positive.
+  EXPECT_GT(theorem1_bound(1.0, 2, 0.5, 1.0), 0.0);
+  EXPECT_GT(edge_meg_tight_bound(2, 0.5), 0.0);
+}
+
+// Property: every bound is monotone non-increasing in its "goodness"
+// parameter (alpha, p_nm) over a sweep.
+class BoundMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(BoundMonotonicity, AlphaImproves) {
+  const double alpha = GetParam();
+  const std::size_t n = 512;
+  EXPECT_GE(theorem1_bound(3.0, n, alpha / 2.0, 1.0),
+            theorem1_bound(3.0, n, alpha, 1.0));
+  EXPECT_GE(theorem3_bound(3.0, n, alpha / 2.0, 1.0),
+            theorem3_bound(3.0, n, alpha, 1.0));
+  EXPECT_GE(general_edge_meg_bound(3.0, n, alpha / 2.0),
+            general_edge_meg_bound(3.0, n, alpha));
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, BoundMonotonicity,
+                         ::testing::Values(1e-4, 1e-3, 1e-2, 0.1, 0.5));
+
+}  // namespace
+}  // namespace megflood

@@ -1,0 +1,77 @@
+// Tests for the calibrated-bound checker and the scaling-shape check.
+
+#include <gtest/gtest.h>
+
+#include "analysis/calibration.hpp"
+
+namespace megflood {
+namespace {
+
+TEST(BoundCalibrator, FirstObservationSetsConstant) {
+  BoundCalibrator cal(2.0);
+  EXPECT_FALSE(cal.calibrated());
+  const double calibrated = cal.record(10.0, 100.0);
+  EXPECT_TRUE(cal.calibrated());
+  EXPECT_DOUBLE_EQ(cal.constant(), 0.1);
+  EXPECT_DOUBLE_EQ(calibrated, 10.0);
+  EXPECT_TRUE(cal.all_dominated());
+}
+
+TEST(BoundCalibrator, DominationTracking) {
+  BoundCalibrator cal(2.0);
+  cal.record(10.0, 100.0);        // c = 0.1
+  cal.record(15.0, 200.0);        // calibrated 20, 15 <= 40: ok
+  EXPECT_TRUE(cal.all_dominated());
+  cal.record(90.0, 400.0);        // calibrated 40, 90 > 80: violation
+  EXPECT_FALSE(cal.all_dominated());
+  EXPECT_EQ(cal.observations(), 3u);
+}
+
+TEST(BoundCalibrator, ViolationIsSticky) {
+  BoundCalibrator cal(1.0);
+  cal.record(1.0, 1.0);
+  cal.record(5.0, 1.0);  // violated
+  cal.record(0.5, 1.0);  // back under — verdict must remain false
+  EXPECT_FALSE(cal.all_dominated());
+}
+
+TEST(BoundCalibrator, ZeroMeasurementCalibration) {
+  // A zero first measurement falls back to c = 1/bound (non-degenerate).
+  BoundCalibrator cal;
+  cal.record(0.0, 50.0);
+  EXPECT_GT(cal.constant(), 0.0);
+}
+
+TEST(BoundCalibrator, Validation) {
+  EXPECT_THROW(BoundCalibrator(0.5), std::invalid_argument);
+  BoundCalibrator cal;
+  EXPECT_THROW((void)cal.record(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)cal.record(-1.0, 1.0), std::invalid_argument);
+}
+
+TEST(CheckScaling, ExactPowerLaw) {
+  const std::vector<double> x{2.0, 4.0, 8.0, 16.0};
+  std::vector<double> y;
+  for (double v : x) y.push_back(5.0 * v * v);
+  const ScalingCheck check = check_scaling(x, y, 2.0, 0.05);
+  EXPECT_TRUE(check.within_tolerance);
+  EXPECT_NEAR(check.fit.slope, 2.0, 1e-10);
+}
+
+TEST(CheckScaling, DetectsWrongExponent) {
+  const std::vector<double> x{2.0, 4.0, 8.0, 16.0};
+  std::vector<double> y;
+  for (double v : x) y.push_back(v);  // slope 1
+  const ScalingCheck check = check_scaling(x, y, 2.0, 0.25);
+  EXPECT_FALSE(check.within_tolerance);
+}
+
+TEST(CheckScaling, Validation) {
+  EXPECT_THROW((void)check_scaling({1.0}, {1.0}, 1.0, 0.1),
+               std::invalid_argument);
+  EXPECT_THROW((void)check_scaling({1.0, 2.0}, {1.0}, 1.0, 0.1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace megflood

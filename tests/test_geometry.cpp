@@ -1,0 +1,196 @@
+// Unit tests for points, the square-grid discretization, and the bucketed
+// neighbor index.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "geometry/point.hpp"
+#include "geometry/square_grid.hpp"
+
+namespace megflood {
+namespace {
+
+TEST(Point2D, Distances) {
+  const Point2D a{0.0, 0.0}, b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(euclidean_distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(squared_distance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(manhattan_distance(a, b), 7.0);
+}
+
+TEST(SquareGrid, BasicGeometry) {
+  const SquareGrid g(5, 10.0);
+  EXPECT_EQ(g.resolution(), 5u);
+  EXPECT_EQ(g.num_points(), 25u);
+  EXPECT_DOUBLE_EQ(g.spacing(), 2.5);
+  EXPECT_DOUBLE_EQ(g.area(), 100.0);
+}
+
+TEST(SquareGrid, RejectsBadParams) {
+  EXPECT_THROW(SquareGrid(1, 1.0), std::invalid_argument);
+  EXPECT_THROW(SquareGrid(4, 0.0), std::invalid_argument);
+}
+
+TEST(SquareGrid, IndexRoundTrip) {
+  const SquareGrid g(7, 1.0);
+  for (std::size_t r = 0; r < 7; ++r) {
+    for (std::size_t c = 0; c < 7; ++c) {
+      const CellId id = g.index(r, c);
+      EXPECT_EQ(g.row(id), r);
+      EXPECT_EQ(g.col(id), c);
+    }
+  }
+}
+
+TEST(SquareGrid, PositionsCoverSquare) {
+  const SquareGrid g(4, 3.0);
+  const Point2D first = g.position(g.index(0, 0));
+  const Point2D last = g.position(g.index(3, 3));
+  EXPECT_DOUBLE_EQ(first.x, 0.0);
+  EXPECT_DOUBLE_EQ(first.y, 0.0);
+  EXPECT_DOUBLE_EQ(last.x, 3.0);
+  EXPECT_DOUBLE_EQ(last.y, 3.0);
+}
+
+TEST(SquareGrid, NearestSnapsAndClamps) {
+  const SquareGrid g(5, 4.0);  // spacing 1
+  EXPECT_EQ(g.nearest({1.4, 2.6}), g.index(3, 1));
+  EXPECT_EQ(g.nearest({-5.0, -5.0}), g.index(0, 0));
+  EXPECT_EQ(g.nearest({100.0, 100.0}), g.index(4, 4));
+}
+
+TEST(SquareGrid, DiscMatchesBruteForce) {
+  const SquareGrid g(9, 8.0);
+  const CellId center = g.index(4, 4);
+  const double radius = 2.5;
+  const auto disc = g.disc(center, radius);
+  std::set<CellId> got(disc.begin(), disc.end());
+  std::set<CellId> expected;
+  for (CellId id = 0; id < g.num_points(); ++id) {
+    if (id == center) continue;
+    if (euclidean_distance(g.position(id), g.position(center)) <= radius) {
+      expected.insert(id);
+    }
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST(SquareGrid, DiscExcludesCenter) {
+  const SquareGrid g(5, 4.0);
+  const auto disc = g.disc(g.index(2, 2), 1.0);
+  EXPECT_TRUE(std::find(disc.begin(), disc.end(), g.index(2, 2)) ==
+              disc.end());
+  EXPECT_EQ(disc.size(), 4u);  // the 4 axis neighbors at distance 1
+}
+
+TEST(SquareGrid, DiscInside) {
+  const SquareGrid g(11, 10.0);  // spacing 1
+  EXPECT_TRUE(g.disc_inside(g.index(5, 5), 3.0));
+  EXPECT_FALSE(g.disc_inside(g.index(0, 5), 1.0));
+  EXPECT_TRUE(g.disc_inside(g.index(1, 1), 1.0));
+  EXPECT_FALSE(g.disc_inside(g.index(1, 1), 1.5));
+}
+
+TEST(SquareGrid, InteriorCount) {
+  const SquareGrid g(5, 4.0);  // spacing 1
+  // radius 1: interior points are the 3x3 center block.
+  EXPECT_EQ(g.interior_count(1.0), 9u);
+  // radius > L/2: nothing fits.
+  EXPECT_EQ(g.interior_count(2.5), 0u);
+}
+
+TEST(NeighborIndex, RejectsNonPositiveRadius) {
+  const SquareGrid g(4, 1.0);
+  EXPECT_THROW(NeighborIndex(g, 0.0), std::invalid_argument);
+}
+
+TEST(NeighborIndex, NeighborsMatchBruteForce) {
+  const SquareGrid g(16, 1.0);
+  NeighborIndex index(g, 0.2);
+  // A deterministic spread of positions.
+  std::vector<CellId> pos;
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    pos.push_back(static_cast<CellId>((i * 37) % g.num_points()));
+  }
+  index.rebuild(pos);
+  for (std::uint32_t i = 0; i < pos.size(); ++i) {
+    auto got = index.neighbors_of(i);
+    std::sort(got.begin(), got.end());
+    std::vector<std::uint32_t> expected;
+    for (std::uint32_t j = 0; j < pos.size(); ++j) {
+      if (j == i) continue;
+      if (euclidean_distance(g.position(pos[i]), g.position(pos[j])) <= 0.2) {
+        expected.push_back(j);
+      }
+    }
+    EXPECT_EQ(got, expected) << "node " << i;
+  }
+}
+
+TEST(NeighborIndex, ForEachPairMatchesBruteForce) {
+  const SquareGrid g(12, 1.0);
+  const double radius = 0.3;
+  NeighborIndex index(g, radius);
+  std::vector<CellId> pos;
+  for (std::uint32_t i = 0; i < 30; ++i) {
+    pos.push_back(static_cast<CellId>((i * 53 + 7) % g.num_points()));
+  }
+  index.rebuild(pos);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> got;
+  index.for_each_pair([&](std::uint32_t a, std::uint32_t b) {
+    got.insert({std::min(a, b), std::max(a, b)});
+  });
+  std::set<std::pair<std::uint32_t, std::uint32_t>> expected;
+  for (std::uint32_t i = 0; i < pos.size(); ++i) {
+    for (std::uint32_t j = i + 1; j < pos.size(); ++j) {
+      if (euclidean_distance(g.position(pos[i]), g.position(pos[j])) <=
+          radius) {
+        expected.insert({i, j});
+      }
+    }
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST(NeighborIndex, PairsEmittedOnce) {
+  const SquareGrid g(8, 1.0);
+  NeighborIndex index(g, 0.5);
+  std::vector<CellId> pos{0, 1, 2, 8, 9};  // a tight cluster
+  index.rebuild(pos);
+  std::multiset<std::pair<std::uint32_t, std::uint32_t>> seen;
+  index.for_each_pair([&](std::uint32_t a, std::uint32_t b) {
+    seen.insert({std::min(a, b), std::max(a, b)});
+  });
+  for (const auto& pair : seen) {
+    EXPECT_EQ(seen.count(pair), 1u)
+        << "pair (" << pair.first << "," << pair.second << ") duplicated";
+  }
+}
+
+// Property: for a full occupancy of the grid, the number of index-reported
+// pairs matches the analytic disc count.
+class NeighborIndexDensity : public ::testing::TestWithParam<double> {};
+
+TEST_P(NeighborIndexDensity, FullGridPairCount) {
+  const SquareGrid g(10, 1.0);
+  const double radius = GetParam();
+  NeighborIndex index(g, radius);
+  std::vector<CellId> pos(g.num_points());
+  for (CellId c = 0; c < g.num_points(); ++c) pos[c] = c;
+  index.rebuild(pos);
+  std::size_t pairs = 0;
+  index.for_each_pair([&](std::uint32_t, std::uint32_t) { ++pairs; });
+  std::size_t expected = 0;
+  for (CellId c = 0; c < g.num_points(); ++c) {
+    expected += g.disc(c, radius).size();
+  }
+  EXPECT_EQ(pairs, expected / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, NeighborIndexDensity,
+                         ::testing::Values(0.12, 0.2, 0.35));
+
+}  // namespace
+}  // namespace megflood

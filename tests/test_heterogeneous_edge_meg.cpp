@@ -1,0 +1,101 @@
+// Tests for the heterogeneous (per-edge rates) edge-MEG.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/flooding.hpp"
+#include "meg/heterogeneous_edge_meg.hpp"
+
+namespace megflood {
+namespace {
+
+TEST(HeterogeneousEdgeMEG, ValidationErrors) {
+  EXPECT_THROW(
+      HeterogeneousEdgeMEG(1, two_speed_rates({0.1, 0.1}, 0.5, 0.5), 0),
+      std::invalid_argument);
+  EXPECT_THROW(HeterogeneousEdgeMEG(4, nullptr, 0), std::invalid_argument);
+}
+
+TEST(SamplerFactories, Validation) {
+  EXPECT_THROW(uniform_alpha_rates(0.0, 0.1, 0.1, 0.2),
+               std::invalid_argument);
+  EXPECT_THROW(uniform_alpha_rates(0.1, 0.05, 0.1, 0.2),
+               std::invalid_argument);
+  EXPECT_THROW(uniform_alpha_rates(0.05, 0.1, 0.3, 0.2),
+               std::invalid_argument);
+  EXPECT_THROW(two_speed_rates({0.1, 0.1}, 1.5, 0.5), std::invalid_argument);
+  EXPECT_THROW(two_speed_rates({0.1, 0.1}, 0.5, 0.0), std::invalid_argument);
+}
+
+TEST(HeterogeneousEdgeMEG, AlphaRangeRespected) {
+  HeterogeneousEdgeMEG meg(24, uniform_alpha_rates(0.05, 0.2, 0.1, 0.4), 7);
+  EXPECT_GE(meg.min_alpha(), 0.1 - 1e-9);
+  EXPECT_LE(meg.max_alpha(), 0.4 + 1e-9);
+  EXPECT_GT(meg.max_mixing_time(), 0u);
+}
+
+TEST(HeterogeneousEdgeMEG, RatesStableAcrossReset) {
+  // reset() re-samples states but the per-edge rate assignment is part of
+  // the model identity.
+  HeterogeneousEdgeMEG meg(12, uniform_alpha_rates(0.05, 0.3, 0.1, 0.5), 11);
+  const auto before = meg.edge_rates(2, 7);
+  meg.reset(999);
+  const auto after = meg.edge_rates(2, 7);
+  EXPECT_DOUBLE_EQ(before.birth_rate, after.birth_rate);
+  EXPECT_DOUBLE_EQ(before.death_rate, after.death_rate);
+}
+
+TEST(HeterogeneousEdgeMEG, EdgeRatesSymmetricLookup) {
+  HeterogeneousEdgeMEG meg(10, uniform_alpha_rates(0.05, 0.3, 0.1, 0.5), 13);
+  const auto a = meg.edge_rates(3, 8);
+  const auto b = meg.edge_rates(8, 3);
+  EXPECT_DOUBLE_EQ(a.birth_rate, b.birth_rate);
+  EXPECT_THROW((void)meg.edge_rates(3, 3), std::out_of_range);
+}
+
+TEST(HeterogeneousEdgeMEG, TwoSpeedMixingWorstCase) {
+  // Slow edges (rates x0.1) dominate the max mixing time ~10x the base.
+  const TwoStateParams base{0.1, 0.1};
+  HeterogeneousEdgeMEG fast(32, two_speed_rates(base, 0.0, 0.1), 3);
+  HeterogeneousEdgeMEG mixed(32, two_speed_rates(base, 0.5, 0.1), 3);
+  EXPECT_GT(mixed.max_mixing_time(), 3 * fast.max_mixing_time());
+  // Same alpha everywhere: scaling both rates preserves p/(p+q).
+  EXPECT_NEAR(mixed.min_alpha(), mixed.max_alpha(), 1e-12);
+}
+
+TEST(HeterogeneousEdgeMEG, StationaryDensityMatchesMeanAlpha) {
+  HeterogeneousEdgeMEG meg(32, uniform_alpha_rates(0.1, 0.3, 0.2, 0.4), 17);
+  // Expected density = average alpha ~ 0.3.
+  double avg = 0.0;
+  constexpr int kSamples = 60;
+  for (int s = 0; s < kSamples; ++s) {
+    for (int t = 0; t < 20; ++t) meg.step();
+    avg += static_cast<double>(meg.snapshot().num_edges());
+  }
+  const double pairs = 32.0 * 31.0 / 2.0;
+  EXPECT_NEAR(avg / kSamples / pairs, 0.3, 0.04);
+}
+
+TEST(HeterogeneousEdgeMEG, ResetReproducesStream) {
+  HeterogeneousEdgeMEG meg(16, uniform_alpha_rates(0.1, 0.3, 0.2, 0.4), 21);
+  std::vector<std::size_t> first;
+  for (int t = 0; t < 10; ++t) {
+    meg.step();
+    first.push_back(meg.snapshot().num_edges());
+  }
+  meg.reset(21);
+  for (int t = 0; t < 10; ++t) {
+    meg.step();
+    EXPECT_EQ(meg.snapshot().num_edges(), first[static_cast<std::size_t>(t)]);
+  }
+}
+
+TEST(HeterogeneousEdgeMEG, FloodingCompletes) {
+  HeterogeneousEdgeMEG meg(48, uniform_alpha_rates(0.02, 0.1, 0.05, 0.2), 23);
+  const FloodResult r = flood(meg, 0, 100000);
+  EXPECT_TRUE(r.completed);
+}
+
+}  // namespace
+}  // namespace megflood

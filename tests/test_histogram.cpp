@@ -1,0 +1,107 @@
+// Unit tests for histograms and total-variation distance.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/histogram.hpp"
+
+namespace megflood {
+namespace {
+
+TEST(Histogram, StartsEmpty) {
+  Histogram h(4);
+  EXPECT_EQ(h.size(), 4u);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.mass(0), 0.0);
+}
+
+TEST(Histogram, AddAndMass) {
+  Histogram h(3);
+  h.add(0);
+  h.add(1, 3);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 3u);
+  EXPECT_DOUBLE_EQ(h.mass(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.mass(1), 0.75);
+  EXPECT_DOUBLE_EQ(h.mass(2), 0.0);
+}
+
+TEST(Histogram, OutOfRangeThrows) {
+  Histogram h(2);
+  EXPECT_THROW(h.add(2), std::out_of_range);
+  EXPECT_THROW((void)h.count(5), std::out_of_range);
+}
+
+TEST(Histogram, DistributionSumsToOne) {
+  Histogram h(5);
+  for (std::size_t i = 0; i < 5; ++i) h.add(i, i + 1);
+  const auto d = h.distribution();
+  double sum = 0.0;
+  for (double p : d) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h(2);
+  h.add(0, 10);
+  h.clear();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.count(0), 0u);
+}
+
+TEST(TotalVariation, IdenticalIsZero) {
+  const std::vector<double> p{0.5, 0.25, 0.25};
+  EXPECT_DOUBLE_EQ(total_variation(p, p), 0.0);
+}
+
+TEST(TotalVariation, DisjointIsOne) {
+  const std::vector<double> p{1.0, 0.0};
+  const std::vector<double> q{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(total_variation(p, q), 1.0);
+}
+
+TEST(TotalVariation, Symmetric) {
+  const std::vector<double> p{0.7, 0.2, 0.1};
+  const std::vector<double> q{0.2, 0.5, 0.3};
+  EXPECT_DOUBLE_EQ(total_variation(p, q), total_variation(q, p));
+}
+
+TEST(TotalVariation, KnownValue) {
+  const std::vector<double> p{0.5, 0.5};
+  const std::vector<double> q{0.75, 0.25};
+  EXPECT_NEAR(total_variation(p, q), 0.25, 1e-12);
+}
+
+TEST(TotalVariation, NormalizesInputs) {
+  // Unnormalized inputs with the same shape have distance zero.
+  const std::vector<double> p{2.0, 2.0};
+  const std::vector<double> q{5.0, 5.0};
+  EXPECT_NEAR(total_variation(p, q), 0.0, 1e-12);
+}
+
+TEST(TotalVariation, SizeMismatchThrows) {
+  EXPECT_THROW(total_variation({0.5, 0.5}, {1.0}), std::invalid_argument);
+}
+
+TEST(TotalVariation, TriangleInequality) {
+  const std::vector<double> p{0.6, 0.3, 0.1};
+  const std::vector<double> q{0.1, 0.8, 0.1};
+  const std::vector<double> r{0.3, 0.3, 0.4};
+  EXPECT_LE(total_variation(p, q),
+            total_variation(p, r) + total_variation(r, q) + 1e-12);
+}
+
+TEST(TotalVariation, HistogramOverload) {
+  Histogram a(2), b(2);
+  a.add(0, 3);
+  a.add(1, 1);
+  b.add(0, 1);
+  b.add(1, 1);
+  EXPECT_NEAR(total_variation(a, b), 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace megflood

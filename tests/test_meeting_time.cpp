@@ -1,0 +1,68 @@
+// Tests for the two-walker meeting time measurement (the quantity behind
+// the Dimitriou et al. [15] baseline bound).
+
+#include <gtest/gtest.h>
+
+#include "analysis/meeting_time.hpp"
+#include "graph/builders.hpp"
+
+namespace megflood {
+namespace {
+
+TEST(MeetingTime, CompleteGraphMeetsFast) {
+  const auto result =
+      measure_meeting_time(complete_graph(8), {}, 200, 10000, 3);
+  EXPECT_EQ(result.timed_out, 0u);
+  // On K8 with lazy uniform moves, per-step meeting probability is high.
+  EXPECT_LT(result.steps.mean, 20.0);
+}
+
+TEST(MeetingTime, SmallBudgetTimesOut) {
+  const auto result = measure_meeting_time(grid_2d(12), {}, 50, 2, 5);
+  EXPECT_GT(result.timed_out, 0u);
+}
+
+TEST(MeetingTime, DeterministicGivenSeed) {
+  const auto a = measure_meeting_time(grid_2d(5), {}, 64, 100000, 7);
+  const auto b = measure_meeting_time(grid_2d(5), {}, 64, 100000, 7);
+  EXPECT_DOUBLE_EQ(a.steps.mean, b.steps.mean);
+  EXPECT_EQ(a.timed_out, b.timed_out);
+}
+
+TEST(MeetingTime, GrowsWithGridSize) {
+  const auto small = measure_meeting_time(grid_2d(4), {}, 150, 1000000, 9);
+  const auto large = measure_meeting_time(grid_2d(8), {}, 150, 1000000, 9);
+  ASSERT_EQ(small.timed_out, 0u);
+  ASSERT_EQ(large.timed_out, 0u);
+  EXPECT_GT(large.steps.mean, small.steps.mean);
+}
+
+TEST(MeetingTime, KAugmentationDoesNotShrinkMeetingMuch) {
+  // The paper's point (after Cor. 6): on k-augmented grids the meeting
+  // time stays of the same order as on the plain grid (it cannot drop by
+  // more than the densification factor), while the mixing time drops by
+  // ~k^2.  Check meeting time does not collapse by k^2.
+  const std::size_t side = 8;
+  const auto base = measure_meeting_time(k_augmented_grid(side, 1), {}, 200,
+                                         1000000, 11);
+  const auto aug = measure_meeting_time(k_augmented_grid(side, 3), {}, 200,
+                                        1000000, 11);
+  ASSERT_EQ(base.timed_out, 0u);
+  ASSERT_EQ(aug.timed_out, 0u);
+  // Meeting time may shrink somewhat (bigger move balls) but far less
+  // than a factor 9; require less than a factor-6 drop.
+  EXPECT_GT(aug.steps.mean * 6.0, base.steps.mean);
+}
+
+TEST(MeetingTime, MoveRadiusSpeedsMeeting) {
+  RandomWalkParams rho2;
+  rho2.move_radius = 2;
+  const auto slow = measure_meeting_time(grid_2d(8), {}, 150, 1000000, 13);
+  const auto fast = measure_meeting_time(grid_2d(8), rho2, 150, 1000000, 13);
+  ASSERT_EQ(slow.timed_out, 0u);
+  ASSERT_EQ(fast.timed_out, 0u);
+  EXPECT_LT(fast.steps.mean, slow.steps.mean);
+}
+
+}  // namespace
+}  // namespace megflood

@@ -1,0 +1,182 @@
+// Tests for the discretized random waypoint model: movement kinematics,
+// connection correctness, determinism, and flooding.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/flooding.hpp"
+#include "geometry/point.hpp"
+#include "mobility/random_waypoint.hpp"
+
+namespace megflood {
+namespace {
+
+WaypointParams small_params() {
+  WaypointParams p;
+  p.side_length = 1.0;
+  p.v_min = 0.04;
+  p.v_max = 0.08;
+  p.radius = 0.15;
+  p.resolution = 32;
+  return p;
+}
+
+TEST(RandomWaypoint, ValidationErrors) {
+  WaypointParams p = small_params();
+  EXPECT_THROW(RandomWaypointModel(1, p, 0), std::invalid_argument);
+  p.v_min = 0.0;
+  EXPECT_THROW(RandomWaypointModel(8, p, 0), std::invalid_argument);
+  p = small_params();
+  p.v_max = p.v_min / 2.0;
+  EXPECT_THROW(RandomWaypointModel(8, p, 0), std::invalid_argument);
+  p = small_params();
+  p.radius = 0.0;
+  EXPECT_THROW(RandomWaypointModel(8, p, 0), std::invalid_argument);
+}
+
+TEST(RandomWaypoint, AgentsStayInSquare) {
+  RandomWaypointModel model(12, small_params(), 3);
+  for (int t = 0; t < 200; ++t) {
+    model.step();
+    for (NodeId a = 0; a < 12; ++a) {
+      const Point2D pos = model.agent_position(a);
+      EXPECT_GE(pos.x, -1e-9);
+      EXPECT_LE(pos.x, 1.0 + 1e-9);
+      EXPECT_GE(pos.y, -1e-9);
+      EXPECT_LE(pos.y, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(RandomWaypoint, SpeedBoundPerStep) {
+  // Per round an agent moves at most v_max (waypoint switches conserve
+  // total distance up to the leg cap).
+  const WaypointParams p = small_params();
+  RandomWaypointModel model(10, p, 5);
+  for (int t = 0; t < 100; ++t) {
+    std::vector<Point2D> before(10);
+    for (NodeId a = 0; a < 10; ++a) before[a] = model.agent_position(a);
+    model.step();
+    for (NodeId a = 0; a < 10; ++a) {
+      // Displacement can exceed the straight-line leg only via waypoint
+      // turns, which never increase total distance traveled.
+      EXPECT_LE(euclidean_distance(before[a], model.agent_position(a)),
+                p.v_max + 1e-9);
+    }
+  }
+}
+
+TEST(RandomWaypoint, ConnectionMatchesSnappedDistance) {
+  const WaypointParams p = small_params();
+  RandomWaypointModel model(16, p, 7);
+  const SquareGrid& grid = model.grid();
+  for (int t = 0; t < 10; ++t) {
+    model.step();
+    const Snapshot& snap = model.snapshot();
+    for (NodeId a = 0; a < 16; ++a) {
+      for (NodeId b = static_cast<NodeId>(a + 1); b < 16; ++b) {
+        const double d = euclidean_distance(grid.position(model.agent_cell(a)),
+                                            grid.position(model.agent_cell(b)));
+        EXPECT_EQ(snap.has_edge(a, b), d <= p.radius)
+            << "agents " << a << "," << b << " dist " << d;
+      }
+    }
+  }
+}
+
+TEST(RandomWaypoint, ResetReproduces) {
+  RandomWaypointModel model(8, small_params(), 11);
+  std::vector<double> first;
+  for (int t = 0; t < 20; ++t) {
+    model.step();
+    first.push_back(model.agent_position(0).x);
+  }
+  model.reset(11);
+  for (int t = 0; t < 20; ++t) {
+    model.step();
+    EXPECT_DOUBLE_EQ(model.agent_position(0).x,
+                     first[static_cast<std::size_t>(t)]);
+  }
+}
+
+TEST(RandomWaypoint, SuggestedWarmupScalesWithLOverV) {
+  WaypointParams p = small_params();
+  RandomWaypointModel a(4, p, 1);
+  p.side_length = 2.0;
+  p.radius = 0.3;
+  RandomWaypointModel b(4, p, 1);
+  EXPECT_EQ(b.suggested_warmup(), 2 * a.suggested_warmup());
+}
+
+TEST(RandomWaypoint, AgentsEventuallyReachWaypointAndRetarget) {
+  // Over many steps an agent's heading must change (new trips happen).
+  RandomWaypointModel model(4, small_params(), 13);
+  Point2D start = model.agent_position(0);
+  double max_dist = 0.0;
+  for (int t = 0; t < 500; ++t) {
+    model.step();
+    max_dist = std::max(
+        max_dist, euclidean_distance(start, model.agent_position(0)));
+  }
+  // The agent explored a good fraction of the unit square.
+  EXPECT_GT(max_dist, 0.4);
+}
+
+TEST(RandomWaypoint, FloodingCompletesOnDensePopulation) {
+  WaypointParams p = small_params();
+  RandomWaypointModel model(48, p, 17);
+  for (std::uint64_t w = 0; w < model.suggested_warmup(); ++w) model.step();
+  const FloodResult r = flood(model, 0, 100000);
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(RandomWaypoint, HigherSpeedFloodsFasterWhenSparse) {
+  WaypointParams slow = small_params();
+  slow.radius = 0.08;
+  WaypointParams fast = slow;
+  fast.v_min *= 4.0;
+  fast.v_max *= 4.0;
+  auto measure = [&](const WaypointParams& p) {
+    double total = 0.0;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      RandomWaypointModel model(16, p, seed);
+      for (std::uint64_t w = 0; w < model.suggested_warmup(); ++w) {
+        model.step();
+      }
+      const FloodResult r = flood(model, 0, 500000);
+      EXPECT_TRUE(r.completed);
+      total += static_cast<double>(r.rounds);
+    }
+    return total / 4.0;
+  };
+  EXPECT_LT(measure(fast), measure(slow));
+}
+
+// Resolution sweep (paper footnote 3): the flooding time is insensitive
+// to the discretization resolution once fine enough.
+class ResolutionProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ResolutionProperty, FloodingInSameBallpark) {
+  WaypointParams p = small_params();
+  p.resolution = GetParam();
+  double total = 0.0;
+  constexpr int kTrials = 6;
+  for (std::uint64_t seed = 1; seed <= kTrials; ++seed) {
+    RandomWaypointModel model(32, p, seed);
+    for (std::uint64_t w = 0; w < model.suggested_warmup(); ++w) model.step();
+    const FloodResult r = flood(model, 0, 100000);
+    ASSERT_TRUE(r.completed);
+    total += static_cast<double>(r.rounds);
+  }
+  const double mean = total / kTrials;
+  // Reference ballpark from the m = 32 configuration; generous envelope.
+  EXPECT_GT(mean, 1.0);
+  EXPECT_LT(mean, 200.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, ResolutionProperty,
+                         ::testing::Values(16, 32, 64, 128));
+
+}  // namespace
+}  // namespace megflood

@@ -1,0 +1,188 @@
+// Unit and property tests for the deterministic RNG substrate.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace megflood {
+namespace {
+
+TEST(SplitMix64, DeterministicAndDistinct) {
+  SplitMix64 a(42), b(42), c(43);
+  const auto x1 = a.next(), x2 = a.next();
+  EXPECT_EQ(x1, b.next());
+  EXPECT_EQ(x2, b.next());
+  EXPECT_NE(x1, x2);
+  EXPECT_NE(x1, c.next());
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a());
+  a.reseed(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 2.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 2.0);
+  }
+}
+
+TEST(Rng, UniformIntInBounds) {
+  Rng rng(9);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(rng.uniform_int(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(10);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIntIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr std::uint64_t kBound = 8;
+  constexpr int kDraws = 80000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform_int(kBound)];
+  for (std::uint64_t v = 0; v < kBound; ++v) {
+    EXPECT_NEAR(counts[v], kDraws / kBound, 500) << "value " << v;
+  }
+}
+
+TEST(Rng, SignedUniformIntInclusive) {
+  Rng rng(12);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 50000.0, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(14);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, GeometricMeanMatches) {
+  Rng rng(15);
+  const double p = 0.2;
+  double sum = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(rng.geometric(p));
+  }
+  // Mean number of failures before success = (1-p)/p = 4.
+  EXPECT_NEAR(sum / kDraws, (1.0 - p) / p, 0.1);
+}
+
+TEST(Rng, GeometricWithPOne) {
+  Rng rng(16);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(20);
+  Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(DeriveSeeds, CountAndDeterminism) {
+  const auto s1 = derive_seeds(99, 16);
+  const auto s2 = derive_seeds(99, 16);
+  EXPECT_EQ(s1.size(), 16u);
+  EXPECT_EQ(s1, s2);
+  std::set<std::uint64_t> unique(s1.begin(), s1.end());
+  EXPECT_EQ(unique.size(), 16u);
+}
+
+TEST(SampleDiscrete, RespectsWeights) {
+  Rng rng(21);
+  const std::vector<double> weights{1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[sample_discrete(rng, weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0] / 40000.0, 0.25, 0.02);
+  EXPECT_NEAR(counts[2] / 40000.0, 0.75, 0.02);
+}
+
+TEST(SampleDiscrete, SingleOutcome) {
+  Rng rng(22);
+  const std::vector<double> weights{0.0, 5.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sample_discrete(rng, weights), 1u);
+}
+
+// Property sweep: uniform_int stays in range for many bounds.
+class RngBoundsTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBoundsTest, AlwaysBelowBound) {
+  Rng rng(GetParam());
+  const std::uint64_t bound = GetParam() % 97 + 1;
+  for (int i = 0; i < 500; ++i) ASSERT_LT(rng.uniform_int(bound), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(ManyBounds, RngBoundsTest,
+                         ::testing::Values(1, 2, 3, 5, 17, 64, 1000, 123456));
+
+}  // namespace
+}  // namespace megflood

@@ -1,0 +1,122 @@
+// Unit tests for snapshots and the fixed/scripted dynamic graphs.
+
+#include <gtest/gtest.h>
+
+#include "core/fixed_graphs.hpp"
+#include "core/snapshot.hpp"
+#include "graph/builders.hpp"
+
+namespace megflood {
+namespace {
+
+TEST(Snapshot, StartsEmpty) {
+  Snapshot s(4);
+  EXPECT_EQ(s.num_nodes(), 4u);
+  EXPECT_EQ(s.num_edges(), 0u);
+  EXPECT_FALSE(s.has_edge(0, 1));
+}
+
+TEST(Snapshot, AddEdgeBothDirections) {
+  Snapshot s(3);
+  s.add_edge(0, 2);
+  EXPECT_TRUE(s.has_edge(0, 2));
+  EXPECT_TRUE(s.has_edge(2, 0));
+  EXPECT_EQ(s.degree(0), 1u);
+  EXPECT_EQ(s.degree(2), 1u);
+  EXPECT_EQ(s.num_edges(), 1u);
+}
+
+TEST(Snapshot, ClearKeepsNodeCount) {
+  Snapshot s(3);
+  s.add_edge(0, 1);
+  s.clear();
+  EXPECT_EQ(s.num_nodes(), 3u);
+  EXPECT_EQ(s.num_edges(), 0u);
+  EXPECT_FALSE(s.has_edge(0, 1));
+}
+
+TEST(Snapshot, ResetChangesNodeCount) {
+  Snapshot s(2);
+  s.add_edge(0, 1);
+  s.reset(5);
+  EXPECT_EQ(s.num_nodes(), 5u);
+  EXPECT_EQ(s.num_edges(), 0u);
+}
+
+TEST(Snapshot, EdgesCanonical) {
+  Snapshot s(4);
+  s.add_edge(3, 1);
+  s.add_edge(0, 2);
+  const auto edges = s.edges();
+  EXPECT_EQ(edges.size(), 2u);
+  for (const auto& [u, v] : edges) EXPECT_LT(u, v);
+}
+
+TEST(FixedDynamicGraph, MirrorsGraph) {
+  const Graph g = cycle_graph(5);
+  FixedDynamicGraph d(g);
+  EXPECT_EQ(d.num_nodes(), 5u);
+  EXPECT_EQ(d.snapshot().num_edges(), 5u);
+  EXPECT_TRUE(d.snapshot().has_edge(0, 4));
+}
+
+TEST(FixedDynamicGraph, StepKeepsTopologyAdvancesClock) {
+  FixedDynamicGraph d(path_graph(4));
+  const std::size_t before = d.snapshot().num_edges();
+  d.step();
+  d.step();
+  EXPECT_EQ(d.snapshot().num_edges(), before);
+  EXPECT_EQ(d.time(), 2u);
+  d.reset(0);
+  EXPECT_EQ(d.time(), 0u);
+}
+
+Snapshot single_edge_snapshot(std::size_t n, NodeId u, NodeId v) {
+  Snapshot s(n);
+  s.add_edge(u, v);
+  return s;
+}
+
+TEST(ScriptedDynamicGraph, PlaysSequenceAndHolds) {
+  std::vector<Snapshot> script;
+  script.push_back(single_edge_snapshot(3, 0, 1));
+  script.push_back(single_edge_snapshot(3, 1, 2));
+  ScriptedDynamicGraph d(std::move(script));
+  EXPECT_TRUE(d.snapshot().has_edge(0, 1));
+  d.step();
+  EXPECT_TRUE(d.snapshot().has_edge(1, 2));
+  d.step();  // holds final snapshot
+  EXPECT_TRUE(d.snapshot().has_edge(1, 2));
+}
+
+TEST(ScriptedDynamicGraph, CyclesWhenRequested) {
+  std::vector<Snapshot> script;
+  script.push_back(single_edge_snapshot(3, 0, 1));
+  script.push_back(single_edge_snapshot(3, 1, 2));
+  ScriptedDynamicGraph d(std::move(script), /*cycle=*/true);
+  d.step();
+  d.step();
+  EXPECT_TRUE(d.snapshot().has_edge(0, 1));
+}
+
+TEST(ScriptedDynamicGraph, ResetRewinds) {
+  std::vector<Snapshot> script;
+  script.push_back(single_edge_snapshot(2, 0, 1));
+  script.push_back(Snapshot(2));
+  ScriptedDynamicGraph d(std::move(script));
+  d.step();
+  EXPECT_EQ(d.snapshot().num_edges(), 0u);
+  d.reset(0);
+  EXPECT_EQ(d.snapshot().num_edges(), 1u);
+}
+
+TEST(ScriptedDynamicGraph, RejectsBadScripts) {
+  EXPECT_THROW(ScriptedDynamicGraph({}), std::invalid_argument);
+  std::vector<Snapshot> bad;
+  bad.emplace_back(2);
+  bad.emplace_back(3);
+  EXPECT_THROW(ScriptedDynamicGraph(std::move(bad)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace megflood

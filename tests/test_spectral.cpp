@@ -1,0 +1,100 @@
+// Tests for spectral utilities, cross-validated against chains with
+// closed-form spectra and against exact mixing times.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "graph/builders.hpp"
+#include "markov/chain.hpp"
+#include "markov/mixing.hpp"
+#include "markov/spectral.hpp"
+
+namespace megflood {
+namespace {
+
+DenseChain two_state(double p, double q) {
+  return DenseChain({{1.0 - p, p}, {q, 1.0 - q}});
+}
+
+TEST(Reversibility, TwoStateAlwaysReversible) {
+  EXPECT_TRUE(is_reversible_chain(two_state(0.3, 0.1)));
+}
+
+TEST(Reversibility, WalkOnGraphReversible) {
+  EXPECT_TRUE(is_reversible_chain(lazy_random_walk_chain(grid_2d(3))));
+  EXPECT_TRUE(is_reversible_chain(random_walk_chain(star_graph(5))));
+}
+
+TEST(Reversibility, DirectedCycleNotReversible) {
+  // Deterministic-ish rotation: pi uniform but flows are one-way.
+  const DenseChain rot({{0.1, 0.9, 0.0},
+                        {0.0, 0.1, 0.9},
+                        {0.9, 0.0, 0.1}});
+  EXPECT_FALSE(is_reversible_chain(rot));
+}
+
+TEST(Slem, TwoStateClosedForm) {
+  // Eigenvalues of the two-state chain: 1 and 1 - p - q.
+  for (const auto& [p, q] : {std::pair{0.1, 0.2}, {0.4, 0.4}, {0.05, 0.9}}) {
+    EXPECT_NEAR(slem(two_state(p, q)), std::abs(1.0 - p - q), 1e-6)
+        << "p=" << p << " q=" << q;
+  }
+}
+
+TEST(Slem, LazyCycleClosedForm) {
+  // Lazy walk on the k-cycle: eigenvalues (1 + cos(2 pi j / k)) / 2; the
+  // SLEM is (1 + cos(2 pi / k)) / 2.
+  for (std::size_t k : {4u, 6u, 10u}) {
+    const double expected =
+        (1.0 + std::cos(2.0 * std::numbers::pi / static_cast<double>(k))) /
+        2.0;
+    EXPECT_NEAR(slem(lazy_random_walk_chain(cycle_graph(k))), expected, 1e-6)
+        << "k=" << k;
+  }
+}
+
+TEST(Slem, CompleteGraphTiny) {
+  // Lazy walk on K_m: non-trivial eigenvalues all (1 - 1/(m-1))/2 + 1/2 -
+  // ... simpler: SLEM is small and far from 1.
+  EXPECT_LT(slem(lazy_random_walk_chain(complete_graph(8))), 0.6);
+}
+
+TEST(Slem, RejectsNonReversible) {
+  const DenseChain rot({{0.0, 1.0, 0.0},
+                        {0.0, 0.0, 1.0},
+                        {1.0, 0.0, 0.0}});
+  EXPECT_THROW((void)slem(rot), std::invalid_argument);
+}
+
+TEST(Slem, RejectsReducible) {
+  const DenseChain split({{1.0, 0.0}, {0.0, 1.0}});
+  EXPECT_THROW((void)slem(split), std::invalid_argument);
+}
+
+TEST(SpectralGap, RelaxationSandwichesMixing) {
+  // Standard sandwich: (t_rel - 1) ln 2 <= T_mix(1/4) <= t_rel ln(4/pi_min).
+  for (std::size_t k : {6u, 10u, 16u}) {
+    const DenseChain c = lazy_random_walk_chain(cycle_graph(k));
+    const double t_rel = relaxation_time(c);
+    const auto t_mix = static_cast<double>(mixing_time(c, 0.25));
+    const double pi_min = 1.0 / static_cast<double>(k);
+    EXPECT_GE(t_mix, (t_rel - 1.0) * std::log(2.0) - 1.0) << "k=" << k;
+    EXPECT_LE(t_mix, t_rel * std::log(4.0 / pi_min) + 1.0) << "k=" << k;
+  }
+}
+
+TEST(SpectralGap, GapGrowsWithAugmentation) {
+  // k-augmented torus: gap grows (mixing accelerates) with k.
+  double prev = 0.0;
+  for (std::size_t k : {1u, 2u, 3u}) {
+    const Graph g = k_augmented_torus(9, k);
+    const double gap = spectral_gap(lazy_random_walk_chain(g));
+    EXPECT_GT(gap, prev) << "k=" << k;
+    prev = gap;
+  }
+}
+
+}  // namespace
+}  // namespace megflood

@@ -1,0 +1,148 @@
+// Unit tests for summary statistics and regression fits.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace megflood {
+namespace {
+
+TEST(OnlineStats, Empty) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, MatchesBatchOnLargeInput) {
+  OnlineStats s;
+  double sum = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = std::sin(i * 0.1) * 10.0;
+    s.add(x);
+    sum += x;
+  }
+  EXPECT_NEAR(s.mean(), sum / 1000.0, 1e-9);
+}
+
+TEST(QuantileSorted, Endpoints) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0), 4.0);
+}
+
+TEST(QuantileSorted, Interpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.25), 2.5);
+}
+
+TEST(QuantileSorted, SingleElement) {
+  const std::vector<double> v{3.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.7), 3.0);
+}
+
+TEST(Summarize, EmptyIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, OrderIndependent) {
+  const Summary a = summarize({3.0, 1.0, 2.0});
+  const Summary b = summarize({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.median, b.median);
+  EXPECT_DOUBLE_EQ(a.max, b.max);
+}
+
+TEST(Summarize, MedianAndPercentiles) {
+  std::vector<double> v;
+  for (int i = 1; i <= 101; ++i) v.push_back(static_cast<double>(i));
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.median, 51.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 101.0);
+  EXPECT_DOUBLE_EQ(s.p90, 91.0);
+  EXPECT_NEAR(s.p99, 100.0, 1e-9);
+}
+
+TEST(LinearFit, ExactLine) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{3.0, 5.0, 7.0, 9.0};  // y = 1 + 2x
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyLineHasLowerR2) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> y{2.0, 1.0, 4.0, 3.0, 6.0};
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_GT(fit.slope, 0.0);
+  EXPECT_LT(fit.r_squared, 1.0);
+  EXPECT_GT(fit.r_squared, 0.0);
+}
+
+TEST(LogLogFit, RecoversPowerLaw) {
+  std::vector<double> x, y;
+  for (double v : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    x.push_back(v);
+    y.push_back(3.0 * v * v);  // y = 3 x^2
+  }
+  const LinearFit fit = loglog_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-10);
+  EXPECT_NEAR(std::exp(fit.intercept), 3.0, 1e-9);
+}
+
+TEST(LogLogFit, RecoversSquareRoot) {
+  std::vector<double> x, y;
+  for (double v : {1.0, 4.0, 9.0, 16.0, 100.0}) {
+    x.push_back(v);
+    y.push_back(std::sqrt(v));
+  }
+  const LinearFit fit = loglog_fit(x, y);
+  EXPECT_NEAR(fit.slope, 0.5, 1e-10);
+}
+
+TEST(MeanCiHalfwidth, ZeroForConstantSample) {
+  const Summary s = summarize({5.0, 5.0, 5.0, 5.0});
+  EXPECT_DOUBLE_EQ(mean_ci_halfwidth(s), 0.0);
+}
+
+TEST(MeanCiHalfwidth, ShrinksWithSampleSize) {
+  std::vector<double> small{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> large;
+  for (int rep = 0; rep < 25; ++rep) {
+    for (double v : small) large.push_back(v);
+  }
+  EXPECT_LT(mean_ci_halfwidth(summarize(large)),
+            mean_ci_halfwidth(summarize(small)));
+}
+
+}  // namespace
+}  // namespace megflood

@@ -1,0 +1,61 @@
+// Unit tests for the table printer used by the experiment harnesses.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace megflood {
+namespace {
+
+TEST(Table, PrintsHeaderAndRows) {
+  Table t({"n", "flooding"});
+  t.add_row({"64", "12.5"});
+  t.add_row({"128", "14.0"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("n"), std::string::npos);
+  EXPECT_NE(out.find("flooding"), std::string::npos);
+  EXPECT_NE(out.find("128"), std::string::npos);
+  EXPECT_NE(out.find("14.0"), std::string::npos);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t({"x", "yyyy"});
+  t.add_row({"longvalue", "1"});
+  std::ostringstream os;
+  t.print(os);
+  std::string line;
+  std::istringstream is(os.str());
+  std::vector<std::size_t> lengths;
+  while (std::getline(is, line)) lengths.push_back(line.size());
+  ASSERT_GE(lengths.size(), 3u);
+  EXPECT_EQ(lengths[0], lengths[2]);  // header and row same width
+}
+
+TEST(TableNum, FixedAndScientific) {
+  EXPECT_EQ(Table::num(1.5, 2), "1.50");
+  EXPECT_EQ(Table::num(0.0, 2), "0.00");
+  const std::string big = Table::num(1.25e9, 2);
+  EXPECT_NE(big.find('e'), std::string::npos);
+  const std::string tiny = Table::num(1.25e-7, 2);
+  EXPECT_NE(tiny.find('e'), std::string::npos);
+}
+
+TEST(TableInteger, Formats) {
+  EXPECT_EQ(Table::integer(0), "0");
+  EXPECT_EQ(Table::integer(-42), "-42");
+  EXPECT_EQ(Table::integer(1234567), "1234567");
+}
+
+}  // namespace
+}  // namespace megflood

@@ -1,0 +1,147 @@
+// Tests for the multi-trial flooding measurement harness.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/fixed_graphs.hpp"
+#include "core/trial.hpp"
+#include "graph/builders.hpp"
+#include "meg/edge_meg.hpp"
+
+namespace megflood {
+namespace {
+
+TEST(MeasureFlooding, FixedGraphDeterministic) {
+  TrialConfig cfg;
+  cfg.trials = 8;
+  cfg.rotate_sources = false;
+  const auto m = measure_flooding(
+      [](std::uint64_t) {
+        return std::make_unique<FixedDynamicGraph>(path_graph(5));
+      },
+      cfg);
+  EXPECT_EQ(m.incomplete, 0u);
+  EXPECT_EQ(m.rounds.count, 8u);
+  // From source 0, a 5-path floods in exactly 4 rounds every time.
+  EXPECT_DOUBLE_EQ(m.rounds.min, 4.0);
+  EXPECT_DOUBLE_EQ(m.rounds.max, 4.0);
+}
+
+TEST(MeasureFlooding, RotatingSourcesVaries) {
+  TrialConfig cfg;
+  cfg.trials = 5;
+  cfg.rotate_sources = true;
+  const auto m = measure_flooding(
+      [](std::uint64_t) {
+        return std::make_unique<FixedDynamicGraph>(path_graph(5));
+      },
+      cfg);
+  // Sources 0..4 on a path have eccentricities 4,3,2,3,4.
+  EXPECT_DOUBLE_EQ(m.rounds.min, 2.0);
+  EXPECT_DOUBLE_EQ(m.rounds.max, 4.0);
+}
+
+TEST(MeasureFlooding, CountsIncomplete) {
+  Graph g(4);
+  g.add_edge(0, 1);  // nodes 2, 3 unreachable
+  TrialConfig cfg;
+  cfg.trials = 3;
+  cfg.max_rounds = 20;
+  cfg.rotate_sources = false;
+  const auto m = measure_flooding(
+      [&](std::uint64_t) { return std::make_unique<FixedDynamicGraph>(g); },
+      cfg);
+  EXPECT_EQ(m.incomplete, 3u);
+  EXPECT_EQ(m.rounds.count, 0u);
+}
+
+TEST(MeasureFlooding, ZeroTrialsThrows) {
+  TrialConfig cfg;
+  cfg.trials = 0;
+  EXPECT_THROW(
+      (void)measure_flooding(
+          [](std::uint64_t) {
+            return std::make_unique<FixedDynamicGraph>(path_graph(3));
+          },
+          cfg),
+      std::invalid_argument);
+}
+
+TEST(MeasureFlooding, SeededRunsReproduce) {
+  TrialConfig cfg;
+  cfg.trials = 6;
+  cfg.seed = 42;
+  auto factory = [](std::uint64_t seed) {
+    return std::make_unique<TwoStateEdgeMEG>(
+        32, TwoStateParams{0.05, 0.2}, seed);
+  };
+  const auto a = measure_flooding(factory, cfg);
+  const auto b = measure_flooding(factory, cfg);
+  EXPECT_DOUBLE_EQ(a.rounds.mean, b.rounds.mean);
+  EXPECT_DOUBLE_EQ(a.rounds.max, b.rounds.max);
+}
+
+TEST(MeasureFloodingReusing, MatchesFactoryVariant) {
+  TrialConfig cfg;
+  cfg.trials = 6;
+  cfg.seed = 99;
+  TwoStateEdgeMEG model(24, {0.1, 0.2}, 1);
+  const auto reused = measure_flooding_reusing(model, cfg);
+  const auto fresh = measure_flooding(
+      [](std::uint64_t seed) {
+        return std::make_unique<TwoStateEdgeMEG>(
+            24, TwoStateParams{0.1, 0.2}, seed);
+      },
+      cfg);
+  // reset(seed) must make the reused model behave like a fresh one.
+  EXPECT_DOUBLE_EQ(reused.rounds.mean, fresh.rounds.mean);
+}
+
+TEST(MeasureFlooding, WarmupStepsApplied) {
+  // A script whose first snapshots are empty: without warmup flooding
+  // takes > 2 rounds; with warmup past the gap it completes in 1.
+  auto make_script = [] {
+    std::vector<Snapshot> script;
+    script.emplace_back(2);
+    script.emplace_back(2);
+    Snapshot s(2);
+    s.add_edge(0, 1);
+    script.push_back(std::move(s));
+    return script;
+  };
+  TrialConfig cfg;
+  cfg.trials = 1;
+  cfg.rotate_sources = false;
+  cfg.warmup_steps = 2;
+  const auto warm = measure_flooding(
+      [&](std::uint64_t) {
+        return std::make_unique<ScriptedDynamicGraph>(make_script());
+      },
+      cfg);
+  EXPECT_DOUBLE_EQ(warm.rounds.mean, 1.0);
+  cfg.warmup_steps = 0;
+  const auto cold = measure_flooding(
+      [&](std::uint64_t) {
+        return std::make_unique<ScriptedDynamicGraph>(make_script());
+      },
+      cfg);
+  EXPECT_DOUBLE_EQ(cold.rounds.mean, 3.0);
+}
+
+TEST(MeasureFlooding, PhaseSplitsSumToTotal) {
+  TrialConfig cfg;
+  cfg.trials = 10;
+  const auto m = measure_flooding(
+      [](std::uint64_t seed) {
+        return std::make_unique<TwoStateEdgeMEG>(
+            48, TwoStateParams{0.05, 0.3}, seed);
+      },
+      cfg);
+  ASSERT_EQ(m.incomplete, 0u);
+  EXPECT_NEAR(m.spreading_rounds.mean + m.saturation_rounds.mean,
+              m.rounds.mean, 1e-9);
+}
+
+}  // namespace
+}  // namespace megflood

@@ -1,0 +1,121 @@
+// Unit tests for the two-state on/off edge chain (closed forms vs.
+// simulation).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "markov/two_state.hpp"
+#include "util/rng.hpp"
+
+namespace megflood {
+namespace {
+
+TEST(TwoStateChain, RejectsBadRates) {
+  EXPECT_THROW(TwoStateChain({-0.1, 0.5}), std::invalid_argument);
+  EXPECT_THROW(TwoStateChain({0.5, 1.5}), std::invalid_argument);
+  EXPECT_THROW(TwoStateChain({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(TwoStateChain, StationaryOn) {
+  const TwoStateChain c({0.1, 0.3});
+  EXPECT_NEAR(c.stationary_on(), 0.25, 1e-12);
+}
+
+TEST(TwoStateChain, TvDecaysGeometrically) {
+  const TwoStateChain c({0.1, 0.1});
+  // lambda = 0.8; tv halves every log(2)/log(1.25) steps.
+  EXPECT_NEAR(c.tv_after(1) / c.tv_after(0), 0.8, 1e-12);
+  EXPECT_NEAR(c.tv_after(10) / c.tv_after(9), 0.8, 1e-12);
+}
+
+TEST(TwoStateChain, MixingTimeDefinition) {
+  const TwoStateChain c({0.05, 0.1});
+  const std::size_t t = c.mixing_time(0.25);
+  EXPECT_LE(c.tv_after(t), 0.25);
+  if (t > 0) {
+    EXPECT_GT(c.tv_after(t - 1), 0.25);
+  }
+}
+
+TEST(TwoStateChain, MixingTimeScalesInversely) {
+  // T_mix = Theta(1/(p+q)).
+  const TwoStateChain slow({0.01, 0.01});
+  const TwoStateChain fast({0.1, 0.1});
+  const double ratio = static_cast<double>(slow.mixing_time()) /
+                       static_cast<double>(fast.mixing_time());
+  EXPECT_NEAR(ratio, 10.0, 2.0);
+}
+
+TEST(TwoStateChain, InstantMixingWhenLambdaZero) {
+  const TwoStateChain c({0.5, 0.5});  // lambda = 0: mixed after 1 step
+  EXPECT_LE(c.mixing_time(0.25), 1u);
+}
+
+TEST(TwoStateChain, StepFrequencies) {
+  const TwoStateChain c({0.2, 0.4});
+  Rng rng(8);
+  int births = 0, deaths = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (c.step(false, rng)) ++births;
+    if (!c.step(true, rng)) ++deaths;
+  }
+  EXPECT_NEAR(births / static_cast<double>(kDraws), 0.2, 0.01);
+  EXPECT_NEAR(deaths / static_cast<double>(kDraws), 0.4, 0.01);
+}
+
+TEST(TwoStateChain, SampleStationaryFrequency) {
+  const TwoStateChain c({0.3, 0.1});  // pi_on = 0.75
+  Rng rng(9);
+  int on = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (c.sample_stationary(rng)) ++on;
+  }
+  EXPECT_NEAR(on / static_cast<double>(kDraws), 0.75, 0.01);
+}
+
+TEST(TwoStateChain, AsDenseMatches) {
+  const TwoStateChain c({0.2, 0.3});
+  const DenseChain d = c.as_dense();
+  EXPECT_DOUBLE_EQ(d.transition(0, 1), 0.2);
+  EXPECT_DOUBLE_EQ(d.transition(1, 0), 0.3);
+  const auto pi = d.stationary();
+  EXPECT_NEAR(pi[1], c.stationary_on(), 1e-9);
+}
+
+TEST(TwoStateChain, MixingTimeEpsValidation) {
+  const TwoStateChain c({0.1, 0.1});
+  EXPECT_THROW((void)c.mixing_time(0.0), std::invalid_argument);
+  EXPECT_THROW((void)c.mixing_time(1.0), std::invalid_argument);
+}
+
+// Property sweep over parameter grid: simulated long-run on-fraction
+// matches the stationary closed form.
+class TwoStateStationaryProperty
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(TwoStateStationaryProperty, LongRunFrequencyMatches) {
+  const auto [p, q] = GetParam();
+  const TwoStateChain c({p, q});
+  Rng rng(17);
+  bool state = c.sample_stationary(rng);
+  int on = 0;
+  constexpr int kSteps = 60000;
+  for (int t = 0; t < kSteps; ++t) {
+    state = c.step(state, rng);
+    if (state) ++on;
+  }
+  EXPECT_NEAR(on / static_cast<double>(kSteps), c.stationary_on(), 0.03)
+      << "p=" << p << " q=" << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TwoStateStationaryProperty,
+    ::testing::Values(std::pair{0.1, 0.1}, std::pair{0.02, 0.3},
+                      std::pair{0.3, 0.02}, std::pair{0.5, 0.5},
+                      std::pair{0.9, 0.3}));
+
+}  // namespace
+}  // namespace megflood
