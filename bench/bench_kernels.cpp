@@ -112,6 +112,21 @@ void BM_FloodRound(benchmark::State& state) {
 }
 BENCHMARK(BM_FloodRound)->Arg(256)->Arg(1024);
 
+void BM_FloodAllSources(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  TwoStateEdgeMEG meg(n, {2.0 / static_cast<double>(n), 0.3}, 1);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    meg.reset(seed++);
+    const AllSourcesResult all = flood_all_sources(meg, 4096);
+    benchmark::DoNotOptimize(all.max_rounds);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FloodAllSources)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_FullFloodSparseEdgeMeg(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   TwoStateEdgeMEG meg(n, {1.0 / static_cast<double>(n), 0.3}, 1);

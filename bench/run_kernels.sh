@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Runs the kernel micro-benchmarks (bench_kernels, google-benchmark) and
+# writes BENCH_kernels.json at the repository root, so successive PRs can
+# track the perf trajectory of the hot kernels.
+#
+# Usage: bench/run_kernels.sh [build-dir]   (default: ./build)
+#
+# Equivalent CMake target: cmake --build <build-dir> --target bench_kernels_json
+
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+if [ ! -x "$build_dir/bench_kernels" ]; then
+  echo "error: $build_dir/bench_kernels not found." >&2
+  echo "Build it first (requires google-benchmark):" >&2
+  echo "  cmake -B build -S . && cmake --build build -j --target bench_kernels" >&2
+  exit 1
+fi
+
+"$build_dir/bench_kernels" \
+  --benchmark_format=json \
+  --benchmark_out="$repo_root/BENCH_kernels.json" \
+  --benchmark_out_format=json
+
+echo "wrote $repo_root/BENCH_kernels.json"

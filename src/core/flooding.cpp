@@ -1,8 +1,9 @@
 #include "core/flooding.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
+
+#include "core/bitwords.hpp"
 
 namespace megflood {
 
@@ -15,9 +16,16 @@ std::size_t flood_round(const Snapshot& snapshot, std::vector<char>& informed,
   // informed nodes can meet new neighbors).  We scan all informed nodes.
   std::size_t newly = 0;
   frontier.clear();
+  const auto [offsets, adjacency] = snapshot.csr();
   for (NodeId u = 0; u < informed.size(); ++u) {
     if (informed[u] != 1) continue;  // skip uninformed and new-this-round
-    for (NodeId v : snapshot.neighbors(u)) {
+    // Row bounds are hoisted into locals: the char stores into `informed`
+    // may alias the uint32 offset array as far as the compiler knows, and
+    // would otherwise force a reload of offsets[u + 1] per neighbor.
+    const NodeId* row = adjacency + offsets[u];
+    const NodeId* const row_end = adjacency + offsets[u + 1];
+    for (; row != row_end; ++row) {
+      const NodeId v = *row;
       if (!informed[v]) {
         informed[v] = 2;  // mark as "new this round" to avoid chaining
         frontier.push_back(v);
@@ -33,13 +41,30 @@ std::size_t flood_round(const Snapshot& snapshot, std::vector<char>& informed,
   return newly;
 }
 
+std::size_t flood_round_words(const Snapshot& snapshot,
+                              const std::uint64_t* cur, std::uint64_t* next,
+                              std::size_t num_nodes) {
+  // Reading from `cur` while writing `next` enforces the synchronous
+  // no-chaining rule without per-node marks.
+  const std::size_t words = bit_words(num_nodes);
+  const std::size_t before = popcount_words(next, words);
+  const auto [offsets, adjacency] = snapshot.csr();
+  for_each_set_bit(cur, words, [&](std::size_t u) {
+    const NodeId* row = adjacency + offsets[u];
+    const NodeId* const row_end = adjacency + offsets[u + 1];
+    for (; row != row_end; ++row) set_bit(next, *row);
+  });
+  return popcount_words(next, words) - before;
+}
+
 FloodResult flood(DynamicGraph& graph, NodeId source, std::uint64_t max_rounds) {
   const std::size_t n = graph.num_nodes();
   if (source >= n) throw std::out_of_range("flood: source out of range");
 
   FloodResult result;
-  std::vector<char> informed(n, 0);
-  informed[source] = 1;
+  const std::size_t words = bit_words(n);
+  std::vector<std::uint64_t> cur(words, 0), next(words, 0);
+  set_bit(cur.data(), source);
   std::size_t informed_count = 1;
   result.informed_counts.push_back(informed_count);
 
@@ -49,9 +74,11 @@ FloodResult flood(DynamicGraph& graph, NodeId source, std::uint64_t max_rounds) 
     return result;
   }
 
-  std::vector<NodeId> scratch;
   for (std::uint64_t t = 0; t < max_rounds; ++t) {
-    informed_count += flood_round(graph.snapshot(), informed, scratch);
+    next = cur;
+    informed_count +=
+        flood_round_words(graph.snapshot(), cur.data(), next.data(), n);
+    std::swap(cur, next);
     result.informed_counts.push_back(informed_count);
     graph.step();
     if (informed_count == n) {
@@ -68,17 +95,24 @@ FloodResult flood(DynamicGraph& graph, NodeId source, std::uint64_t max_rounds) 
 AllSourcesResult flood_all_sources(DynamicGraph& graph,
                                    std::uint64_t max_rounds) {
   const std::size_t n = graph.num_nodes();
-  // All n floods run interleaved against the same live snapshot stream,
-  // so every source sees the same realization (the definition of F(G))
-  // without materializing the trace: O(n^2) state, O(n (V + E)) per step.
+  // All n floods run interleaved against the same live snapshot stream, so
+  // every source sees the same realization (the definition of F(G)).
+  // State is the n x n reachability matrix, transposed into bit-rows:
+  // row[v] bit s  <=>  source s has informed node v.  One snapshot edge
+  // {u, v} advances every source at once via row[v] |= row[u] and
+  // row[u] |= row[v] on word-packed rows; per-source counters are updated
+  // from the newly-set bits (each of the <= n^2 (source, node) pairs turns
+  // on exactly once over the whole run, so delta extraction amortizes).
   AllSourcesResult all;
   all.per_source.resize(n);
-  std::vector<std::vector<char>> informed(n, std::vector<char>(n, 0));
+  const std::size_t words = bit_words(n);
+  std::vector<std::uint64_t> cur(n * words, 0);
+  std::vector<std::uint64_t> next(n * words, 0);
   std::vector<std::size_t> counts(n, 1);
   std::vector<char> done(n, 0);
   std::size_t remaining = n;
   for (NodeId s = 0; s < n; ++s) {
-    informed[s][s] = 1;
+    set_bit(cur.data() + s * words, s);  // source s starts informed at s
     all.per_source[s].informed_counts.push_back(1);
     if (n == 1) {
       all.per_source[s].completed = true;
@@ -86,12 +120,33 @@ AllSourcesResult flood_all_sources(DynamicGraph& graph,
       --remaining;
     }
   }
-  std::vector<NodeId> scratch;
   for (std::uint64_t t = 0; t < max_rounds && remaining > 0; ++t) {
     const Snapshot& snap = graph.snapshot();
+    next = cur;
+    for (const auto& [u, v] : snap.edge_buffer()) {
+      std::uint64_t* next_u = next.data() + std::size_t{u} * words;
+      std::uint64_t* next_v = next.data() + std::size_t{v} * words;
+      const std::uint64_t* cur_u = cur.data() + std::size_t{u} * words;
+      const std::uint64_t* cur_v = cur.data() + std::size_t{v} * words;
+      for (std::size_t w = 0; w < words; ++w) {
+        next_u[w] |= cur_v[w];
+        next_v[w] |= cur_u[w];
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      const std::uint64_t* row_cur = cur.data() + std::size_t{v} * words;
+      const std::uint64_t* row_next = next.data() + std::size_t{v} * words;
+      for (std::size_t w = 0; w < words; ++w) {
+        std::uint64_t fresh = row_next[w] & ~row_cur[w];
+        while (fresh != 0) {
+          const auto b = static_cast<std::size_t>(std::countr_zero(fresh));
+          ++counts[w * kBitWordBits + b];
+          fresh &= fresh - 1;
+        }
+      }
+    }
     for (NodeId s = 0; s < n; ++s) {
       if (done[s]) continue;
-      counts[s] += flood_round(snap, informed[s], scratch);
       all.per_source[s].informed_counts.push_back(counts[s]);
       if (counts[s] == n) {
         all.per_source[s].completed = true;
@@ -100,19 +155,24 @@ AllSourcesResult flood_all_sources(DynamicGraph& graph,
         --remaining;
       }
     }
+    std::swap(cur, next);
     graph.step();
   }
-  all.all_completed = true;
   all.min_rounds = max_rounds;
+  all.max_rounds = 0;
   for (NodeId s = 0; s < n; ++s) {
     if (!done[s]) {
       all.per_source[s].completed = false;
       all.per_source[s].rounds = max_rounds;
+    } else {
+      ++all.completed_count;
+      all.min_rounds = std::min(all.min_rounds, all.per_source[s].rounds);
     }
-    all.all_completed = all.all_completed && all.per_source[s].completed;
     all.max_rounds = std::max(all.max_rounds, all.per_source[s].rounds);
-    all.min_rounds = std::min(all.min_rounds, all.per_source[s].rounds);
   }
+  // With zero completed sources min_rounds keeps its max_rounds
+  // initialization — the documented budget fallback.
+  all.all_completed = all.completed_count == n;
   return all;
 }
 

@@ -7,6 +7,12 @@
 // flood() runs the process on a live DynamicGraph and records the full
 // |I_t| trajectory, which experiment E9 uses to check the paper's
 // spreading-phase doubling (Lemma 11/13) and saturation phase (Lemma 14).
+//
+// Engine: informed sets are packed uint64 words (core/bitwords.hpp).  The
+// single-source round scans only informed nodes via word iteration; the
+// all-sources variant keeps the n x n reachability matrix as bit-rows
+// (row[v] = sources that have reached v) and updates it with two word-wide
+// ORs per snapshot edge — ~64x less scalar work than the per-source scan.
 
 #include <cstdint>
 #include <vector>
@@ -36,6 +42,13 @@ FloodResult flood(DynamicGraph& graph, NodeId source, std::uint64_t max_rounds);
 std::size_t flood_round(const Snapshot& snapshot, std::vector<char>& informed,
                         std::vector<NodeId>& frontier);
 
+// Word-packed flooding round: `cur` and `next` are bit sets of
+// bit_words(n) words; on entry next must equal cur.  Computes
+// I_{t+1} = I_t ∪ N(I_t) into `next` and returns |I_{t+1}| - |I_t|.
+std::size_t flood_round_words(const Snapshot& snapshot,
+                              const std::uint64_t* cur, std::uint64_t* next,
+                              std::size_t num_nodes);
+
 // Rounds spent in the spreading phase (|I_t| < n/2) and the saturation
 // phase (n/2 <= |I_t| < n) of a completed flood; {0, 0} if not completed.
 struct PhaseSplit {
@@ -45,16 +58,22 @@ struct PhaseSplit {
 PhaseSplit split_phases(const FloodResult& result, std::size_t num_nodes);
 
 // Runs flooding from *every* source over the SAME realization of the
-// dynamic process (the graph is reset(seed) once, its snapshot sequence
-// recorded, and each source replayed against it) and returns all n
-// per-source results.  max_s rounds is the paper's F(G, s) maximized over
-// s; use all_sources_flooding(...).max_rounds for F(G) on one sample
-// path.  Memory: records up to `max_rounds` snapshots — intended for
-// small/medium instances.
+// dynamic process (all n floods advance in lockstep against the live
+// snapshot stream) and returns all n per-source results.
+//
+// Aggregate semantics (explicit, since a budgeted run may not complete):
+//  - completed_count: number of sources with per_source[s].completed.
+//  - all_completed:   completed_count == n.
+//  - max_rounds: F(G) on this realization if all_completed; otherwise the
+//    budget `max_rounds`, a conservative lower bound on F(G).
+//  - min_rounds: min_s F(G, s) over *completed* sources only; if no
+//    source completed it is the budget (NOT a valid minimum — check
+//    completed_count before reading it as a radius).
 struct AllSourcesResult {
   std::vector<FloodResult> per_source;
-  std::uint64_t max_rounds = 0;   // F(G) on this realization
+  std::uint64_t max_rounds = 0;   // F(G) on this realization (see above)
   std::uint64_t min_rounds = 0;
+  std::size_t completed_count = 0;
   bool all_completed = false;
 };
 AllSourcesResult flood_all_sources(DynamicGraph& graph,

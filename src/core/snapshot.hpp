@@ -1,10 +1,23 @@
 #pragma once
 
-// A snapshot is the edge set E_t of the dynamic graph at one time step,
-// stored as adjacency lists for O(deg) neighbor scans during flooding.
+// A snapshot is the edge set E_t of the dynamic graph at one time step.
+//
+// Storage is a flat edge buffer plus a CSR (compressed sparse row)
+// adjacency view — one `offsets` array and one flat `neighbors` array —
+// instead of per-node vectors.  Producers append edges in O(1); the CSR
+// view is built lazily in two passes on first neighbor query and all
+// buffers reuse their capacity across clear()/add_edge cycles, so a model
+// stepping in a loop performs no per-step allocation after warmup.
+//
+// The CSR fill pass walks the edge buffer in insertion order, so each
+// node's neighbor list is exactly the sequence of push_backs the old
+// per-node-vector layout produced — downstream consumers that sample from
+// neighbor lists (e.g. k-push) see bit-for-bit identical streams.
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 namespace megflood {
@@ -14,10 +27,10 @@ using NodeId = std::uint32_t;
 class Snapshot {
  public:
   Snapshot() = default;
-  explicit Snapshot(std::size_t num_nodes) : adjacency_(num_nodes) {}
+  explicit Snapshot(std::size_t num_nodes) : num_nodes_(num_nodes) {}
 
-  std::size_t num_nodes() const noexcept { return adjacency_.size(); }
-  std::size_t num_edges() const noexcept { return num_edges_; }
+  std::size_t num_nodes() const noexcept { return num_nodes_; }
+  std::size_t num_edges() const noexcept { return edges_.size(); }
 
   // Drops all edges, keeps capacity.
   void clear();
@@ -29,19 +42,50 @@ class Snapshot {
   // (models generate each pair at most once per snapshot).
   void add_edge(NodeId u, NodeId v);
 
-  const std::vector<NodeId>& neighbors(NodeId v) const {
-    return adjacency_.at(v);
-  }
+  // Neighbor list of v in insertion order.  The span is invalidated by the
+  // next clear()/reset()/add_edge().
+  std::span<const NodeId> neighbors(NodeId v) const;
 
-  std::size_t degree(NodeId v) const { return adjacency_.at(v).size(); }
+  std::size_t degree(NodeId v) const;
 
   bool has_edge(NodeId u, NodeId v) const;
 
+  // Canonical (u < v) edge list, ordered by u then by adjacency position.
   std::vector<std::pair<NodeId, NodeId>> edges() const;
 
+  // The raw edge buffer in insertion order (endpoints as added, not
+  // canonicalized).  Lets edge-centric consumers (the word-parallel
+  // all-sources flood) iterate E_t without materializing the CSR view.
+  const std::vector<std::pair<NodeId, NodeId>>& edge_buffer() const noexcept {
+    return edges_;
+  }
+
+  // Raw CSR view for hot loops that scan many nodes per round: node v's
+  // neighbors are neighbors[offsets[v] .. offsets[v + 1]).  `offsets` has
+  // num_nodes() + 1 entries; pointers are invalidated by the next
+  // mutation.
+  struct CsrView {
+    const std::uint32_t* offsets;
+    const NodeId* neighbors;
+  };
+  CsrView csr() const {
+    ensure_csr();
+    return {offsets_.data(), neighbors_.data()};
+  }
+
  private:
-  std::vector<std::vector<NodeId>> adjacency_;
-  std::size_t num_edges_ = 0;
+  void ensure_csr() const;
+  void check_node(NodeId v) const;
+
+  std::size_t num_nodes_ = 0;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+
+  // Lazily built CSR view; mutable because building it on first query is
+  // not an observable state change (single-threaded use assumed).
+  mutable std::vector<std::uint32_t> offsets_;  // num_nodes_ + 1 entries
+  mutable std::vector<std::uint32_t> cursor_;   // fill scratch
+  mutable std::vector<NodeId> neighbors_;       // 2 * num_edges entries
+  mutable bool csr_valid_ = false;
 };
 
 }  // namespace megflood

@@ -2,11 +2,24 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cmath>
 #include <stdexcept>
-#include <vector>
+
+#include "meg/pair_index.hpp"
 
 namespace megflood {
+
+namespace {
+
+inline std::uint64_t pack_pair(std::uint32_t i, std::uint32_t j) noexcept {
+  return (static_cast<std::uint64_t>(i) << 32) | j;
+}
+
+inline std::uint64_t pack_index(std::uint64_t n, std::uint64_t index) noexcept {
+  const auto [i, j] = pair_from_index(n, index);
+  return pack_pair(i, j);
+}
+
+}  // namespace
 
 TwoStateEdgeMEG::TwoStateEdgeMEG(std::size_t num_nodes, TwoStateParams params,
                                  std::uint64_t seed, EdgeMegInit init)
@@ -14,35 +27,12 @@ TwoStateEdgeMEG::TwoStateEdgeMEG(std::size_t num_nodes, TwoStateParams params,
       chain_(params),
       init_(init),
       rng_(seed),
-      total_pairs_(static_cast<std::uint64_t>(num_nodes) * (num_nodes - 1) / 2) {
+      total_pairs_(pair_count(num_nodes)) {
   if (num_nodes < 2) {
     throw std::invalid_argument("TwoStateEdgeMEG: need at least 2 nodes");
   }
   snapshot_.reset(n_);
   initialize();
-}
-
-std::pair<NodeId, NodeId> TwoStateEdgeMEG::pair_of(std::uint64_t index) const {
-  assert(index < total_pairs_);
-  // Row-major enumeration of the strictly-upper-triangular pair matrix:
-  // row i spans indices [offset_i, offset_i + (n-1-i)).  Invert with the
-  // quadratic formula on the cumulative row lengths.
-  const double nd = static_cast<double>(n_);
-  const double idx = static_cast<double>(index);
-  // Solve i from: i*(2n - i - 1)/2 <= index.
-  double guess = std::floor(
-      ((2.0 * nd - 1.0) - std::sqrt((2.0 * nd - 1.0) * (2.0 * nd - 1.0) -
-                                    8.0 * idx)) /
-      2.0);
-  auto i = static_cast<std::uint64_t>(std::max(0.0, guess));
-  auto row_start = [&](std::uint64_t r) {
-    return r * (2 * n_ - r - 1) / 2;
-  };
-  while (i + 1 < n_ && row_start(i + 1) <= index) ++i;
-  while (i > 0 && row_start(i) > index) --i;
-  const std::uint64_t j = i + 1 + (index - row_start(i));
-  assert(j < n_);
-  return {static_cast<NodeId>(i), static_cast<NodeId>(j)};
 }
 
 void TwoStateEdgeMEG::initialize() {
@@ -51,15 +41,19 @@ void TwoStateEdgeMEG::initialize() {
     case EdgeMegInit::kAllOff:
       break;
     case EdgeMegInit::kAllOn:
-      for (std::uint64_t e = 0; e < total_pairs_; ++e) on_.insert(e);
+      on_.reserve(total_pairs_);
+      for (std::uint32_t i = 0; i + 1 < n_; ++i) {
+        for (std::uint32_t j = i + 1; j < n_; ++j) on_.push_back(pack_pair(i, j));
+      }
       break;
     case EdgeMegInit::kStationary: {
       const double pi = chain_.stationary_on();
       if (pi > 0.0) {
-        // Geometric skipping over the pair enumeration.
+        // Geometric skipping over the pair enumeration; indices arrive
+        // strictly increasing, so on_ is sorted by construction.
         std::uint64_t e = rng_.geometric(pi);
         while (e < total_pairs_) {
-          on_.insert(e);
+          on_.push_back(pack_index(n_, e));
           e += 1 + rng_.geometric(pi);
         }
       }
@@ -71,13 +65,9 @@ void TwoStateEdgeMEG::initialize() {
 
 void TwoStateEdgeMEG::rebuild_snapshot() {
   snapshot_.clear();
-  // Sorted order keeps adjacency lists canonical, so downstream consumers
-  // that sample from neighbor lists (e.g. k-push) stay reproducible.
-  std::vector<std::uint64_t> ordered(on_.begin(), on_.end());
-  std::sort(ordered.begin(), ordered.end());
-  for (std::uint64_t e : ordered) {
-    const auto [i, j] = pair_of(e);
-    snapshot_.add_edge(i, j);
+  for (std::uint64_t key : on_) {
+    snapshot_.add_edge(static_cast<NodeId>(key >> 32),
+                       static_cast<NodeId>(key & 0xffffffffu));
   }
 }
 
@@ -86,34 +76,46 @@ void TwoStateEdgeMEG::step() {
   const double q = chain_.death_rate();
 
   // Deaths: each edge that is on at the start of the step dies with
-  // probability q.  Deaths are collected first so that births below can be
-  // decided against the pre-step state (a pair that dies this step was on,
-  // hence cannot also be born this step).  The on-set is visited in sorted
-  // order so the RNG consumption sequence is a pure function of the seed
-  // and the state — unordered_set iteration order is not reproducible
-  // across reset() (bucket layout depends on insertion history).
-  std::unordered_set<std::uint64_t> killed;
+  // probability q.  The on-set is walked in sorted order (it is stored
+  // sorted), so the RNG consumption sequence is a pure function of the
+  // seed and the state; survivors are compacted in place (stable, hence
+  // still sorted) and the dead collected so births below can be decided
+  // against the pre-step state (a pair that dies this step was on, hence
+  // cannot also be born this step).
+  killed_.clear();
   if (q > 0.0) {
-    std::vector<std::uint64_t> ordered(on_.begin(), on_.end());
-    std::sort(ordered.begin(), ordered.end());
-    for (std::uint64_t e : ordered) {
-      if (rng_.bernoulli(q)) killed.insert(e);
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < on_.size(); ++r) {
+      if (rng_.bernoulli(q)) {
+        killed_.push_back(on_[r]);
+      } else {
+        on_[w++] = on_[r];
+      }
     }
-    for (std::uint64_t e : killed) on_.erase(e);
+    on_.resize(w);
   }
 
   // Births: mark every pair with probability p via geometric skipping over
-  // the linear pair enumeration.  A mark on a pair that was on pre-step is
-  // a no-op (its dynamics are governed by the death rate), which restricts
-  // births to exactly the pre-step off edges.  Pre-step on = survivor in
-  // `on_` or member of `killed`.
+  // the linear pair enumeration.  A mark on a surviving on-pair is a no-op
+  // (dropped during the merge); a mark on a killed pair is discarded, which
+  // restricts births to exactly the pre-step off edges.
   if (p > 0.0) {
+    born_.clear();
     std::uint64_t e = rng_.geometric(p);
     while (e < total_pairs_) {
-      if (!killed.contains(e)) {
-        on_.insert(e);  // no-op if it survived (was already on)
+      const std::uint64_t key = pack_index(n_, e);
+      if (!std::binary_search(killed_.begin(), killed_.end(), key)) {
+        born_.push_back(key);
       }
       e += 1 + rng_.geometric(p);
+    }
+    if (!born_.empty()) {
+      // Sorted-merge union of survivors and births (both ascending).
+      merged_.clear();
+      merged_.reserve(on_.size() + born_.size());
+      std::set_union(on_.begin(), on_.end(), born_.begin(), born_.end(),
+                     std::back_inserter(merged_));
+      std::swap(on_, merged_);
     }
   }
 

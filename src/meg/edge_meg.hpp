@@ -8,9 +8,14 @@
 // edges currently on plus the O(p * n^2) newly-born candidates, via
 // geometric skipping — so sparse regimes (p = c/n^2 .. c/n) scale to
 // thousands of nodes.
+//
+// The on-edge set is a sorted vector of packed (i, j) keys maintained
+// incrementally — deaths are filtered in place, births merged in — so a
+// step performs no hashing, no re-sort, and (after warmup) no allocation;
+// the triangular-index inversion runs only for the few birth candidates.
 
 #include <cstdint>
-#include <unordered_set>
+#include <vector>
 
 #include "core/dynamic_graph.hpp"
 #include "markov/two_state.hpp"
@@ -43,15 +48,19 @@ class TwoStateEdgeMEG final : public DynamicGraph {
  private:
   void initialize();
   void rebuild_snapshot();
-  // Maps a linear pair index in [0, n(n-1)/2) to the pair (i, j), i < j.
-  std::pair<NodeId, NodeId> pair_of(std::uint64_t index) const;
 
   std::size_t n_;
   TwoStateChain chain_;
   EdgeMegInit init_;
   Rng rng_;
   std::uint64_t total_pairs_;
-  std::unordered_set<std::uint64_t> on_;  // linear pair indices
+  // On-edges as packed (i << 32) | j keys, i < j, sorted ascending — the
+  // same order as the linear pair index (row-major), so the RNG
+  // consumption sequence matches the historical sorted-set iteration.
+  std::vector<std::uint64_t> on_;
+  std::vector<std::uint64_t> killed_;  // step scratch, sorted
+  std::vector<std::uint64_t> born_;    // step scratch, sorted
+  std::vector<std::uint64_t> merged_;  // step scratch
   Snapshot snapshot_;
 };
 

@@ -21,6 +21,12 @@ ConnectionMap::ConnectionMap(std::vector<std::vector<bool>> rows)
       }
     }
   }
+  flat_.resize(rows_.size() * rows_.size());
+  for (std::size_t a = 0; a < rows_.size(); ++a) {
+    for (std::size_t b = 0; b < rows_.size(); ++b) {
+      flat_[a * rows_.size() + b] = rows_[a][b] ? 1 : 0;
+    }
+  }
 }
 
 std::vector<StateId> ConnectionMap::gamma(StateId x) const {
@@ -80,10 +86,9 @@ void ExplicitNodeMEG::initialize() {
 void ExplicitNodeMEG::rebuild_snapshot() {
   snapshot_.clear();
   for (NodeId i = 0; i + 1 < num_nodes_; ++i) {
+    const std::uint8_t* row = connection_.flat_row(states_[i]);
     for (NodeId j = i + 1; j < num_nodes_; ++j) {
-      if (connection_.connected(states_[i], states_[j])) {
-        snapshot_.add_edge(i, j);
-      }
+      if (row[states_[j]]) snapshot_.add_edge(i, j);
     }
   }
 }

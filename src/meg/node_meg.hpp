@@ -32,8 +32,16 @@ class ConnectionMap {
   // Gamma(x) = set of states at one hop from x (paper Appendix D).
   std::vector<StateId> gamma(StateId x) const;
 
+  // Row x of C as a flat byte array (one byte per state): lets the
+  // snapshot rebuild hoist the row lookup out of its inner loop and test
+  // membership without vector<bool> bit arithmetic.
+  const std::uint8_t* flat_row(StateId x) const {
+    return flat_.data() + static_cast<std::size_t>(x) * rows_.size();
+  }
+
  private:
   std::vector<std::vector<bool>> rows_;
+  std::vector<std::uint8_t> flat_;  // row-major copy of rows_
 };
 
 // Exact node-MEG invariants from pi and C (Fact 2):

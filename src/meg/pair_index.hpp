@@ -1,0 +1,65 @@
+#pragma once
+
+// Linear indexing of the n(n-1)/2 unordered node pairs: row-major
+// enumeration of the strictly-upper-triangular matrix, row i spanning
+// indices [row_start(i), row_start(i) + (n - 1 - i)).
+//
+// The inversion (index -> pair) is exact in pure integer arithmetic: the
+// discriminant (2n-1)^2 - 8*index exceeds 64 bits for n near 2^32, and a
+// double-precision sqrt of it loses integer precision past 2^53 — the
+// float seed is only used to initialize the integer square root, which is
+// then corrected exactly in unsigned __int128.
+
+#include <cmath>
+#include <cstdint>
+#include <utility>
+
+namespace megflood {
+
+// Total number of unordered pairs over n nodes.
+inline constexpr std::uint64_t pair_count(std::uint64_t n) noexcept {
+  return n * (n - 1) / 2;
+}
+
+// Index of the first pair in row i (pairs (i, j) with j > i).
+inline constexpr std::uint64_t pair_row_start(std::uint64_t n,
+                                              std::uint64_t i) noexcept {
+  return i * (2 * n - i - 1) / 2;
+}
+
+// Linear index of pair (i, j), i < j < n.
+inline constexpr std::uint64_t pair_index_of(std::uint64_t n, std::uint64_t i,
+                                             std::uint64_t j) noexcept {
+  return pair_row_start(n, i) + (j - i - 1);
+}
+
+// Exact floor(sqrt(x)) for 128-bit x.
+inline std::uint64_t isqrt_u128(unsigned __int128 x) noexcept {
+  if (x == 0) return 0;
+  // Seed from the double sqrt (good to ~53 bits), then correct exactly.
+  auto r = static_cast<std::uint64_t>(std::sqrt(static_cast<double>(x)));
+  while (r > 0 && static_cast<unsigned __int128>(r) * r > x) --r;
+  while (static_cast<unsigned __int128>(r + 1) * (r + 1) <= x) ++r;
+  return r;
+}
+
+// Inverse of pair_index_of: the pair (i, j) with pair_index_of(n, i, j) ==
+// index.  Precondition: index < pair_count(n), n >= 2.
+inline std::pair<std::uint32_t, std::uint32_t> pair_from_index(
+    std::uint64_t n, std::uint64_t index) noexcept {
+  // Largest i with row_start(i) <= index solves
+  // i = floor(((2n-1) - sqrt((2n-1)^2 - 8*index)) / 2).
+  const std::uint64_t a = 2 * n - 1;
+  const unsigned __int128 disc =
+      static_cast<unsigned __int128>(a) * a -
+      static_cast<unsigned __int128>(8) * index;  // >= 1 for valid index
+  const std::uint64_t s = isqrt_u128(disc);
+  std::uint64_t i = (a - s) / 2;
+  // floor(sqrt) rounds the row down by at most one; settle exactly.
+  while (i + 1 < n && pair_row_start(n, i + 1) <= index) ++i;
+  while (i > 0 && pair_row_start(n, i) > index) --i;
+  const std::uint64_t j = i + 1 + (index - pair_row_start(n, i));
+  return {static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j)};
+}
+
+}  // namespace megflood

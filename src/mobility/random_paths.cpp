@@ -179,15 +179,37 @@ void ExplicitPathsModel::step() {
 
 void ExplicitPathsModel::rebuild_snapshot() {
   snapshot_.clear();
-  for (auto& o : occupants_) o.clear();
-  for (NodeId agent = 0; agent < num_agents_; ++agent) {
-    occupants_[agent_position(agent)].push_back(agent);
+  // Sparse occupancy (points >> agents): clear and scan only the occupied
+  // points (sorted, to keep the edge order of a full-range scan); dense
+  // occupancy: the plain scan beats sorting a touched list.  The mode is
+  // fixed per instance, so the touched_ invariant (it records every
+  // non-empty list) holds across steps in sparse mode.
+  const bool sparse = occupants_.size() > 4 * num_agents_;
+  if (sparse) {
+    for (VertexId point : touched_) occupants_[point].clear();
+  } else {
+    for (auto& o : occupants_) o.clear();
   }
-  for (const auto& here : occupants_) {
+  touched_.clear();
+  for (NodeId agent = 0; agent < num_agents_; ++agent) {
+    auto& here = occupants_[agent_position(agent)];
+    if (sparse && here.empty()) touched_.push_back(agent_position(agent));
+    here.push_back(agent);
+  }
+  std::sort(touched_.begin(), touched_.end());
+  auto emit_point = [&](VertexId point) {
+    const auto& here = occupants_[point];
     for (std::size_t a = 0; a < here.size(); ++a) {
       for (std::size_t b = a + 1; b < here.size(); ++b) {
         snapshot_.add_edge(here[a], here[b]);
       }
+    }
+  };
+  if (sparse) {
+    for (VertexId point : touched_) emit_point(point);
+  } else {
+    for (VertexId point = 0; point < occupants_.size(); ++point) {
+      if (!occupants_[point].empty()) emit_point(point);
     }
   }
 }
@@ -324,28 +346,46 @@ void GridLPathsModel::step() {
 
 void GridLPathsModel::rebuild_snapshot() {
   snapshot_.clear();
-  for (auto& o : occupants_) o.clear();
-  for (NodeId agent = 0; agent < num_agents_; ++agent) {
-    occupants_[point_of(agents_[agent])].push_back(agent);
+  // Same adaptive occupancy scheme as ExplicitPathsModel: occupied-cell
+  // list (sorted, reproducing the full-grid scan's edge order) when cells
+  // far outnumber agents, plain full scan otherwise.
+  const bool sparse = occupants_.size() > 4 * num_agents_;
+  if (sparse) {
+    for (VertexId cell : touched_) occupants_[cell].clear();
+  } else {
+    for (auto& o : occupants_) o.clear();
   }
+  touched_.clear();
+  for (NodeId agent = 0; agent < num_agents_; ++agent) {
+    auto& here = occupants_[point_of(agents_[agent])];
+    if (sparse && here.empty()) touched_.push_back(point_of(agents_[agent]));
+    here.push_back(agent);
+  }
+  std::sort(touched_.begin(), touched_.end());
   const auto s = static_cast<std::int32_t>(side_);
-  for (std::int32_t r = 0; r < s; ++r) {
-    for (std::int32_t c = 0; c < s; ++c) {
-      const auto& here = occupants_[static_cast<std::size_t>(r * s + c)];
-      if (here.empty()) continue;
-      for (std::size_t a = 0; a < here.size(); ++a) {
-        for (std::size_t b = a + 1; b < here.size(); ++b) {
-          snapshot_.add_edge(here[a], here[b]);
-        }
+  auto emit_cell = [&](VertexId cell) {
+    const auto r = static_cast<std::int32_t>(cell / side_);
+    const auto c = static_cast<std::int32_t>(cell % side_);
+    const auto& here = occupants_[cell];
+    for (std::size_t a = 0; a < here.size(); ++a) {
+      for (std::size_t b = a + 1; b < here.size(); ++b) {
+        snapshot_.add_edge(here[a], here[b]);
       }
-      for (const auto& [dr, dc] : radius_offsets_) {
-        const std::int32_t rr = r + dr, cc = c + dc;
-        if (rr < 0 || rr >= s || cc < 0 || cc >= s) continue;
-        const auto& there = occupants_[static_cast<std::size_t>(rr * s + cc)];
-        for (NodeId a : here) {
-          for (NodeId b : there) snapshot_.add_edge(a, b);
-        }
+    }
+    for (const auto& [dr, dc] : radius_offsets_) {
+      const std::int32_t rr = r + dr, cc = c + dc;
+      if (rr < 0 || rr >= s || cc < 0 || cc >= s) continue;
+      const auto& there = occupants_[static_cast<std::size_t>(rr * s + cc)];
+      for (NodeId a : here) {
+        for (NodeId b : there) snapshot_.add_edge(a, b);
       }
+    }
+  };
+  if (sparse) {
+    for (VertexId cell : touched_) emit_cell(cell);
+  } else {
+    for (VertexId cell = 0; cell < occupants_.size(); ++cell) {
+      if (!occupants_[cell].empty()) emit_cell(cell);
     }
   }
 }

@@ -105,6 +105,7 @@ class ExplicitPathsModel final : public DynamicGraph {
   std::vector<std::uint64_t> state_prefix_;
   std::vector<AgentState> agents_;
   std::vector<std::vector<NodeId>> occupants_;
+  std::vector<VertexId> touched_;  // occupied points, sorted per rebuild
   Snapshot snapshot_;
 };
 
@@ -157,6 +158,7 @@ class GridLPathsModel final : public DynamicGraph {
   Rng rng_;
   std::vector<AgentState> agents_;
   std::vector<std::vector<NodeId>> occupants_;
+  std::vector<VertexId> touched_;  // occupied cells, sorted per rebuild
   std::vector<std::pair<std::int32_t, std::int32_t>> radius_offsets_;
   Snapshot snapshot_;
 };

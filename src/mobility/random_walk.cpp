@@ -69,13 +69,29 @@ void RandomWalkModel::initialize() {
 
 void RandomWalkModel::rebuild_snapshot() {
   snapshot_.clear();
-  for (auto& o : occupants_) o.clear();
-  for (NodeId agent = 0; agent < num_agents_; ++agent) {
-    occupants_[positions_[agent]].push_back(agent);
+  // Sparse occupancy (points >> agents): track the occupied points and
+  // visit only those, in sorted order so the edge insertion sequence is
+  // identical to a full-range scan (reproducibility of consumers that
+  // sample from neighbor lists).  Dense occupancy: the full scan is
+  // cheaper than sorting a touched list that covers most points anyway.
+  // The mode is fixed per instance, preserving the invariant that every
+  // non-empty occupant list is recorded in touched_ (sparse) or that all
+  // lists get cleared (dense).
+  const bool sparse = occupants_.size() > 4 * num_agents_;
+  if (sparse) {
+    for (VertexId point : touched_) occupants_[point].clear();
+  } else {
+    for (auto& o : occupants_) o.clear();
   }
-  for (VertexId point = 0; point < occupants_.size(); ++point) {
+  touched_.clear();
+  for (NodeId agent = 0; agent < num_agents_; ++agent) {
+    auto& here = occupants_[positions_[agent]];
+    if (sparse && here.empty()) touched_.push_back(positions_[agent]);
+    here.push_back(agent);
+  }
+  std::sort(touched_.begin(), touched_.end());
+  auto emit_point = [&](VertexId point) {
     const auto& here = occupants_[point];
-    if (here.empty()) continue;
     // Co-located agents are always connected (hop distance 0 <= r).
     for (std::size_t a = 0; a < here.size(); ++a) {
       for (std::size_t b = a + 1; b < here.size(); ++b) {
@@ -90,6 +106,13 @@ void RandomWalkModel::rebuild_snapshot() {
           for (NodeId b : occupants_[other]) snapshot_.add_edge(a, b);
         }
       }
+    }
+  };
+  if (sparse) {
+    for (VertexId point : touched_) emit_point(point);
+  } else {
+    for (VertexId point = 0; point < occupants_.size(); ++point) {
+      if (!occupants_[point].empty()) emit_point(point);
     }
   }
 }

@@ -78,6 +78,10 @@ class RandomWalkModel final : public DynamicGraph {
   std::vector<double> stationary_cdf_;
   std::vector<VertexId> positions_;
   std::vector<std::vector<NodeId>> occupants_;  // point -> agents
+  // Points with a non-empty occupant list (sorted); only these are cleared
+  // and scanned per rebuild, so the step cost is O(agents + edges) rather
+  // than O(points).
+  std::vector<VertexId> touched_;
   Snapshot snapshot_;
 };
 

@@ -214,6 +214,59 @@ TEST(FloodAllSources, IncompleteMarked) {
   EXPECT_EQ(all.max_rounds, 20u);
 }
 
+TEST(FloodAllSources, NoSourceCompletesReportsBudget) {
+  // Fully disconnected: nobody ever finishes.  min_rounds must not pose
+  // as a radius — both aggregates are pinned to the budget and
+  // completed_count says why.
+  FixedDynamicGraph d(Graph(3));
+  const AllSourcesResult all = flood_all_sources(d, 15);
+  EXPECT_FALSE(all.all_completed);
+  EXPECT_EQ(all.completed_count, 0u);
+  EXPECT_EQ(all.min_rounds, 15u);
+  EXPECT_EQ(all.max_rounds, 15u);
+  for (const auto& r : all.per_source) {
+    EXPECT_FALSE(r.completed);
+    EXPECT_EQ(r.rounds, 15u);
+  }
+}
+
+TEST(FloodAllSources, PartialCompletionAggregates) {
+  // Edge 0-1 exists only at t = 0, then 1-2 repeats forever: sources 0
+  // and 1 complete in 2 rounds, source 2 can never reach node 0.
+  std::vector<Snapshot> script;
+  {
+    Snapshot s(3);
+    s.add_edge(0, 1);
+    script.push_back(std::move(s));
+  }
+  {
+    Snapshot s(3);
+    s.add_edge(1, 2);
+    script.push_back(std::move(s));
+  }
+  ScriptedDynamicGraph d(std::move(script));  // holds {1-2} forever
+  const AllSourcesResult all = flood_all_sources(d, 30);
+  EXPECT_FALSE(all.all_completed);
+  EXPECT_EQ(all.completed_count, 2u);
+  EXPECT_TRUE(all.per_source[0].completed);
+  EXPECT_TRUE(all.per_source[1].completed);
+  EXPECT_FALSE(all.per_source[2].completed);
+  // min_rounds covers completed sources only; max_rounds falls back to
+  // the budget because F(G) is only bounded below on this realization.
+  EXPECT_EQ(all.min_rounds, 2u);
+  EXPECT_EQ(all.max_rounds, 30u);
+  EXPECT_EQ(all.per_source[2].rounds, 30u);
+}
+
+TEST(FloodAllSources, CompletedCountFullGraph) {
+  FixedDynamicGraph d(complete_graph(5));
+  const AllSourcesResult all = flood_all_sources(d, 10);
+  EXPECT_TRUE(all.all_completed);
+  EXPECT_EQ(all.completed_count, 5u);
+  EXPECT_EQ(all.min_rounds, 1u);
+  EXPECT_EQ(all.max_rounds, 1u);
+}
+
 // Property: flooding time from every source on a fixed connected graph is
 // between radius and diameter.
 class FloodEccentricityProperty : public ::testing::TestWithParam<int> {};
