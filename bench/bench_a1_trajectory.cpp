@@ -44,6 +44,7 @@ int main() {
     cfg.trials = 16;
     cfg.seed = 100 + n;
     cfg.max_rounds = 2'000'000;
+    cfg.threads = 0;  // trial runner: one worker per hardware thread
     cfg.warmup_steps = warm.suggested_warmup();
     const auto rwp = measure_flooding(
         [&](std::uint64_t seed) {

@@ -40,6 +40,7 @@ int main() {
   TrialConfig cfg;
   cfg.trials = 16;
   cfg.max_rounds = 20'000'000;
+  cfg.threads = 0;  // trial runner: one worker per hardware thread
 
   Table table({"model", "gamma (subset resample)", "flood p50", "flood p90",
                "slowdown vs independent"});

@@ -30,6 +30,7 @@ int main() {
   TrialConfig cfg;
   cfg.trials = 16;
   cfg.max_rounds = 4'000'000;
+  cfg.threads = 0;  // trial runner: one worker per hardware thread
 
   Table table({"alpha spread [lo,hi]", "hetero p50", "min-pinned p50",
                "mean-pinned p50", "hetero/mean", "hetero/min"});

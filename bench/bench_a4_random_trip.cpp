@@ -27,6 +27,7 @@ FloodingMeasurement run_policy(std::shared_ptr<const TripPolicy> policy,
   cfg.trials = 16;
   cfg.seed = seed;
   cfg.max_rounds = 4'000'000;
+  cfg.threads = 0;  // trial runner: one worker per hardware thread
   cfg.warmup_steps = static_cast<std::uint64_t>(
       warmup_factor * static_cast<double>(warm.suggested_warmup()));
   return measure_flooding(

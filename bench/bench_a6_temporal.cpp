@@ -37,6 +37,7 @@ void analyze(const std::string& name, Factory&& factory,
   TrialConfig cfg;
   cfg.trials = 12;
   cfg.max_rounds = 4'000'000;
+  cfg.threads = 0;  // trial runner: one worker per hardware thread
   cfg.warmup_steps = warmup;
   const auto m = measure_flooding(factory, cfg);
 

@@ -37,6 +37,7 @@ int main() {
     cfg.trials = 16;
     cfg.seed = 1000 + static_cast<std::uint64_t>(fraction * 100) + radius;
     cfg.max_rounds = 4'000'000;
+    cfg.threads = 0;  // trial runner: one worker per hardware thread
     return measure_flooding(
         [&](std::uint64_t seed) {
           return std::make_unique<RandomWalkModel>(graph, n, params, seed);

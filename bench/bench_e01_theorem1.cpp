@@ -39,6 +39,7 @@ void run_regime(const std::string& name, double edge_expectation, double q) {
     cfg.trials = 24;
     cfg.seed = 1000 + n;
     cfg.max_rounds = 2'000'000;
+    cfg.threads = 0;  // trial runner: one worker per hardware thread
     const auto m = measure_flooding(
         [&](std::uint64_t seed) {
           return std::make_unique<TwoStateEdgeMEG>(n, TwoStateParams{p, q},
@@ -46,18 +47,23 @@ void run_regime(const std::string& name, double edge_expectation, double q) {
         },
         cfg);
     const double raw = theorem1_bound(t_mix, n, alpha, 1.0);
-    const double calibrated = cal.record(m.rounds.p90, raw);
+    // A measurement with zero completed trials must not calibrate the
+    // constant, count as dominated, or enter the slope fit.
+    const bool usable = !m.all_incomplete();
+    const double calibrated = usable ? cal.record(m.rounds.p90, raw) : 0.0;
     table.add_row({Table::integer(static_cast<long long>(n)), Table::num(p, 5),
                    Table::num(alpha, 5), Table::num(t_mix, 0),
-                   Table::num(m.rounds.median, 1), Table::num(m.rounds.p90, 1),
-                   Table::num(raw, 1), Table::num(calibrated, 1),
-                   bench::verdict(m.rounds.p90 <= 3.0 * calibrated)});
-    ns.push_back(static_cast<double>(n));
-    measured.push_back(m.rounds.p90);
-    if (m.incomplete > 0) {
-      std::cout << "WARNING: " << m.incomplete << " incomplete trials at n="
-                << n << "\n";
+                   bench::fmt_rounds(m, m.rounds.median),
+                   bench::fmt_rounds(m, m.rounds.p90),
+                   Table::num(raw, 1),
+                   usable ? Table::num(calibrated, 1) : "n/a",
+                   usable ? bench::verdict(m.rounds.p90 <= 3.0 * calibrated)
+                          : "n/a"});
+    if (usable) {
+      ns.push_back(static_cast<double>(n));
+      measured.push_back(m.rounds.p90);
     }
+    bench::warn_incomplete(m, "n=" + std::to_string(n));
   }
   table.print(std::cout);
   bench::print_footer(cal, "flooding p90");

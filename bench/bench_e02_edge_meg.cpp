@@ -39,6 +39,7 @@ int main() {
     cfg.trials = 24;
     cfg.seed = 7000 + static_cast<std::uint64_t>(ratio * 1000);
     cfg.max_rounds = 4'000'000;
+    cfg.threads = 0;  // trial runner: one worker per hardware thread
     const auto m = measure_flooding(
         [&](std::uint64_t seed) {
           return std::make_unique<TwoStateEdgeMEG>(n, TwoStateParams{p, q},
@@ -49,13 +50,11 @@ int main() {
     const double eq2 = edge_meg_tight_bound(n, p);
     const bool tight = ours <= polylog * eq2;
     table.add_row({Table::num(ratio, 3), Table::num(q, 5),
-                   Table::num(m.rounds.median, 1), Table::num(m.rounds.p90, 1),
+                   bench::fmt_rounds(m, m.rounds.median),
+                   bench::fmt_rounds(m, m.rounds.p90),
                    Table::num(ours, 1), Table::num(eq2, 1),
                    Table::num(ours / eq2, 2), bench::verdict(tight)});
-    if (m.incomplete > 0) {
-      std::cout << "WARNING: " << m.incomplete
-                << " incomplete trials at q/(np)=" << ratio << "\n";
-    }
+    bench::warn_incomplete(m, "q/(np)=" + std::to_string(ratio));
   }
   table.print(std::cout);
   std::cout << "\npolylog(n) threshold used: log^3 n = "
@@ -77,6 +76,7 @@ int main() {
     cfg.trials = 16;
     cfg.seed = 8800 + static_cast<std::uint64_t>(q * 10000);
     cfg.max_rounds = 100000;
+    cfg.threads = 0;  // trial runner: one worker per hardware thread
     const auto m = measure_flooding(
         [&](std::uint64_t seed) {
           return std::make_unique<TwoStateEdgeMEG>(n, TwoStateParams{p2, q},
@@ -85,7 +85,7 @@ int main() {
         cfg);
     const double ours = edge_meg_bound(n, p2, q);
     const double eq2 = edge_meg_tight_bound(n, p2);
-    table2.add_row({Table::num(q, 4), Table::num(m.rounds.median, 1),
+    table2.add_row({Table::num(q, 4), bench::fmt_rounds(m, m.rounds.median),
                     Table::num(ours, 1), Table::num(eq2, 1),
                     Table::num(ours / eq2, 1),
                     bench::verdict(ours <= polylog * eq2)});

@@ -33,6 +33,7 @@ void run_chain(const std::string& name, const BurstyLink& link) {
     cfg.trials = 16;
     cfg.seed = 300 + n;
     cfg.max_rounds = 1'000'000;
+    cfg.threads = 0;  // trial runner: one worker per hardware thread
     const auto m = measure_flooding(
         [&](std::uint64_t seed) {
           return std::make_unique<GeneralEdgeMEG>(n, link.chain, link.chi,
@@ -40,15 +41,18 @@ void run_chain(const std::string& name, const BurstyLink& link) {
         },
         cfg);
     const double raw = general_edge_meg_bound(t_mix, n, alpha);
-    const double calibrated = cal.record(m.rounds.p90, raw);
+    // A measurement with zero completed trials must not calibrate the
+    // constant or count as dominated.
+    const bool usable = !m.all_incomplete();
+    const double calibrated = usable ? cal.record(m.rounds.p90, raw) : 0.0;
     table.add_row({Table::integer(static_cast<long long>(n)),
-                   Table::num(m.rounds.median, 1), Table::num(m.rounds.p90, 1),
-                   Table::num(raw, 1), Table::num(calibrated, 1),
-                   bench::verdict(m.rounds.p90 <= 3.0 * calibrated)});
-    if (m.incomplete > 0) {
-      std::cout << "WARNING: " << m.incomplete << " incomplete at n=" << n
-                << "\n";
-    }
+                   bench::fmt_rounds(m, m.rounds.median),
+                   bench::fmt_rounds(m, m.rounds.p90),
+                   Table::num(raw, 1),
+                   usable ? Table::num(calibrated, 1) : "n/a",
+                   usable ? bench::verdict(m.rounds.p90 <= 3.0 * calibrated)
+                          : "n/a"});
+    bench::warn_incomplete(m, "n=" + std::to_string(n));
   }
   table.print(std::cout);
   bench::print_footer(cal, "flooding p90");

@@ -37,6 +37,7 @@ void sweep_n(std::size_t k) {
     cfg.trials = 24;
     cfg.seed = 400 + n;
     cfg.max_rounds = 1'000'000;
+    cfg.threads = 0;  // trial runner: one worker per hardware thread
     const auto m = measure_flooding(
         [&](std::uint64_t seed) {
           return std::make_unique<ExplicitNodeMEG>(n, chain, conn, seed);
@@ -73,6 +74,7 @@ void sweep_states() {
     cfg.trials = 16;
     cfg.seed = 4400 + k;
     cfg.max_rounds = 1'000'000;
+    cfg.threads = 0;  // trial runner: one worker per hardware thread
     const auto m = measure_flooding(
         [&](std::uint64_t seed) {
           return std::make_unique<ExplicitNodeMEG>(n, chain, conn, seed);

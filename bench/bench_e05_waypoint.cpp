@@ -43,6 +43,7 @@ FloodingMeasurement measure(std::size_t n, const WaypointParams& p,
   cfg.trials = trials;
   cfg.seed = seed;
   cfg.max_rounds = 2'000'000;
+  cfg.threads = 0;  // trial runner: one worker per hardware thread
   cfg.warmup_steps = warm.suggested_warmup();
   return measure_flooding(
       [&](std::uint64_t s) {

@@ -46,6 +46,7 @@ int main() {
     cfg.trials = 16;
     cfg.seed = 600 + side;
     cfg.max_rounds = 2'000'000;
+    cfg.threads = 0;  // trial runner: one worker per hardware thread
     const auto m = measure_flooding(
         [&](std::uint64_t seed) {
           return std::make_unique<GridLPathsModel>(side, n, 1, seed);

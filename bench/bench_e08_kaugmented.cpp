@@ -70,6 +70,7 @@ int main() {
     cfg.trials = 12;
     cfg.seed = 850 + k;
     cfg.max_rounds = 2'000'000;
+    cfg.threads = 0;  // trial runner: one worker per hardware thread
     const auto m = measure_flooding(
         [&](std::uint64_t seed) {
           return std::make_unique<RandomWalkModel>(graph, n,

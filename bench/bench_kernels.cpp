@@ -11,6 +11,7 @@
 #include "graph/builders.hpp"
 #include "meg/edge_meg.hpp"
 #include "meg/general_edge_meg.hpp"
+#include "meg/heterogeneous_edge_meg.hpp"
 #include "meg/node_meg.hpp"
 #include "mobility/random_paths.hpp"
 #include "mobility/random_walk.hpp"
@@ -50,6 +51,37 @@ void BM_GeneralEdgeMegStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GeneralEdgeMegStep)->Arg(64)->Arg(256);
+
+void BM_GeneralEdgeMegStepSparse(benchmark::State& state) {
+  // Paper-scale sparse regime: bursty hidden chain scaled so the
+  // stationary edge probability is ~8/n (alpha = 2 / (n/4 + 4)).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto link = make_bursty_link(4.0 / static_cast<double>(n), 0.5, 0.5);
+  GeneralEdgeMEG meg(n, link.chain, link.chi, 1);
+  for (auto _ : state) {
+    meg.step();
+    benchmark::DoNotOptimize(meg.snapshot().num_edges());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GeneralEdgeMegStepSparse)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_HeterogeneousEdgeMegStepSparse(benchmark::State& state) {
+  // Sparse heterogeneous regime: per-edge alpha in [4/n, 12/n] (~8/n on
+  // average), continuous rate spread so every edge has distinct rates.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const double a = 8.0 / static_cast<double>(n);
+  HeterogeneousEdgeMEG meg(n, uniform_alpha_rates(0.2, 0.5, 0.5 * a, 1.5 * a),
+                           1);
+  for (auto _ : state) {
+    meg.step();
+    benchmark::DoNotOptimize(meg.snapshot().num_edges());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HeterogeneousEdgeMegStepSparse)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_NodeMegStep(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -17,6 +17,7 @@
 #include "analysis/temporal.hpp"
 #include "core/flooding.hpp"
 #include "core/trace.hpp"
+#include "core/trial.hpp"
 #include "mobility/random_trip.hpp"
 #include "util/table.hpp"
 
@@ -39,7 +40,7 @@ int main(int argc, char** argv) {
       {"disk region", std::make_shared<DiskWaypointPolicy>(side, 0.5 * v, v)},
   };
 
-  Table table({"policy", "delta", "lambda", "isolated %", "flood rounds"});
+  Table table({"policy", "delta", "lambda", "isolated %", "flood p50 (8 trials)"});
   for (const auto& lab : labs) {
     RandomTripModel model(n, lab.policy, radius, 32, 17);
     for (std::uint64_t w = 0; w < 2 * model.suggested_warmup(); ++w) {
@@ -56,18 +57,24 @@ int main(int argc, char** argv) {
     // Temporal snapshot structure over a short trace.
     const auto trace = record_trace(model, 150);
     const auto conn = snapshot_connectivity(trace);
-    // Fresh flooding run.
-    model.reset(99);
-    for (std::uint64_t w = 0; w < 2 * model.suggested_warmup(); ++w) {
-      model.step();
-    }
-    const FloodResult r = flood(model, 0, 1'000'000);
+    // Flooding over several independent realizations via the trial
+    // runner (fresh warmed-up model per trial, workers in parallel).
+    TrialConfig cfg;
+    cfg.trials = 8;
+    cfg.seed = 99;
+    cfg.warmup_steps = 2 * model.suggested_warmup();
+    cfg.threads = 0;  // one worker per hardware thread
+    const FloodingMeasurement m = measure_flooding(
+        [&](std::uint64_t seed) {
+          return std::make_unique<RandomTripModel>(n, lab.policy, radius, 32,
+                                                   seed);
+        },
+        cfg);
     table.add_row({lab.name, Table::num(uni.delta, 2),
                    Table::num(uni.lambda, 2),
                    Table::num(100.0 * conn.mean_isolated_fraction, 1),
-                   r.completed ? Table::integer(
-                                     static_cast<long long>(r.rounds))
-                               : "did not complete"});
+                   m.all_incomplete() ? "did not complete"
+                                      : Table::num(m.rounds.median, 1)});
   }
   table.print(std::cout);
   std::cout << "\nAll four policies satisfy Corollary 4's uniformity\n"

@@ -1,6 +1,11 @@
 #include "core/trial.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <exception>
 #include <memory>
+#include <mutex>
+#include <thread>
 
 #include "util/rng.hpp"
 
@@ -8,29 +13,45 @@ namespace megflood {
 
 namespace {
 
-FloodingMeasurement run_trials(
-    const std::function<DynamicGraph&(std::uint64_t)>& acquire,
-    const TrialConfig& config) {
-  if (config.trials == 0) {
-    throw std::invalid_argument("measure_flooding: trials must be > 0");
+// Everything one trial contributes to the measurement; computed
+// independently per trial so workers never share mutable state.
+struct TrialOutcome {
+  bool completed = false;
+  double rounds = 0.0;
+  double spreading = 0.0;
+  double saturation = 0.0;
+};
+
+TrialOutcome run_one(DynamicGraph& graph, std::size_t trial,
+                     const TrialConfig& config) {
+  for (std::uint64_t w = 0; w < config.warmup_steps; ++w) graph.step();
+  const auto source = static_cast<NodeId>(
+      config.rotate_sources ? trial % graph.num_nodes() : 0);
+  const FloodResult result = flood(graph, source, config.max_rounds);
+  TrialOutcome out;
+  out.completed = result.completed;
+  if (result.completed) {
+    out.rounds = static_cast<double>(result.rounds);
+    const PhaseSplit phases = split_phases(result, graph.num_nodes());
+    out.spreading = static_cast<double>(phases.spreading_rounds);
+    out.saturation = static_cast<double>(phases.saturation_rounds);
   }
+  return out;
+}
+
+// Deterministic merge: outcomes are folded in trial-index order, so the
+// measurement does not depend on the order trials finished in.
+FloodingMeasurement merge_outcomes(const std::vector<TrialOutcome>& outcomes) {
   std::vector<double> rounds, spreading, saturation;
   std::size_t incomplete = 0;
-  const auto seeds = derive_seeds(config.seed, config.trials);
-  for (std::size_t trial = 0; trial < config.trials; ++trial) {
-    DynamicGraph& graph = acquire(seeds[trial]);
-    for (std::uint64_t w = 0; w < config.warmup_steps; ++w) graph.step();
-    const auto source = static_cast<NodeId>(
-        config.rotate_sources ? trial % graph.num_nodes() : 0);
-    const FloodResult result = flood(graph, source, config.max_rounds);
-    if (!result.completed) {
+  for (const TrialOutcome& out : outcomes) {
+    if (!out.completed) {
       ++incomplete;
       continue;
     }
-    rounds.push_back(static_cast<double>(result.rounds));
-    const PhaseSplit phases = split_phases(result, graph.num_nodes());
-    spreading.push_back(static_cast<double>(phases.spreading_rounds));
-    saturation.push_back(static_cast<double>(phases.saturation_rounds));
+    rounds.push_back(out.rounds);
+    spreading.push_back(out.spreading);
+    saturation.push_back(out.saturation);
   }
   FloodingMeasurement m;
   m.rounds = summarize(std::move(rounds));
@@ -40,28 +61,70 @@ FloodingMeasurement run_trials(
   return m;
 }
 
+std::size_t resolve_threads(std::size_t requested, std::size_t trials) {
+  if (requested == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    requested = hw > 0 ? hw : 1;
+  }
+  return std::min(requested, trials);
+}
+
 }  // namespace
 
 FloodingMeasurement measure_flooding(
     const std::function<std::unique_ptr<DynamicGraph>(std::uint64_t)>& factory,
     const TrialConfig& config) {
-  std::unique_ptr<DynamicGraph> current;
-  return run_trials(
-      [&](std::uint64_t seed) -> DynamicGraph& {
-        current = factory(seed);
-        return *current;
-      },
-      config);
+  if (config.trials == 0) {
+    throw std::invalid_argument("measure_flooding: trials must be > 0");
+  }
+  const auto seeds = derive_seeds(config.seed, config.trials);
+  std::vector<TrialOutcome> outcomes(config.trials);
+  const std::size_t threads = resolve_threads(config.threads, config.trials);
+  if (threads <= 1) {
+    for (std::size_t trial = 0; trial < config.trials; ++trial) {
+      const std::unique_ptr<DynamicGraph> graph = factory(seeds[trial]);
+      outcomes[trial] = run_one(*graph, trial, config);
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    auto worker = [&] {
+      while (!failed.load(std::memory_order_relaxed)) {
+        const std::size_t trial = next.fetch_add(1);
+        if (trial >= config.trials) break;
+        try {
+          const std::unique_ptr<DynamicGraph> graph = factory(seeds[trial]);
+          outcomes[trial] = run_one(*graph, trial, config);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+  return merge_outcomes(outcomes);
 }
 
 FloodingMeasurement measure_flooding_reusing(DynamicGraph& graph,
                                              const TrialConfig& config) {
-  return run_trials(
-      [&](std::uint64_t seed) -> DynamicGraph& {
-        graph.reset(seed);
-        return graph;
-      },
-      config);
+  if (config.trials == 0) {
+    throw std::invalid_argument("measure_flooding: trials must be > 0");
+  }
+  const auto seeds = derive_seeds(config.seed, config.trials);
+  std::vector<TrialOutcome> outcomes(config.trials);
+  for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    graph.reset(seeds[trial]);
+    outcomes[trial] = run_one(graph, trial, config);
+  }
+  return merge_outcomes(outcomes);
 }
 
 }  // namespace megflood

@@ -27,6 +27,16 @@ struct TrialConfig {
   // Number of warm-up steps to run after reset before flooding starts
   // (lets non-stationary initializations approach stationarity).
   std::uint64_t warmup_steps = 0;
+  // Worker threads for measure_flooding: trials are distributed across
+  // workers, each constructing its own graph through the factory (the
+  // factory must therefore be safe to call concurrently; the stock
+  // harness factories, which only read captured parameters, are).  Every
+  // trial is a pure function of its derive_seeds() entry and its index,
+  // and per-trial outcomes are merged in trial order, so the measurement
+  // is bit-identical for every thread count.  0 = one worker per
+  // hardware thread.  measure_flooding_reusing shares one graph and
+  // always runs sequentially.
+  std::size_t threads = 1;
 };
 
 struct FloodingMeasurement {
@@ -34,16 +44,23 @@ struct FloodingMeasurement {
   std::size_t incomplete = 0;     // trials that hit max_rounds
   Summary spreading_rounds;       // phase split (completed trials only)
   Summary saturation_rounds;
+  // True when not a single trial completed within max_rounds.  Every
+  // Summary above is then over zero samples — all fields read 0.0 — and
+  // must not be mistaken for "flooding takes 0 rounds"; harness output
+  // goes through this predicate before printing round statistics.
+  bool all_incomplete() const noexcept { return rounds.count == 0; }
 };
 
 // Runs `config.trials` flooding experiments on the graph produced by
-// `factory(seed)`; the factory is called once per trial.
+// `factory(seed)`; the factory is called once per trial (concurrently
+// when config.threads != 1).
 FloodingMeasurement measure_flooding(
     const std::function<std::unique_ptr<DynamicGraph>(std::uint64_t)>& factory,
     const TrialConfig& config);
 
 // Same but reusing one graph instance via reset() — cheaper when model
-// construction is expensive (e.g. precomputed hop balls).
+// construction is expensive (e.g. precomputed hop balls).  Always
+// sequential (the trials share the graph); config.threads is ignored.
 FloodingMeasurement measure_flooding_reusing(DynamicGraph& graph,
                                              const TrialConfig& config);
 

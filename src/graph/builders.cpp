@@ -122,8 +122,7 @@ Graph erdos_renyi(std::size_t n, double p, Rng& rng) {
   if (p >= 1.0) return complete_graph(n);
   // Geometric skipping over the implicit edge enumeration: O(E) expected.
   const std::size_t total = n * (n - 1) / 2;
-  std::size_t idx = rng.geometric(p);
-  while (idx < total) {
+  geometric_select(rng, total, p, [&](std::uint64_t idx) {
     // Invert the pairing index -> (i, j), i < j, row-major over the
     // strictly-upper-triangular matrix.
     std::size_t i = 0;
@@ -136,8 +135,7 @@ Graph erdos_renyi(std::size_t n, double p, Rng& rng) {
     }
     const std::size_t j = i + 1 + rem;
     g.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(j));
-    idx += 1 + rng.geometric(p);
-  }
+  });
   return g;
 }
 

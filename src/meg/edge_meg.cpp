@@ -10,10 +10,6 @@ namespace megflood {
 
 namespace {
 
-inline std::uint64_t pack_pair(std::uint32_t i, std::uint32_t j) noexcept {
-  return (static_cast<std::uint64_t>(i) << 32) | j;
-}
-
 inline std::uint64_t pack_index(std::uint64_t n, std::uint64_t index) noexcept {
   const auto [i, j] = pair_from_index(n, index);
   return pack_pair(i, j);
@@ -47,16 +43,12 @@ void TwoStateEdgeMEG::initialize() {
       }
       break;
     case EdgeMegInit::kStationary: {
-      const double pi = chain_.stationary_on();
-      if (pi > 0.0) {
-        // Geometric skipping over the pair enumeration; indices arrive
-        // strictly increasing, so on_ is sorted by construction.
-        std::uint64_t e = rng_.geometric(pi);
-        while (e < total_pairs_) {
-          on_.push_back(pack_index(n_, e));
-          e += 1 + rng_.geometric(pi);
-        }
-      }
+      // Geometric skipping over the pair enumeration; indices arrive
+      // strictly increasing, so on_ is sorted by construction.
+      geometric_select(rng_, total_pairs_, chain_.stationary_on(),
+                       [&](std::uint64_t e) {
+                         on_.push_back(pack_index(n_, e));
+                       });
       break;
     }
   }
@@ -66,8 +58,7 @@ void TwoStateEdgeMEG::initialize() {
 void TwoStateEdgeMEG::rebuild_snapshot() {
   snapshot_.clear();
   for (std::uint64_t key : on_) {
-    snapshot_.add_edge(static_cast<NodeId>(key >> 32),
-                       static_cast<NodeId>(key & 0xffffffffu));
+    snapshot_.add_edge(pair_key_i(key), pair_key_j(key));
   }
 }
 
@@ -101,14 +92,12 @@ void TwoStateEdgeMEG::step() {
   // restricts births to exactly the pre-step off edges.
   if (p > 0.0) {
     born_.clear();
-    std::uint64_t e = rng_.geometric(p);
-    while (e < total_pairs_) {
+    geometric_select(rng_, total_pairs_, p, [&](std::uint64_t e) {
       const std::uint64_t key = pack_index(n_, e);
       if (!std::binary_search(killed_.begin(), killed_.end(), key)) {
         born_.push_back(key);
       }
-      e += 1 + rng_.geometric(p);
-    }
+    });
     if (!born_.empty()) {
       // Sorted-merge union of survivors and births (both ascending).
       merged_.clear();

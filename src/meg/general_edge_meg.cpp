@@ -1,6 +1,10 @@
 #include "meg/general_edge_meg.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "meg/on_set.hpp"
+#include "meg/pair_index.hpp"
 
 namespace megflood {
 
@@ -20,7 +24,25 @@ GeneralEdgeMEG::GeneralEdgeMEG(std::size_t num_nodes, DenseChain chain,
     throw std::invalid_argument("GeneralEdgeMEG: > 256 states unsupported");
   }
   stationary_ = chain_.stationary();
-  states_.resize(n_ * (n_ - 1) / 2);
+  states_.resize(pair_count(n_));
+
+  const std::size_t num_states = chain_.num_states();
+  exit_prob_.resize(num_states, 0.0);
+  exit_cum_.resize(num_states);
+  exit_target_.resize(num_states);
+  for (StateId s = 0; s < num_states; ++s) {
+    const auto& row = chain_.row(s);
+    double cum = 0.0;
+    for (StateId t = 0; t < num_states; ++t) {
+      if (t == s || row[t] <= 0.0) continue;
+      cum += row[t];
+      exit_cum_[s].push_back(cum);
+      exit_target_[s].push_back(t);
+    }
+    exit_prob_[s] = std::min(cum, 1.0);
+  }
+  buckets_.resize(num_states);
+
   snapshot_.reset(n_);
   initialize();
 }
@@ -33,27 +55,83 @@ double GeneralEdgeMEG::stationary_edge_probability() const {
   return alpha;
 }
 
+StateId GeneralEdgeMEG::pair_state(NodeId i, NodeId j) const {
+  if (i == j || i >= n_ || j >= n_) {
+    throw std::out_of_range("pair_state: bad pair");
+  }
+  if (i > j) std::swap(i, j);
+  return states_[pair_index_of(n_, i, j)];
+}
+
 void GeneralEdgeMEG::initialize() {
-  for (auto& s : states_) {
-    s = static_cast<std::uint8_t>(DenseChain::sample_from(stationary_, rng_));
+  for (auto& bucket : buckets_) bucket.clear();
+  on_.clear();
+  // Same per-pair stationary draws (and RNG stream) as the historical
+  // initializer, so initial states match the reference sampler exactly.
+  std::size_t e = 0;
+  for (NodeId i = 0; i + 1 < n_; ++i) {
+    for (NodeId j = i + 1; j < n_; ++j, ++e) {
+      const StateId s = DenseChain::sample_from(stationary_, rng_);
+      states_[e] = static_cast<std::uint8_t>(s);
+      const std::uint64_t key = pack_pair(i, j);
+      buckets_[s].push_back(key);
+      if (chi_[s]) on_.push_back(key);  // ascending e => sorted
+    }
   }
   rebuild_snapshot();
 }
 
 void GeneralEdgeMEG::rebuild_snapshot() {
   snapshot_.clear();
-  std::size_t e = 0;
-  for (NodeId i = 0; i + 1 < n_; ++i) {
-    for (NodeId j = i + 1; j < n_; ++j, ++e) {
-      if (chi_[states_[e]]) snapshot_.add_edge(i, j);
-    }
+  for (std::uint64_t key : on_) {
+    snapshot_.add_edge(pair_key_i(key), pair_key_j(key));
   }
 }
 
-void GeneralEdgeMEG::step() {
-  for (auto& s : states_) {
-    s = static_cast<std::uint8_t>(chain_.sample_next(s, rng_));
+StateId GeneralEdgeMEG::sample_exit_target(StateId from) {
+  const auto& cum = exit_cum_[from];
+  const double u = rng_.uniform() * exit_prob_[from];
+  for (std::size_t k = 0; k < cum.size(); ++k) {
+    if (u < cum[k]) return exit_target_[from][k];
   }
+  return exit_target_[from].back();  // floating point slack
+}
+
+void GeneralEdgeMEG::step() {
+  // Phase 1 (consumes RNG): per state class, geometric-skip over the
+  // bucket with the class exit probability; every selected pair draws its
+  // destination from the conditional exit distribution.  All selections
+  // are made against the pre-step buckets, so a pair entering a class
+  // this step is never re-examined within the step.
+  moves_.clear();
+  for (StateId s = 0; s < buckets_.size(); ++s) {
+    geometric_select(rng_, buckets_[s].size(), exit_prob_[s],
+                     [&](std::uint64_t pos) {
+                       moves_.push_back({pos, s, sample_exit_target(s)});
+                     });
+  }
+
+  // Phase 2 (no RNG): apply the moves.  Within a class, positions were
+  // recorded ascending; walking the flat move list backwards processes
+  // them descending, so each swap-remove only disturbs positions that
+  // have already been handled.  Appends land past every recorded
+  // position, so cross-class arrivals are safe too.
+  died_.clear();
+  born_.clear();
+  for (auto it = moves_.rbegin(); it != moves_.rend(); ++it) {
+    auto& from_bucket = buckets_[it->from];
+    const std::uint64_t key = from_bucket[it->pos];
+    from_bucket[it->pos] = from_bucket.back();
+    from_bucket.pop_back();
+    buckets_[it->to].push_back(key);
+    states_[pair_index_of(n_, pair_key_i(key), pair_key_j(key))] =
+        static_cast<std::uint8_t>(it->to);
+    if (chi_[it->from] != chi_[it->to]) {
+      (chi_[it->from] ? died_ : born_).push_back(key);
+    }
+  }
+
+  apply_on_set_delta(on_, died_, born_, merged_);
   rebuild_snapshot();
   advance_clock();
 }

@@ -1,10 +1,24 @@
 #include "meg/heterogeneous_edge_meg.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <map>
 #include <stdexcept>
+#include <utility>
+
+#include "meg/on_set.hpp"
+#include "meg/pair_index.hpp"
 
 namespace megflood {
+
+namespace {
+
+inline std::uint64_t unpack_index(std::uint64_t n, std::uint64_t key) noexcept {
+  return pair_index_of(n, pair_key_i(key), pair_key_j(key));
+}
+
+}  // namespace
 
 HeterogeneousEdgeMEG::HeterogeneousEdgeMEG(std::size_t num_nodes,
                                            EdgeRateSampler sampler,
@@ -16,7 +30,7 @@ HeterogeneousEdgeMEG::HeterogeneousEdgeMEG(std::size_t num_nodes,
   if (!sampler) {
     throw std::invalid_argument("HeterogeneousEdgeMEG: null sampler");
   }
-  const std::size_t pairs = n_ * (n_ - 1) / 2;
+  const std::size_t pairs = pair_count(n_);
   rates_.reserve(pairs);
   // Rates come from a dedicated stream so the topology identity depends
   // only on the construction seed, not on how many state steps follow.
@@ -29,6 +43,44 @@ HeterogeneousEdgeMEG::HeterogeneousEdgeMEG(std::size_t num_nodes,
     max_mixing_ = std::max(max_mixing_, chain.mixing_time());
     rates_.push_back(rates);
   }
+
+  // Bucket edges by distinct (p, q) pair; beyond kMaxExactClasses fall
+  // back to a single envelope class thinned by acceptance draws.  Rates
+  // are keyed by bit pattern, so classes are exact (no epsilon grouping).
+  class_of_.assign(pairs, 0);
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint8_t> ids;
+  bool overflow = false;
+  for (std::size_t e = 0; e < pairs && !overflow; ++e) {
+    const auto key = std::make_pair(std::bit_cast<std::uint64_t>(rates_[e].birth_rate),
+                                    std::bit_cast<std::uint64_t>(rates_[e].death_rate));
+    const auto it = ids.find(key);
+    if (it != ids.end()) {
+      class_of_[e] = it->second;
+    } else if (ids.size() < kMaxExactClasses) {
+      const auto id = static_cast<std::uint8_t>(ids.size());
+      ids.emplace(key, id);
+      class_of_[e] = id;
+    } else {
+      overflow = true;
+    }
+  }
+  if (overflow) {
+    classes_.assign(1, RateClass{});
+    auto& cls = classes_.front();
+    cls.exact = false;
+    for (const auto& r : rates_) {
+      cls.env_birth = std::max(cls.env_birth, r.birth_rate);
+      cls.env_death = std::max(cls.env_death, r.death_rate);
+    }
+    std::fill(class_of_.begin(), class_of_.end(), std::uint8_t{0});
+  } else {
+    classes_.assign(ids.size(), RateClass{});
+    for (const auto& [key, id] : ids) {
+      classes_[id].env_birth = std::bit_cast<double>(key.first);
+      classes_[id].env_death = std::bit_cast<double>(key.second);
+    }
+  }
+
   on_.resize(pairs, 0);
   snapshot_.reset(n_);
   initialize();
@@ -36,9 +88,7 @@ HeterogeneousEdgeMEG::HeterogeneousEdgeMEG(std::size_t num_nodes,
 
 std::size_t HeterogeneousEdgeMEG::pair_index(NodeId i, NodeId j) const {
   assert(i < j && j < n_);
-  const std::size_t row_start =
-      static_cast<std::size_t>(i) * (2 * n_ - i - 1) / 2;
-  return row_start + (j - i - 1);
+  return pair_index_of(n_, i, j);
 }
 
 TwoStateParams HeterogeneousEdgeMEG::edge_rates(NodeId i, NodeId j) const {
@@ -49,35 +99,105 @@ TwoStateParams HeterogeneousEdgeMEG::edge_rates(NodeId i, NodeId j) const {
   return rates_[pair_index(i, j)];
 }
 
+bool HeterogeneousEdgeMEG::edge_on(NodeId i, NodeId j) const {
+  if (i == j || i >= n_ || j >= n_) {
+    throw std::out_of_range("edge_on: bad pair");
+  }
+  if (i > j) std::swap(i, j);
+  return on_[pair_index(i, j)] != 0;
+}
+
 void HeterogeneousEdgeMEG::initialize() {
-  for (std::size_t e = 0; e < on_.size(); ++e) {
-    const auto& r = rates_[e];
-    on_[e] = rng_.bernoulli(r.birth_rate / (r.birth_rate + r.death_rate))
-                 ? 1
-                 : 0;
+  for (auto& cls : classes_) {
+    cls.off.clear();
+    cls.on.clear();
+  }
+  on_keys_.clear();
+  // Same per-pair stationary draws (and RNG stream) as the historical
+  // initializer, so initial states match the reference sampler exactly.
+  std::size_t e = 0;
+  for (NodeId i = 0; i + 1 < n_; ++i) {
+    for (NodeId j = i + 1; j < n_; ++j, ++e) {
+      const auto& r = rates_[e];
+      const bool on =
+          rng_.bernoulli(r.birth_rate / (r.birth_rate + r.death_rate));
+      on_[e] = on ? 1 : 0;
+      const std::uint64_t key = pack_pair(i, j);
+      auto& cls = classes_[class_of_[e]];
+      (on ? cls.on : cls.off).push_back(key);
+      if (on) on_keys_.push_back(key);  // ascending e => sorted
+    }
   }
   rebuild_snapshot();
 }
 
 void HeterogeneousEdgeMEG::rebuild_snapshot() {
   snapshot_.clear();
-  std::size_t e = 0;
-  for (NodeId i = 0; i + 1 < n_; ++i) {
-    for (NodeId j = i + 1; j < n_; ++j, ++e) {
-      if (on_[e]) snapshot_.add_edge(i, j);
-    }
+  for (std::uint64_t key : on_keys_) {
+    snapshot_.add_edge(pair_key_i(key), pair_key_j(key));
   }
 }
 
 void HeterogeneousEdgeMEG::step() {
-  for (std::size_t e = 0; e < on_.size(); ++e) {
-    const auto& r = rates_[e];
-    if (on_[e]) {
-      if (rng_.bernoulli(r.death_rate)) on_[e] = 0;
-    } else {
-      if (rng_.bernoulli(r.birth_rate)) on_[e] = 1;
-    }
+  // Phase 1 (consumes RNG): per class, geometric-skip over the on-bucket
+  // with the envelope death rate and the off-bucket with the envelope
+  // birth rate.  Inexact (envelope) classes thin each candidate with an
+  // acceptance draw rate_e / envelope, which recovers each edge's exact
+  // per-step flip probability.  All scans run against the pre-step
+  // buckets, so an edge never flips twice in one step.
+  deaths_.clear();
+  births_.clear();
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    auto& cls = classes_[c];
+    geometric_select(rng_, cls.on.size(), cls.env_death,
+                     [&](std::uint64_t pos) {
+                       if (!cls.exact) {
+                         const auto& r = rates_[unpack_index(n_, cls.on[pos])];
+                         if (!rng_.bernoulli(r.death_rate / cls.env_death)) {
+                           return;
+                         }
+                       }
+                       deaths_.push_back({static_cast<std::uint32_t>(c), pos});
+                     });
+    geometric_select(rng_, cls.off.size(), cls.env_birth,
+                     [&](std::uint64_t pos) {
+                       if (!cls.exact) {
+                         const auto& r = rates_[unpack_index(n_, cls.off[pos])];
+                         if (!rng_.bernoulli(r.birth_rate / cls.env_birth)) {
+                           return;
+                         }
+                       }
+                       births_.push_back({static_cast<std::uint32_t>(c), pos});
+                     });
   }
+
+  // Phase 2 (no RNG): apply deaths then births.  Positions were recorded
+  // ascending per bucket; reverse iteration processes them descending, so
+  // each swap-remove only disturbs already-handled positions, and the
+  // appends (dead keys onto off-buckets, born keys onto on-buckets) land
+  // past every recorded position.
+  died_.clear();
+  born_.clear();
+  for (auto it = deaths_.rbegin(); it != deaths_.rend(); ++it) {
+    auto& cls = classes_[it->cls];
+    const std::uint64_t key = cls.on[it->pos];
+    cls.on[it->pos] = cls.on.back();
+    cls.on.pop_back();
+    cls.off.push_back(key);
+    on_[unpack_index(n_, key)] = 0;
+    died_.push_back(key);
+  }
+  for (auto it = births_.rbegin(); it != births_.rend(); ++it) {
+    auto& cls = classes_[it->cls];
+    const std::uint64_t key = cls.off[it->pos];
+    cls.off[it->pos] = cls.off.back();
+    cls.off.pop_back();
+    cls.on.push_back(key);
+    on_[unpack_index(n_, key)] = 1;
+    born_.push_back(key);
+  }
+
+  apply_on_set_delta(on_keys_, died_, born_, merged_);
   rebuild_snapshot();
   advance_clock();
 }

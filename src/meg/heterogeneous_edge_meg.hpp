@@ -8,6 +8,17 @@
 // model exercises exactly that worst-edge structure — the ablation
 // bench_a3 compares it against a homogeneous model matched to the same
 // worst-edge alpha.
+//
+// Sampling engine: edges are bucketed by rate class (distinct (p, q)
+// pairs, e.g. the two classes of two_speed_rates) and, within a class, by
+// current on/off state.  Each step geometric-skips over every bucket with
+// the class's envelope rate, so only the edges that actually flip are
+// touched — O(flips + |E_t|) instead of one Bernoulli per pair.  When the
+// sampler draws more distinct rates than kMaxExactClasses (e.g. the
+// continuous uniform_alpha_rates), all edges share one class whose
+// envelope is the maximum rate and candidates are thinned by an
+// acceptance draw p_e / p_max (exact by superposition), which keeps the
+// step output-sensitive as long as max/mean rates are comparable.
 
 #include <cstdint>
 #include <functional>
@@ -42,18 +53,55 @@ class HeterogeneousEdgeMEG final : public DynamicGraph {
 
   TwoStateParams edge_rates(NodeId i, NodeId j) const;
 
+  // Current on/off state of pair {i, j} (i != j); O(1).  The equivalence
+  // suite uses this to cross-check the incrementally maintained snapshot
+  // against a brute-force recomputation.
+  bool edge_on(NodeId i, NodeId j) const;
+
+  // Number of rate classes the skip engine uses: the count of distinct
+  // (p, q) pairs, or 1 when that count exceeds kMaxExactClasses and the
+  // engine falls back to one envelope-thinned class.
+  std::size_t num_rate_classes() const noexcept { return classes_.size(); }
+
+  static constexpr std::size_t kMaxExactClasses = 64;
+
  private:
+  struct RateClass {
+    double env_birth = 0.0;  // envelope (max) birth rate over members
+    double env_death = 0.0;
+    bool exact = true;       // all members share the envelope rates
+    std::vector<std::uint64_t> off;  // packed (i << 32 | j) keys
+    std::vector<std::uint64_t> on;
+  };
+
   std::size_t pair_index(NodeId i, NodeId j) const;
   void initialize();
   void rebuild_snapshot();
 
   std::size_t n_;
   Rng rng_;
-  std::vector<TwoStateParams> rates_;  // row-major upper triangle
-  std::vector<char> on_;
+  std::vector<TwoStateParams> rates_;   // row-major upper triangle
+  std::vector<std::uint8_t> class_of_;  // rate-class id per pair
+  std::vector<RateClass> classes_;
+  std::vector<char> on_;                // per-pair on/off state
   double min_alpha_ = 1.0;
   double max_alpha_ = 0.0;
   std::size_t max_mixing_ = 0;
+
+  // Sorted packed keys of the current edge set.
+  std::vector<std::uint64_t> on_keys_;
+
+  // Step scratch (capacity reused across steps).
+  struct Flip {
+    std::uint32_t cls;
+    std::uint64_t pos;
+  };
+  std::vector<Flip> deaths_;
+  std::vector<Flip> births_;
+  std::vector<std::uint64_t> died_;
+  std::vector<std::uint64_t> born_;
+  std::vector<std::uint64_t> merged_;
+
   Snapshot snapshot_;
 };
 

@@ -1,0 +1,41 @@
+#pragma once
+
+// Shared incremental maintenance of a sorted on-edge set (packed pair
+// keys, see meg/pair_index.hpp) for the geometric-skip edge-MEG engines:
+// per step only the flipped edges are known, and the set is updated with
+// one merge pass instead of an O(n^2) rebuild.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace megflood {
+
+// Applies on := (on \ died) ∪ born in a single linear pass.
+// Preconditions: `on` is sorted; every key in `died` is present in `on`;
+// no key in `born` is present in `on`.  `died` and `born` may arrive in
+// any order (they are sorted in place); `scratch` is reused capacity.
+inline void apply_on_set_delta(std::vector<std::uint64_t>& on,
+                               std::vector<std::uint64_t>& died,
+                               std::vector<std::uint64_t>& born,
+                               std::vector<std::uint64_t>& scratch) {
+  if (died.empty() && born.empty()) return;
+  std::sort(died.begin(), died.end());
+  std::sort(born.begin(), born.end());
+  scratch.clear();
+  scratch.reserve(on.size() - died.size() + born.size());
+  auto d = died.begin();
+  auto b = born.begin();
+  for (const std::uint64_t key : on) {
+    if (d != died.end() && *d == key) {
+      ++d;
+      continue;
+    }
+    while (b != born.end() && *b < key) scratch.push_back(*b++);
+    scratch.push_back(key);
+  }
+  scratch.insert(scratch.end(), b, born.end());
+  std::swap(on, scratch);
+}
+
+}  // namespace megflood

@@ -21,6 +21,23 @@ inline constexpr std::uint64_t pair_count(std::uint64_t n) noexcept {
   return n * (n - 1) / 2;
 }
 
+// Packed-key representation of a pair (i < j): (i << 32) | j.  Keys sort
+// in the same order as the row-major linear pair index, so sorted key
+// vectors and sorted index vectors enumerate pairs identically.  Shared
+// by every edge-MEG's on-set / bucket storage.
+inline constexpr std::uint64_t pack_pair(std::uint32_t i,
+                                         std::uint32_t j) noexcept {
+  return (static_cast<std::uint64_t>(i) << 32) | j;
+}
+
+inline constexpr std::uint32_t pair_key_i(std::uint64_t key) noexcept {
+  return static_cast<std::uint32_t>(key >> 32);
+}
+
+inline constexpr std::uint32_t pair_key_j(std::uint64_t key) noexcept {
+  return static_cast<std::uint32_t>(key & 0xffffffffu);
+}
+
 // Index of the first pair in row i (pairs (i, j) with j > i).
 inline constexpr std::uint64_t pair_row_start(std::uint64_t n,
                                               std::uint64_t i) noexcept {

@@ -85,8 +85,10 @@ class Rng {
   bool bernoulli(double p) noexcept { return uniform() < p; }
 
   // Geometric number of failures before first success, success prob p in
-  // (0,1].  Returns a saturating large value if p is tiny enough that the
-  // draw overflows.
+  // (0,1].  Saturates to numeric_limits<uint64_t>::max() if p is tiny
+  // enough that the draw overflows — callers that accumulate skips must
+  // use geometric_select() (or an equivalent pre-add bound check) so the
+  // saturated value cannot wrap their index arithmetic.
   std::uint64_t geometric(double p) noexcept;
 
   // Derive a statistically independent child generator (e.g. one per node).
@@ -99,6 +101,26 @@ class Rng {
 
   std::uint64_t s_[4];
 };
+
+// Selects each index in [0, count) independently with probability p and
+// calls visit(i) for the selected indices in ascending order, consuming
+// one geometric draw per gap (the batch-sampling primitive behind the
+// sparse edge-MEG steps).  Overflow-safe: the skip is checked against the
+// remaining range before it is added, so a saturated geometric draw ends
+// the scan instead of wrapping the index.  Consumes no draws when p <= 0
+// or count == 0.
+template <typename Visit>
+inline void geometric_select(Rng& rng, std::uint64_t count, double p,
+                             Visit&& visit) {
+  if (p <= 0.0 || count == 0) return;
+  std::uint64_t i = rng.geometric(p);
+  while (i < count) {
+    visit(i);
+    const std::uint64_t skip = rng.geometric(p);
+    if (skip >= count - i - 1) break;  // next index would pass the end
+    i += 1 + skip;
+  }
+}
 
 // Expand one master seed into `count` per-entity seeds.
 std::vector<std::uint64_t> derive_seeds(std::uint64_t master, std::size_t count);

@@ -65,8 +65,10 @@ LinearFit linear_fit(const std::vector<double>& x, const std::vector<double>& y)
 // intercept = log(c)}.  All inputs must be strictly positive.
 LinearFit loglog_fit(const std::vector<double>& x, const std::vector<double>& y);
 
-// Approximate two-sided confidence half-width of the mean at ~95% using the
-// normal approximation (adequate for the trial counts we use, >= 20).
+// Two-sided ~95% confidence half-width of the mean: Student-t critical
+// values for small samples (count <= 30, where the normal interval badly
+// undercovers), the z = 1.96 normal approximation beyond.  Returns 0 for
+// fewer than two samples.
 double mean_ci_halfwidth(const Summary& s);
 
 }  // namespace megflood

@@ -8,8 +8,17 @@
 //                       protocol, scalar per-source all-sources loop.
 //  * RefTwoStateEdgeMEG — unordered_set on-set re-sorted every step with
 //                       the double/sqrt triangular inversion.
+//  * RefGeneralEdgeMEG / RefHeterogeneousEdgeMEG — the historical
+//                       one-RNG-draw-per-pair-per-step samplers that the
+//                       geometric-skip engines replaced.  The skip engines
+//                       consume the RNG in a different order, so the suite
+//                       checks them distributionally (stationary
+//                       frequencies, transition counts) instead of
+//                       bit-for-bit — except at t = 0, where the
+//                       initializers share the historical stream and must
+//                       match exactly.
 // None of this is reachable from the library; it exists so the production
-// engine can be proven bit-for-bit equivalent on the same seeds.
+// engine can be proven equivalent.
 
 #include <algorithm>
 #include <cassert>
@@ -20,7 +29,9 @@
 #include <vector>
 
 #include "core/snapshot.hpp"
+#include "markov/chain.hpp"
 #include "markov/two_state.hpp"
+#include "meg/heterogeneous_edge_meg.hpp"
 #include "util/rng.hpp"
 
 namespace megflood::reference {
@@ -151,10 +162,15 @@ class RefTwoStateEdgeMEG {
       for (std::uint64_t e : killed) on_.erase(e);
     }
     if (p > 0.0) {
+      // Same draws as the historical loop, with the pre-add bound check
+      // geometric_select uses (a saturated draw must end the scan, not
+      // wrap e).
       std::uint64_t e = rng_.geometric(p);
       while (e < total_pairs_) {
         if (!killed.contains(e)) on_.insert(e);
-        e += 1 + rng_.geometric(p);
+        const std::uint64_t skip = rng_.geometric(p);
+        if (skip >= total_pairs_ - e - 1) break;
+        e += 1 + skip;
       }
     }
   }
@@ -183,7 +199,9 @@ class RefTwoStateEdgeMEG {
       std::uint64_t e = rng_.geometric(pi);
       while (e < total_pairs_) {
         on_.insert(e);
-        e += 1 + rng_.geometric(pi);
+        const std::uint64_t skip = rng_.geometric(pi);
+        if (skip >= total_pairs_ - e - 1) break;
+        e += 1 + skip;
       }
     }
   }
@@ -210,6 +228,124 @@ class RefTwoStateEdgeMEG {
   Rng rng_;
   std::uint64_t total_pairs_;
   std::unordered_set<std::uint64_t> on_;
+};
+
+// Faithful copy of the historical GeneralEdgeMEG sampler: one
+// chain.sample_next draw per pair per step, full O(n^2) state walk.
+class RefGeneralEdgeMEG {
+ public:
+  RefGeneralEdgeMEG(std::size_t num_nodes, DenseChain chain,
+                    std::vector<bool> chi, std::uint64_t seed)
+      : n_(num_nodes),
+        chain_(std::move(chain)),
+        chi_(std::move(chi)),
+        rng_(seed) {
+    stationary_ = chain_.stationary();
+    states_.resize(n_ * (n_ - 1) / 2);
+    initialize();
+  }
+
+  void step() {
+    for (auto& s : states_) {
+      s = static_cast<std::uint8_t>(chain_.sample_next(s, rng_));
+    }
+  }
+
+  void reset(std::uint64_t seed) {
+    rng_.reseed(seed);
+    initialize();
+  }
+
+  StateId state(std::size_t pair) const { return states_.at(pair); }
+  std::size_t num_pairs() const { return states_.size(); }
+
+  // Canonical sorted (u < v) edge list of the current state.
+  std::vector<std::pair<NodeId, NodeId>> edges() const {
+    std::vector<std::pair<NodeId, NodeId>> result;
+    std::size_t e = 0;
+    for (NodeId i = 0; i + 1 < n_; ++i) {
+      for (NodeId j = i + 1; j < n_; ++j, ++e) {
+        if (chi_[states_[e]]) result.emplace_back(i, j);
+      }
+    }
+    return result;
+  }
+
+ private:
+  void initialize() {
+    for (auto& s : states_) {
+      s = static_cast<std::uint8_t>(DenseChain::sample_from(stationary_, rng_));
+    }
+  }
+
+  std::size_t n_;
+  DenseChain chain_;
+  std::vector<bool> chi_;
+  Rng rng_;
+  std::vector<double> stationary_;
+  std::vector<std::uint8_t> states_;
+};
+
+// Faithful copy of the historical HeterogeneousEdgeMEG sampler: one
+// Bernoulli draw per pair per step.  Shares the production rate-stream
+// derivation (seed ^ constant), so the same (sampler, seed) builds the
+// identical rate assignment as the production model.
+class RefHeterogeneousEdgeMEG {
+ public:
+  RefHeterogeneousEdgeMEG(std::size_t num_nodes, const EdgeRateSampler& sampler,
+                          std::uint64_t seed)
+      : n_(num_nodes), rng_(seed) {
+    const std::size_t pairs = n_ * (n_ - 1) / 2;
+    rates_.reserve(pairs);
+    Rng rate_rng(seed ^ 0x5bf03635d1f4bb21ULL);
+    for (std::size_t e = 0; e < pairs; ++e) rates_.push_back(sampler(rate_rng));
+    on_.resize(pairs, 0);
+    initialize();
+  }
+
+  void step() {
+    for (std::size_t e = 0; e < on_.size(); ++e) {
+      const auto& r = rates_[e];
+      if (on_[e]) {
+        if (rng_.bernoulli(r.death_rate)) on_[e] = 0;
+      } else {
+        if (rng_.bernoulli(r.birth_rate)) on_[e] = 1;
+      }
+    }
+  }
+
+  void reset(std::uint64_t seed) {
+    rng_.reseed(seed);
+    initialize();
+  }
+
+  bool on(std::size_t pair) const { return on_.at(pair) != 0; }
+  std::size_t num_pairs() const { return on_.size(); }
+
+  std::vector<std::pair<NodeId, NodeId>> edges() const {
+    std::vector<std::pair<NodeId, NodeId>> result;
+    std::size_t e = 0;
+    for (NodeId i = 0; i + 1 < n_; ++i) {
+      for (NodeId j = i + 1; j < n_; ++j, ++e) {
+        if (on_[e]) result.emplace_back(i, j);
+      }
+    }
+    return result;
+  }
+
+ private:
+  void initialize() {
+    for (std::size_t e = 0; e < on_.size(); ++e) {
+      const auto& r = rates_[e];
+      on_[e] =
+          rng_.bernoulli(r.birth_rate / (r.birth_rate + r.death_rate)) ? 1 : 0;
+    }
+  }
+
+  std::size_t n_;
+  Rng rng_;
+  std::vector<TwoStateParams> rates_;
+  std::vector<char> on_;
 };
 
 }  // namespace megflood::reference

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/flooding.hpp"
@@ -95,6 +96,62 @@ TEST(HeterogeneousEdgeMEG, FloodingCompletes) {
   HeterogeneousEdgeMEG meg(48, uniform_alpha_rates(0.02, 0.1, 0.05, 0.2), 23);
   const FloodResult r = flood(meg, 0, 100000);
   EXPECT_TRUE(r.completed);
+}
+
+TEST(HeterogeneousEdgeMEG, PairIndexRoundTripsRowMajor) {
+  // A sampler that encodes its call number in the birth rate: the k-th
+  // drawn rate must land on the k-th pair of the row-major upper-triangle
+  // enumeration, i.e. edge_rates(i, j) inverts pair_index exactly.
+  constexpr std::size_t n = 9;
+  std::size_t calls = 0;
+  auto counting = [&calls](Rng&) {
+    ++calls;
+    return TwoStateParams{1e-6 * static_cast<double>(calls), 0.5};
+  };
+  HeterogeneousEdgeMEG meg(n, counting, 3);
+  EXPECT_EQ(calls, n * (n - 1) / 2);
+  std::size_t expected = 0;
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      ++expected;
+      EXPECT_DOUBLE_EQ(meg.edge_rates(i, j).birth_rate,
+                       1e-6 * static_cast<double>(expected))
+          << "pair (" << i << "," << j << ")";
+      // Symmetric lookup hits the same slot.
+      EXPECT_DOUBLE_EQ(meg.edge_rates(j, i).birth_rate,
+                       meg.edge_rates(i, j).birth_rate);
+    }
+  }
+}
+
+TEST(HeterogeneousEdgeMEG, AggregatesMatchBruteForceOverEdgeRates) {
+  constexpr std::size_t n = 14;
+  HeterogeneousEdgeMEG meg(n, uniform_alpha_rates(0.05, 0.3, 0.1, 0.5), 29);
+  double min_alpha = 1.0, max_alpha = 0.0;
+  std::size_t max_mixing = 0;
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      const TwoStateChain chain(meg.edge_rates(i, j));
+      min_alpha = std::min(min_alpha, chain.stationary_on());
+      max_alpha = std::max(max_alpha, chain.stationary_on());
+      max_mixing = std::max(max_mixing, chain.mixing_time());
+    }
+  }
+  EXPECT_DOUBLE_EQ(meg.min_alpha(), min_alpha);
+  EXPECT_DOUBLE_EQ(meg.max_alpha(), max_alpha);
+  EXPECT_EQ(meg.max_mixing_time(), max_mixing);
+}
+
+TEST(HeterogeneousEdgeMEG, AggregatesOverwriteSentinelsOnSingleEdge) {
+  // The aggregates start from the 1.0 / 0.0 / 0 sentinels declared in the
+  // header; with a single pair they must equal that pair's exact values.
+  const TwoStateParams rates{0.2, 0.3};
+  HeterogeneousEdgeMEG meg(2, [&](Rng&) { return rates; }, 5);
+  const TwoStateChain chain(rates);
+  EXPECT_DOUBLE_EQ(meg.min_alpha(), chain.stationary_on());
+  EXPECT_DOUBLE_EQ(meg.max_alpha(), chain.stationary_on());
+  EXPECT_EQ(meg.max_mixing_time(), chain.mixing_time());
+  EXPECT_EQ(meg.num_rate_classes(), 1u);
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <set>
 #include <vector>
 
@@ -135,6 +137,64 @@ TEST(Rng, GeometricMeanMatches) {
 TEST(Rng, GeometricWithPOne) {
   Rng rng(16);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Rng, GeometricNearOneIsZeroOrTiny) {
+  // p so close to 1 that failures are ~impossible: log1p(-p) is a large
+  // negative number and the inversion must stay at 0 (never negative,
+  // never saturated).
+  Rng rng(17);
+  const double p = 1.0 - 1e-12;
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(rng.geometric(p), 0u);
+}
+
+TEST(Rng, GeometricTinyPSaturatesToMax) {
+  // For subnormal p the draw overflows double -> uint64 conversion; the
+  // documented behavior is saturation to numeric_limits::max(), not the
+  // historical 9e18 sentinel.  (u = 1 exactly would return 0, but its
+  // probability is 2^-53; every observable draw saturates.)
+  Rng rng(18);
+  constexpr auto kMax = std::numeric_limits<std::uint64_t>::max();
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(rng.geometric(5e-324), kMax);
+}
+
+TEST(Rng, GeometricSmallPMeanMatches) {
+  // p near 0 (but representable): the failure count is huge yet finite;
+  // the empirical mean must track (1-p)/p ~ 1/p.
+  Rng rng(19);
+  const double p = 1e-6;
+  double sum = 0.0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t draw = rng.geometric(p);
+    ASSERT_LT(draw, std::numeric_limits<std::uint64_t>::max());
+    sum += static_cast<double>(draw);
+  }
+  EXPECT_NEAR(sum / kDraws, (1.0 - p) / p, 0.05 / p);
+}
+
+TEST(Rng, GeometricSelectMatchesLoopAndNeverWraps) {
+  // geometric_select must consume the identical stream as the historical
+  // `i = g0; while (i < count) { visit; i += 1 + g; }` pattern, without
+  // the wrap-around that pattern suffers at the saturated draw.
+  Rng a(23), b(23);
+  constexpr std::uint64_t kCount = 1000;
+  const double p = 0.01;
+  std::vector<std::uint64_t> got, want;
+  geometric_select(a, kCount, p, [&](std::uint64_t i) { got.push_back(i); });
+  std::uint64_t e = b.geometric(p);
+  while (e < kCount) {
+    want.push_back(e);
+    e += 1 + b.geometric(p);
+  }
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(a(), b());  // streams fully aligned afterwards
+
+  // With a saturating p the selection is empty and terminates.
+  Rng c(24);
+  std::size_t visits = 0;
+  geometric_select(c, kCount, 5e-324, [&](std::uint64_t) { ++visits; });
+  EXPECT_EQ(visits, 0u);
 }
 
 TEST(Rng, SplitProducesIndependentStream) {

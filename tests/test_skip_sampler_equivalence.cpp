@@ -1,0 +1,293 @@
+// Equivalence suite for the geometric-skip samplers behind
+// GeneralEdgeMEG and HeterogeneousEdgeMEG (PR 2).  The skip engines
+// consume the RNG in a different order than the historical per-pair
+// samplers (retained in tests/reference_engine.hpp), so the proof has
+// three parts:
+//  1. exactness at t = 0 — the initializers share the historical stream,
+//     so initial states must match the reference bit-for-bit;
+//  2. exact snapshot-set equality against brute force — at every step the
+//     incrementally maintained snapshot must equal the edge set
+//     recomputed by an O(n^2) walk of the model's own per-pair state;
+//  3. distributional equivalence — stationary on-frequencies and per-step
+//     transition counts must agree with the reference sampler within
+//     binomial confidence bounds (both engines simulate the same chain).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "meg/general_edge_meg.hpp"
+#include "meg/heterogeneous_edge_meg.hpp"
+#include "meg/pair_index.hpp"
+#include "reference_engine.hpp"
+
+namespace megflood {
+namespace {
+
+using EdgeList = std::vector<std::pair<NodeId, NodeId>>;
+
+EdgeList brute_force_edges(const GeneralEdgeMEG& meg,
+                           const std::vector<bool>& chi) {
+  EdgeList edges;
+  const auto n = static_cast<NodeId>(meg.num_nodes());
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      if (chi[meg.pair_state(i, j)]) edges.emplace_back(i, j);
+    }
+  }
+  return edges;
+}
+
+EdgeList brute_force_edges(const HeterogeneousEdgeMEG& meg) {
+  EdgeList edges;
+  const auto n = static_cast<NodeId>(meg.num_nodes());
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      if (meg.edge_on(i, j)) edges.emplace_back(i, j);
+    }
+  }
+  return edges;
+}
+
+// Counts on-pairs and (off->on, on->off) flips of one engine over `steps`
+// steps via a caller-supplied per-pair on/off probe.
+struct FlipCounts {
+  std::uint64_t on_observations = 0;
+  std::uint64_t births = 0;
+  std::uint64_t deaths = 0;
+  std::uint64_t pair_steps = 0;
+};
+
+template <typename Probe>
+FlipCounts count_flips(std::size_t pairs, std::size_t steps, Probe&& probe) {
+  FlipCounts c;
+  std::vector<char> prev(pairs), cur(pairs);
+  probe(prev);
+  for (std::size_t t = 0; t < steps; ++t) {
+    probe(cur);  // probe() steps the model then reads the states
+    for (std::size_t e = 0; e < pairs; ++e) {
+      c.on_observations += cur[e] != 0;
+      c.births += !prev[e] && cur[e];
+      c.deaths += prev[e] && !cur[e];
+    }
+    c.pair_steps += pairs;
+    std::swap(prev, cur);
+  }
+  return c;
+}
+
+// Two empirical frequencies agree if their difference is within 8
+// standard errors of the pooled binomial — deliberately slack, since the
+// per-pair-step samples are autocorrelated across steps (effective sample
+// size is well below the nominal denominator).
+void expect_close_rates(double a_num, double b_num, double denom,
+                        const char* what) {
+  const double fa = a_num / denom;
+  const double fb = b_num / denom;
+  const double pooled = 0.5 * (fa + fb);
+  const double se = std::sqrt(std::max(pooled * (1.0 - pooled), 1e-12) / denom);
+  EXPECT_NEAR(fa, fb, 8.0 * se + 1e-9) << what;
+}
+
+// ---------------------------------------------------------------------------
+// GeneralEdgeMEG
+// ---------------------------------------------------------------------------
+
+TEST(SkipSamplerGeneral, InitialStateMatchesReferenceExactly) {
+  const auto link = make_bursty_link(0.1, 0.4, 0.3);
+  for (std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+    GeneralEdgeMEG meg(20, link.chain, link.chi, seed);
+    reference::RefGeneralEdgeMEG ref(20, link.chain, link.chi, seed);
+    EXPECT_EQ(meg.snapshot().edges(), ref.edges()) << "seed " << seed;
+    for (NodeId i = 0; i + 1 < 20; ++i) {
+      for (NodeId j = i + 1; j < 20; ++j) {
+        ASSERT_EQ(meg.pair_state(i, j),
+                  ref.state(pair_index_of(20, i, j)))
+            << "seed " << seed << " pair (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(SkipSamplerGeneral, SnapshotMatchesBruteForceEveryStep) {
+  const auto link = make_four_state_link({});
+  GeneralEdgeMEG meg(12, link.chain, link.chi, 3);
+  for (std::size_t t = 0; t < 300; ++t) {
+    ASSERT_EQ(meg.snapshot().edges(), brute_force_edges(meg, link.chi))
+        << "step " << t;
+    meg.step();
+  }
+}
+
+TEST(SkipSamplerGeneral, SnapshotMatchesBruteForceDutyCycle) {
+  // The cyclic chain has exit probability < 1 in every state and multiple
+  // chi boundaries per cycle; a good stress for the on-set merge.
+  const auto link = make_duty_cycle_link(6, 3, 0.7);
+  GeneralEdgeMEG meg(10, link.chain, link.chi, 11);
+  for (std::size_t t = 0; t < 300; ++t) {
+    ASSERT_EQ(meg.snapshot().edges(), brute_force_edges(meg, link.chi))
+        << "step " << t;
+    meg.step();
+  }
+}
+
+TEST(SkipSamplerGeneral, StationaryFrequencyMatchesReference) {
+  const auto link = make_bursty_link(0.15, 0.5, 0.35);
+  constexpr std::size_t n = 16, kSteps = 800;
+  const std::size_t pairs = n * (n - 1) / 2;
+
+  GeneralEdgeMEG meg(n, link.chain, link.chi, 5);
+  const auto probe_meg = [&](std::vector<char>& out) {
+    std::size_t e = 0;
+    for (NodeId i = 0; i + 1 < n; ++i) {
+      for (NodeId j = i + 1; j < n; ++j, ++e) out[e] = link.chi[meg.pair_state(i, j)];
+    }
+    meg.step();
+  };
+  const FlipCounts got = count_flips(pairs, kSteps, probe_meg);
+
+  reference::RefGeneralEdgeMEG ref(n, link.chain, link.chi, 5);
+  const auto probe_ref = [&](std::vector<char>& out) {
+    for (std::size_t e = 0; e < pairs; ++e) out[e] = link.chi[ref.state(e)];
+    ref.step();
+  };
+  const FlipCounts want = count_flips(pairs, kSteps, probe_ref);
+
+  const auto denom = static_cast<double>(got.pair_steps);
+  expect_close_rates(static_cast<double>(got.on_observations),
+                     static_cast<double>(want.on_observations), denom,
+                     "stationary on-frequency");
+  expect_close_rates(static_cast<double>(got.births),
+                     static_cast<double>(want.births), denom, "birth rate");
+  expect_close_rates(static_cast<double>(got.deaths),
+                     static_cast<double>(want.deaths), denom, "death rate");
+  // Both must also match the analytic stationary density.
+  EXPECT_NEAR(static_cast<double>(got.on_observations) / denom,
+              meg.stationary_edge_probability(), 0.02);
+}
+
+TEST(SkipSamplerGeneral, ResetReproducesSkipStream) {
+  const auto link = make_bursty_link(0.2, 0.4, 0.3);
+  GeneralEdgeMEG meg(16, link.chain, link.chi, 9);
+  std::vector<EdgeList> first;
+  for (int t = 0; t < 24; ++t) {
+    first.push_back(meg.snapshot().edges());
+    meg.step();
+  }
+  meg.reset(9);
+  for (int t = 0; t < 24; ++t) {
+    ASSERT_EQ(meg.snapshot().edges(), first[static_cast<std::size_t>(t)])
+        << "step " << t;
+    meg.step();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HeterogeneousEdgeMEG
+// ---------------------------------------------------------------------------
+
+TEST(SkipSamplerHeterogeneous, InitialStateMatchesReferenceExactly) {
+  const auto sampler = uniform_alpha_rates(0.1, 0.4, 0.1, 0.5);
+  for (std::uint64_t seed : {2ULL, 13ULL, 99ULL}) {
+    HeterogeneousEdgeMEG meg(18, sampler, seed);
+    reference::RefHeterogeneousEdgeMEG ref(18, sampler, seed);
+    EXPECT_EQ(meg.snapshot().edges(), ref.edges()) << "seed " << seed;
+  }
+}
+
+TEST(SkipSamplerHeterogeneous, SnapshotMatchesBruteForceExactClasses) {
+  // two_speed_rates yields exactly two rate classes -> the exact
+  // (no-thinning) path.
+  HeterogeneousEdgeMEG meg(12, two_speed_rates({0.3, 0.4}, 0.5, 0.25), 7);
+  EXPECT_EQ(meg.num_rate_classes(), 2u);
+  for (std::size_t t = 0; t < 300; ++t) {
+    ASSERT_EQ(meg.snapshot().edges(), brute_force_edges(meg)) << "step " << t;
+    meg.step();
+  }
+}
+
+TEST(SkipSamplerHeterogeneous, SnapshotMatchesBruteForceThinned) {
+  // Continuous rates over > kMaxExactClasses pairs -> the envelope +
+  // acceptance-thinning path.
+  HeterogeneousEdgeMEG meg(16, uniform_alpha_rates(0.1, 0.5, 0.1, 0.6), 23);
+  EXPECT_EQ(meg.num_rate_classes(), 1u);
+  for (std::size_t t = 0; t < 300; ++t) {
+    ASSERT_EQ(meg.snapshot().edges(), brute_force_edges(meg)) << "step " << t;
+    meg.step();
+  }
+}
+
+TEST(SkipSamplerHeterogeneous, SmallInstanceUsesExactClasses) {
+  // 6 pairs of continuous rates fit under the class cap: every pair gets
+  // its own exact class.
+  HeterogeneousEdgeMEG meg(4, uniform_alpha_rates(0.1, 0.5, 0.1, 0.6), 23);
+  EXPECT_EQ(meg.num_rate_classes(), 6u);
+  for (std::size_t t = 0; t < 200; ++t) {
+    ASSERT_EQ(meg.snapshot().edges(), brute_force_edges(meg)) << "step " << t;
+    meg.step();
+  }
+}
+
+void expect_heterogeneous_distributional_match(const EdgeRateSampler& sampler,
+                                               std::size_t n,
+                                               std::uint64_t seed) {
+  constexpr std::size_t kSteps = 800;
+  const std::size_t pairs = n * (n - 1) / 2;
+
+  HeterogeneousEdgeMEG meg(n, sampler, seed);
+  const auto probe_meg = [&](std::vector<char>& out) {
+    std::size_t e = 0;
+    for (NodeId i = 0; i + 1 < n; ++i) {
+      for (NodeId j = i + 1; j < n; ++j, ++e) out[e] = meg.edge_on(i, j);
+    }
+    meg.step();
+  };
+  const FlipCounts got = count_flips(pairs, kSteps, probe_meg);
+
+  reference::RefHeterogeneousEdgeMEG ref(n, sampler, seed);
+  const auto probe_ref = [&](std::vector<char>& out) {
+    for (std::size_t e = 0; e < pairs; ++e) out[e] = ref.on(e);
+    ref.step();
+  };
+  const FlipCounts want = count_flips(pairs, kSteps, probe_ref);
+
+  const auto denom = static_cast<double>(got.pair_steps);
+  expect_close_rates(static_cast<double>(got.on_observations),
+                     static_cast<double>(want.on_observations), denom,
+                     "stationary on-frequency");
+  expect_close_rates(static_cast<double>(got.births),
+                     static_cast<double>(want.births), denom, "birth rate");
+  expect_close_rates(static_cast<double>(got.deaths),
+                     static_cast<double>(want.deaths), denom, "death rate");
+}
+
+TEST(SkipSamplerHeterogeneous, DistributionMatchesReferenceExactClasses) {
+  expect_heterogeneous_distributional_match(
+      two_speed_rates({0.25, 0.35}, 0.4, 0.2), 16, 31);
+}
+
+TEST(SkipSamplerHeterogeneous, DistributionMatchesReferenceThinned) {
+  expect_heterogeneous_distributional_match(
+      uniform_alpha_rates(0.15, 0.45, 0.15, 0.5), 16, 37);
+}
+
+TEST(SkipSamplerHeterogeneous, ResetReproducesSkipStream) {
+  HeterogeneousEdgeMEG meg(14, uniform_alpha_rates(0.1, 0.4, 0.2, 0.5), 41);
+  std::vector<EdgeList> first;
+  for (int t = 0; t < 24; ++t) {
+    first.push_back(meg.snapshot().edges());
+    meg.step();
+  }
+  meg.reset(41);
+  for (int t = 0; t < 24; ++t) {
+    ASSERT_EQ(meg.snapshot().edges(), first[static_cast<std::size_t>(t)])
+        << "step " << t;
+    meg.step();
+  }
+}
+
+}  // namespace
+}  // namespace megflood

@@ -134,6 +134,39 @@ TEST(MeanCiHalfwidth, ZeroForConstantSample) {
   EXPECT_DOUBLE_EQ(mean_ci_halfwidth(s), 0.0);
 }
 
+TEST(MeanCiHalfwidth, StudentTForTinySamples) {
+  // Known t critical values (two-sided 95%): df = 1 -> 12.706,
+  // df = 3 -> 3.182.  halfwidth = t * stddev / sqrt(count).
+  const Summary two = summarize({1.0, 3.0});  // stddev = sqrt(2)
+  EXPECT_NEAR(mean_ci_halfwidth(two), 12.706 * std::sqrt(2.0) / std::sqrt(2.0),
+              1e-9);
+  const Summary four = summarize({0.0, 0.0, 4.0, 4.0});  // stddev = 4/sqrt(3)
+  EXPECT_NEAR(mean_ci_halfwidth(four),
+              3.182 * (4.0 / std::sqrt(3.0)) / 2.0, 1e-9);
+}
+
+TEST(MeanCiHalfwidth, NormalApproximationForLargeSamples) {
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(static_cast<double>(i % 10));
+  const Summary s = summarize(v);
+  EXPECT_NEAR(mean_ci_halfwidth(s), 1.96 * s.stddev / 10.0, 1e-12);
+}
+
+TEST(MeanCiHalfwidth, SmallSampleWiderThanNormal) {
+  // The t interval must dominate the old z interval for every count < 30
+  // with the same stddev.
+  for (std::size_t count = 2; count < 30; ++count) {
+    std::vector<double> v;
+    for (std::size_t i = 0; i < count; ++i) {
+      v.push_back(i % 2 == 0 ? 0.0 : 1.0);
+    }
+    const Summary s = summarize(v);
+    EXPECT_GT(mean_ci_halfwidth(s),
+              1.96 * s.stddev / std::sqrt(static_cast<double>(count)) - 1e-12)
+        << "count " << count;
+  }
+}
+
 TEST(MeanCiHalfwidth, ShrinksWithSampleSize) {
   std::vector<double> small{1.0, 2.0, 3.0, 4.0};
   std::vector<double> large;

@@ -56,6 +56,88 @@ TEST(MeasureFlooding, CountsIncomplete) {
   EXPECT_EQ(m.rounds.count, 0u);
 }
 
+TEST(MeasureFlooding, AllIncompleteIsDistinguished) {
+  // max_rounds = 0: no trial can complete (n > 1), and the measurement
+  // must say so explicitly instead of summarizing zero samples as
+  // "flooding takes 0 rounds".
+  TrialConfig cfg;
+  cfg.trials = 4;
+  cfg.max_rounds = 0;
+  const auto m = measure_flooding(
+      [](std::uint64_t) {
+        return std::make_unique<FixedDynamicGraph>(path_graph(5));
+      },
+      cfg);
+  EXPECT_TRUE(m.all_incomplete());
+  EXPECT_EQ(m.incomplete, 4u);
+  EXPECT_EQ(m.rounds.count, 0u);
+  EXPECT_EQ(m.spreading_rounds.count, 0u);
+
+  // ... and a run with at least one completion is not all-incomplete.
+  cfg.max_rounds = 100;
+  const auto ok = measure_flooding(
+      [](std::uint64_t) {
+        return std::make_unique<FixedDynamicGraph>(path_graph(5));
+      },
+      cfg);
+  EXPECT_FALSE(ok.all_incomplete());
+}
+
+void expect_identical_measurements(const FloodingMeasurement& a,
+                                   const FloodingMeasurement& b) {
+  EXPECT_EQ(a.incomplete, b.incomplete);
+  const auto expect_same_summary = [](const Summary& x, const Summary& y) {
+    EXPECT_EQ(x.count, y.count);
+    EXPECT_DOUBLE_EQ(x.mean, y.mean);
+    EXPECT_DOUBLE_EQ(x.stddev, y.stddev);
+    EXPECT_DOUBLE_EQ(x.min, y.min);
+    EXPECT_DOUBLE_EQ(x.p25, y.p25);
+    EXPECT_DOUBLE_EQ(x.median, y.median);
+    EXPECT_DOUBLE_EQ(x.p75, y.p75);
+    EXPECT_DOUBLE_EQ(x.p90, y.p90);
+    EXPECT_DOUBLE_EQ(x.p99, y.p99);
+    EXPECT_DOUBLE_EQ(x.max, y.max);
+  };
+  expect_same_summary(a.rounds, b.rounds);
+  expect_same_summary(a.spreading_rounds, b.spreading_rounds);
+  expect_same_summary(a.saturation_rounds, b.saturation_rounds);
+}
+
+TEST(MeasureFlooding, ThreadCountDoesNotChangeResults) {
+  // The threaded runner must produce a bit-identical measurement for any
+  // thread count: trials are pure functions of their derived seed and
+  // index, and the merge folds outcomes in trial order.
+  auto factory = [](std::uint64_t seed) {
+    return std::make_unique<TwoStateEdgeMEG>(40, TwoStateParams{0.08, 0.25},
+                                             seed);
+  };
+  TrialConfig cfg;
+  cfg.trials = 12;
+  cfg.seed = 7;
+  cfg.warmup_steps = 3;
+  cfg.threads = 1;
+  const auto sequential = measure_flooding(factory, cfg);
+  cfg.threads = 4;
+  const auto threaded = measure_flooding(factory, cfg);
+  expect_identical_measurements(sequential, threaded);
+  cfg.threads = 0;  // auto: one worker per hardware thread
+  const auto auto_threaded = measure_flooding(factory, cfg);
+  expect_identical_measurements(sequential, auto_threaded);
+}
+
+TEST(MeasureFlooding, ThreadedPropagatesFactoryExceptions) {
+  TrialConfig cfg;
+  cfg.trials = 8;
+  cfg.threads = 4;
+  EXPECT_THROW(
+      (void)measure_flooding(
+          [](std::uint64_t) -> std::unique_ptr<DynamicGraph> {
+            throw std::runtime_error("boom");
+          },
+          cfg),
+      std::runtime_error);
+}
+
 TEST(MeasureFlooding, ZeroTrialsThrows) {
   TrialConfig cfg;
   cfg.trials = 0;
