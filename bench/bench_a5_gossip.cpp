@@ -7,12 +7,17 @@
 // contact already exhausts the neighborhood: all protocols should land
 // within a small factor of flooding — the "virtual dynamic graph"
 // reduction costs little exactly where the paper's bound is interesting.
+//
+// Every protocol runs through the generic measure() harness (one root
+// seed, derive_seeds per trial, thread pool, incomplete accounting) —
+// there are no per-protocol trial loops or ad-hoc seed arithmetic here.
 
 #include <algorithm>
 #include <iostream>
 #include <memory>
 
 #include "bench_util.hpp"
+#include "core/process.hpp"
 #include "core/trial.hpp"
 #include "meg/edge_meg.hpp"
 #include "mobility/random_waypoint.hpp"
@@ -24,72 +29,57 @@
 namespace megflood {
 namespace {
 
-template <typename Factory>
-void run_model(const std::string& name, Factory&& factory,
+void run_model(const std::string& name, const GraphFactory& factory,
                std::uint64_t warmup) {
   std::cout << "\n-- model: " << name << " --\n";
-  constexpr std::size_t kTrials = 14;
+  TrialConfig cfg;
+  cfg.trials = 14;
+  cfg.seed = 3;
+  cfg.max_rounds = 4'000'000;
+  cfg.rotate_sources = false;
+  cfg.warmup_steps = warmup;
+  cfg.threads = 0;  // one worker per hardware thread; merge is bit-identical
 
-  struct Mode {
+  struct Row {
     std::string label;
-    bool flooding;
-    GossipMode mode;
+    ProcessFactory process;
+    std::string contacts_metric;  // "" = not applicable
   };
-  const std::vector<Mode> modes = {
-      {"flooding", true, GossipMode::kPush},
-      {"push", false, GossipMode::kPush},
-      {"pull", false, GossipMode::kPull},
-      {"push-pull", false, GossipMode::kPushPull},
+  const std::vector<Row> rows = {
+      {"flooding", [] { return std::make_unique<FloodingProcess>(); }, ""},
+      {"push",
+       [] { return std::make_unique<GossipProcess>(GossipMode::kPush); },
+       "contacts"},
+      {"pull",
+       [] { return std::make_unique<GossipProcess>(GossipMode::kPull); },
+       "contacts"},
+      {"push-pull",
+       [] { return std::make_unique<GossipProcess>(GossipMode::kPushPull); },
+       "contacts"},
+      // Radio broadcast with collisions (reference [9]'s model), tau = 1
+      // and ALOHA tau = 0.5.
+      {"radio (tau=1.0)",
+       [] { return std::make_unique<RadioBroadcastProcess>(1.0); },
+       "transmissions"},
+      {"radio (tau=0.5)",
+       [] { return std::make_unique<RadioBroadcastProcess>(0.5); },
+       "transmissions"},
   };
 
   Table table({"protocol", "rounds p50", "rounds p90", "contacts p50"});
   double flooding_median = 1.0;
-  for (const auto& mode : modes) {
-    std::vector<double> rounds, contacts;
-    for (std::uint64_t trial = 0; trial < kTrials; ++trial) {
-      auto model = factory(trial * 211 + 3);
-      for (std::uint64_t w = 0; w < warmup; ++w) model->step();
-      if (mode.flooding) {
-        const FloodResult r = flood(*model, 0, 4'000'000);
-        if (r.completed) {
-          rounds.push_back(static_cast<double>(r.rounds));
-          contacts.push_back(0.0);
-        }
-      } else {
-        const GossipResult r =
-            gossip_flood(*model, 0, mode.mode, 4'000'000, trial * 13 + 7);
-        if (r.flood.completed) {
-          rounds.push_back(static_cast<double>(r.flood.rounds));
-          contacts.push_back(static_cast<double>(r.contacts));
-        }
-      }
+  for (const Row& row : rows) {
+    const Measurement m = measure(factory, row.process, cfg);
+    if (row.contacts_metric.empty()) {
+      flooding_median = std::max(1.0, m.rounds.median);
     }
-    const Summary s = summarize(std::move(rounds));
-    const Summary c = summarize(std::move(contacts));
-    if (mode.flooding) flooding_median = std::max(1.0, s.median);
-    table.add_row({mode.label, Table::num(s.median, 1), Table::num(s.p90, 1),
-                   mode.flooding ? "-" : Table::num(c.median, 0)});
-  }
-  // Radio broadcast with collisions (reference [9]'s model), tau = 1 and
-  // ALOHA tau = 0.5.
-  for (double tau : {1.0, 0.5}) {
-    std::vector<double> rounds, contacts;
-    for (std::uint64_t trial = 0; trial < kTrials; ++trial) {
-      auto model = factory(trial * 211 + 3);
-      for (std::uint64_t w = 0; w < warmup; ++w) model->step();
-      const RadioResult r =
-          radio_broadcast(*model, 0, tau, 4'000'000, trial * 5 + 1);
-      if (r.flood.completed) {
-        rounds.push_back(static_cast<double>(r.flood.rounds));
-        contacts.push_back(static_cast<double>(r.transmissions));
-      }
+    std::string contacts = "-";
+    if (!row.contacts_metric.empty() && !m.all_incomplete()) {
+      contacts = Table::num(m.metrics.at(row.contacts_metric).median, 0);
     }
-    const Summary s = summarize(std::move(rounds));
-    const Summary c = summarize(std::move(contacts));
-    table.add_row({"radio (tau=" + Table::num(tau, 1) + ")",
-                   s.count > 0 ? Table::num(s.median, 1) : "stalled",
-                   s.count > 0 ? Table::num(s.p90, 1) : "-",
-                   s.count > 0 ? Table::num(c.median, 0) : "-"});
+    table.add_row({row.label, bench::fmt_rounds(m, m.rounds.median),
+                   bench::fmt_rounds(m, m.rounds.p90), contacts});
+    bench::warn_incomplete(m, row.label + " on " + name);
   }
   table.print(std::cout);
   std::cout << "flooding median for reference: "
@@ -109,7 +99,7 @@ int main() {
   const std::size_t n = 128;
   run_model(
       "sparse two-state edge-MEG (n = 128)",
-      [&](std::uint64_t seed) {
+      [&](std::uint64_t seed) -> std::unique_ptr<DynamicGraph> {
         return std::make_unique<TwoStateEdgeMEG>(
             n, TwoStateParams{1.0 / static_cast<double>(n * 2), 0.3}, seed);
       },
@@ -124,7 +114,7 @@ int main() {
   RandomWaypointModel warm(96, wp, 0);
   run_model(
       "random waypoint (n = 96, sparse)",
-      [&](std::uint64_t seed) {
+      [&](std::uint64_t seed) -> std::unique_ptr<DynamicGraph> {
         return std::make_unique<RandomWaypointModel>(96, wp, seed);
       },
       warm.suggested_warmup());

@@ -43,10 +43,15 @@ void run_model(const std::string& name, std::size_t n, Factory&& factory,
                std::uint64_t warmup) {
   std::cout << "\n-- model: " << name << " (n = " << n << ") --\n";
   constexpr std::size_t kTrials = 12;
+  // This harness needs the full |I_t| trajectory of every trial (the
+  // doubling milestones), which Measurement does not carry, so it drives
+  // flood() directly — but trial seeds come from the same derive_seeds
+  // expansion the measure() harness uses.
+  const auto seeds = derive_seeds(/*master=*/13, kTrials);
   std::vector<double> spreading, saturation, max_doubling;
   std::vector<std::vector<double>> milestone_samples;
   for (std::uint64_t trial = 0; trial < kTrials; ++trial) {
-    auto model = factory(trial * 7919 + 13);
+    auto model = factory(seeds[trial]);
     for (std::uint64_t w = 0; w < warmup; ++w) model->step();
     const FloodResult r = flood(*model, 0, 4'000'000);
     if (!r.completed) {

@@ -9,12 +9,18 @@
 // sweeping the fan-out k.  Expectations: (ii) and (iii) behave alike,
 // converge to (i) as k grows, and stay within the flooding-bound regime
 // (a constant-factor slowdown for constant k on sparse models).
+//
+// All three run through the generic measure() harness: the direct
+// protocol is KPushProcess, the reduction is plain FloodingProcess on an
+// overlay-wrapped graph factory.  One root seed, derive_seeds per trial,
+// no hand-rolled loops.
 
 #include <algorithm>
 #include <iostream>
 #include <memory>
 
 #include "bench_util.hpp"
+#include "core/process.hpp"
 #include "core/trial.hpp"
 #include "meg/edge_meg.hpp"
 #include "mobility/random_waypoint.hpp"
@@ -25,60 +31,57 @@
 namespace megflood {
 namespace {
 
-template <typename Factory>
-void run_model(const std::string& name, std::size_t n, Factory&& factory,
-               std::uint64_t warmup) {
+void run_model(const std::string& name, std::size_t n,
+               const GraphFactory& factory, std::uint64_t warmup) {
   std::cout << "\n-- model: " << name << " (n = " << n << ") --\n";
-  constexpr std::size_t kTrials = 12;
+  TrialConfig cfg;
+  cfg.trials = 12;
+  cfg.seed = 7;
+  cfg.max_rounds = 2'000'000;
+  cfg.rotate_sources = false;
+  cfg.warmup_steps = warmup;
+  cfg.threads = 0;
 
-  auto flooding_baseline = [&] {
-    std::vector<double> rounds;
-    for (std::uint64_t trial = 0; trial < kTrials; ++trial) {
-      auto model = factory(trial * 101 + 7);
-      for (std::uint64_t w = 0; w < warmup; ++w) model->step();
-      const FloodResult r = flood(*model, 0, 2'000'000);
-      if (r.completed) rounds.push_back(static_cast<double>(r.rounds));
-    }
-    return summarize(std::move(rounds));
-  }();
+  const Measurement flooding_baseline = measure_flooding(factory, cfg);
+  bench::warn_incomplete(flooding_baseline, "flooding on " + name);
+  const double baseline_median = std::max(1.0, flooding_baseline.rounds.median);
 
   Table table({"protocol", "k", "rounds p50", "rounds p90",
                "slowdown vs flooding"});
-  table.add_row({"flooding", "-", Table::num(flooding_baseline.median, 1),
-                 Table::num(flooding_baseline.p90, 1), "1.00"});
+  table.add_row({"flooding", "-",
+                 bench::fmt_rounds(flooding_baseline,
+                                   flooding_baseline.rounds.median),
+                 bench::fmt_rounds(flooding_baseline,
+                                   flooding_baseline.rounds.p90),
+                 "1.00"});
 
   for (std::size_t k : {1, 2, 4, 8}) {
-    std::vector<double> push_rounds, overlay_rounds;
-    for (std::uint64_t trial = 0; trial < kTrials; ++trial) {
-      {
-        auto model = factory(trial * 101 + 7);
-        for (std::uint64_t w = 0; w < warmup; ++w) model->step();
-        const FloodResult r =
-            k_push_flood(*model, 0, k, 2'000'000, trial * 31 + 5);
-        if (r.completed) push_rounds.push_back(static_cast<double>(r.rounds));
-      }
-      {
-        auto model = factory(trial * 101 + 7);
-        for (std::uint64_t w = 0; w < warmup; ++w) model->step();
-        RandomSubsetOverlay overlay(*model, k, trial * 97 + 3);
-        const FloodResult r = flood(overlay, 0, 2'000'000);
-        if (r.completed) {
-          overlay_rounds.push_back(static_cast<double>(r.rounds));
-        }
-      }
-    }
-    const Summary push = summarize(std::move(push_rounds));
-    const Summary over = summarize(std::move(overlay_rounds));
+    const Measurement push = measure(
+        factory, [k] { return std::make_unique<KPushProcess>(k); }, cfg);
+    bench::warn_incomplete(push, "k-push k=" + std::to_string(k));
+    // The reduction: flooding on the virtual graph that keeps at most k
+    // selected incident edges per node.  The overlay owns its inner model
+    // and derives its selection seed from the trial seed, so the whole
+    // trial is still a pure function of one derive_seeds entry.
+    const GraphFactory overlay_factory =
+        [&factory, k](std::uint64_t seed) -> std::unique_ptr<DynamicGraph> {
+      return std::make_unique<RandomSubsetOverlay>(factory(seed), k,
+                                                   seed ^ 0x517cc1b727220a95ULL);
+    };
+    const Measurement over = measure_flooding(overlay_factory, cfg);
+    bench::warn_incomplete(over, "overlay-flood k=" + std::to_string(k));
     table.add_row({"k-push", Table::integer(static_cast<long long>(k)),
-                   Table::num(push.median, 1), Table::num(push.p90, 1),
-                   Table::num(push.median /
-                                  std::max(1.0, flooding_baseline.median),
-                              2)});
+                   bench::fmt_rounds(push, push.rounds.median),
+                   bench::fmt_rounds(push, push.rounds.p90),
+                   push.all_incomplete()
+                       ? "-"
+                       : Table::num(push.rounds.median / baseline_median, 2)});
     table.add_row({"overlay-flood", Table::integer(static_cast<long long>(k)),
-                   Table::num(over.median, 1), Table::num(over.p90, 1),
-                   Table::num(over.median /
-                                  std::max(1.0, flooding_baseline.median),
-                              2)});
+                   bench::fmt_rounds(over, over.rounds.median),
+                   bench::fmt_rounds(over, over.rounds.p90),
+                   over.all_incomplete()
+                       ? "-"
+                       : Table::num(over.rounds.median / baseline_median, 2)});
   }
   table.print(std::cout);
   std::cout << "Expected shape: k-push and overlay-flood track each other\n"
@@ -100,7 +103,7 @@ int main() {
   const std::size_t n = 128;
   run_model(
       "sparse two-state edge-MEG", n,
-      [&](std::uint64_t seed) {
+      [&](std::uint64_t seed) -> std::unique_ptr<DynamicGraph> {
         return std::make_unique<TwoStateEdgeMEG>(
             n, TwoStateParams{1.0 / static_cast<double>(n * 2), 0.3}, seed);
       },
@@ -116,7 +119,7 @@ int main() {
   RandomWaypointModel warm(wn, wp, 0);
   run_model(
       "random waypoint", wn,
-      [&](std::uint64_t seed) {
+      [&](std::uint64_t seed) -> std::unique_ptr<DynamicGraph> {
         return std::make_unique<RandomWaypointModel>(wn, wp, seed);
       },
       warm.suggested_warmup());

@@ -8,14 +8,18 @@
 // full flooding with bandwidth-capped k-push (each peer forwards to at
 // most k overlay neighbors per round, Section 5's randomized protocol)
 // and a TTL-limited "parsimonious" gossip that stops relaying after a few
-// rounds to save messages.
+// rounds to save messages.  Every protocol is a SpreadingProcess run by
+// the generic measure() harness (one root seed, per-trial derive_seeds,
+// thread pool) — the per-protocol trial loops are gone.
 //
 //   $ ./p2p_gossip [peers]
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 
-#include "core/flooding.hpp"
+#include "core/process.hpp"
+#include "core/trial.hpp"
 #include "meg/edge_meg.hpp"
 #include "protocols/k_push.hpp"
 #include "protocols/ttl_flooding.hpp"
@@ -33,49 +37,38 @@ int main(int argc, char** argv) {
   std::cout << "P2P overlay: " << n << " peers, link birth p = " << p
             << ", death q = " << q << " (stationary degree ~4)\n\n";
 
-  constexpr std::size_t kTrials = 10;
+  const GraphFactory overlay_factory =
+      [&](std::uint64_t seed) -> std::unique_ptr<DynamicGraph> {
+    return std::make_unique<TwoStateEdgeMEG>(n, TwoStateParams{p, q}, seed);
+  };
+  TrialConfig cfg;
+  cfg.trials = 10;
+  cfg.seed = 1;
+  cfg.max_rounds = 1'000'000;
+  cfg.rotate_sources = false;
+  cfg.threads = 0;
+
   Table table({"protocol", "delivery p50 (rounds)", "delivery max",
                "transmissions p50"});
-
-  auto run = [&](const std::string& name, auto protocol) {
-    std::vector<double> rounds, msgs;
-    for (std::uint64_t trial = 0; trial < kTrials; ++trial) {
-      TwoStateEdgeMEG overlay(n, {p, q}, trial * 13 + 1);
-      const auto [res, transmissions] = protocol(overlay, trial);
-      if (res.completed) {
-        rounds.push_back(static_cast<double>(res.rounds));
-        msgs.push_back(static_cast<double>(transmissions));
-      }
+  const auto add_row = [&](const std::string& name,
+                           const ProcessFactory& process) {
+    const Measurement m = measure(overlay_factory, process, cfg);
+    if (m.all_incomplete()) {
+      table.add_row({name, "n/a (0 done)", "-", "-"});
+      return;
     }
-    const Summary r = summarize(std::move(rounds));
-    const Summary m = summarize(std::move(msgs));
-    table.add_row({name, Table::num(r.median, 1), Table::num(r.max, 0),
-                   Table::num(m.median, 0)});
+    table.add_row({name, Table::num(m.rounds.median, 1),
+                   Table::num(m.rounds.max, 0),
+                   Table::num(m.metrics.at("transmissions").median, 0)});
   };
 
-  run("flooding", [&](TwoStateEdgeMEG& overlay, std::uint64_t) {
-    const FloodResult res = flood(overlay, 0, 1'000'000);
-    // Flooding transmissions: every informed peer sends every round.
-    std::uint64_t tx = 0;
-    for (std::size_t c : res.informed_counts) tx += c;
-    return std::pair{res, tx};
-  });
+  add_row("flooding", [] { return std::make_unique<FloodingProcess>(); });
   for (std::size_t k : {1, 3}) {
-    run("k-push (k=" + std::to_string(k) + ")",
-        [&, k](TwoStateEdgeMEG& overlay, std::uint64_t trial) {
-          const FloodResult res =
-              k_push_flood(overlay, 0, k, 1'000'000, trial * 7 + 5);
-          std::uint64_t tx = 0;
-          for (std::size_t c : res.informed_counts) {
-            tx += c * k;  // at most k sends per informed peer-round
-          }
-          return std::pair{res, tx};
-        });
+    add_row("k-push (k=" + std::to_string(k) + ")",
+            [k] { return std::make_unique<KPushProcess>(k); });
   }
-  run("ttl gossip (ttl=8)", [&](TwoStateEdgeMEG& overlay, std::uint64_t) {
-    const TtlFloodResult res = ttl_flood(overlay, 0, 8, 1'000'000);
-    return std::pair{res.flood, res.transmissions};
-  });
+  add_row("ttl gossip (ttl=8)",
+          [] { return std::make_unique<TtlFloodingProcess>(8); });
 
   table.print(std::cout);
   std::cout << "\nNote: k-push trades a modest delivery slowdown for a\n"

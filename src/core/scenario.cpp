@@ -1,0 +1,595 @@
+#include "core/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/builders.hpp"
+#include "markov/chain.hpp"
+#include "meg/clique_flicker.hpp"
+#include "meg/edge_meg.hpp"
+#include "meg/general_edge_meg.hpp"
+#include "meg/heterogeneous_edge_meg.hpp"
+#include "meg/node_meg.hpp"
+#include "mobility/random_paths.hpp"
+#include "mobility/random_trip.hpp"
+#include "mobility/random_walk.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "protocols/gossip.hpp"
+#include "protocols/k_push.hpp"
+#include "protocols/radio_broadcast.hpp"
+#include "protocols/ttl_flooding.hpp"
+
+namespace megflood {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::invalid_argument("scenario: " + message);
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  std::size_t pos = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(value, &pos);
+  } catch (const std::exception&) {
+    fail("parameter " + key + ": '" + value + "' is not a number");
+  }
+  if (pos != value.size() || !std::isfinite(parsed)) {
+    // Rejecting non-finite values here keeps every downstream range check
+    // sound (NaN compares false against any bound).
+    fail("parameter " + key + ": '" + value + "' is not a finite number");
+  }
+  return parsed;
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  std::size_t pos = 0;
+  unsigned long long parsed = 0;
+  try {
+    parsed = std::stoull(value, &pos);
+  } catch (const std::exception&) {
+    fail("parameter " + key + ": '" + value +
+         "' is not a non-negative integer");
+  }
+  if (pos != value.size() || (!value.empty() && value[0] == '-')) {
+    fail("parameter " + key + ": '" + value +
+         "' is not a non-negative integer");
+  }
+  return parsed;
+}
+
+// Resolves a model's parameter map against its declared schema: every
+// override key must be declared (unknown key = hard error, a typo never
+// silently becomes a default), every declared key gets its default unless
+// overridden.
+class ParamReader {
+ public:
+  ParamReader(const ScenarioModelInfo& info,
+              const std::map<std::string, std::string>& overrides) {
+    for (const ScenarioParam& p : info.params) {
+      values_[p.name] = p.default_value;
+    }
+    for (const auto& [key, value] : overrides) {
+      const auto it = values_.find(key);
+      if (it == values_.end()) {
+        std::string known;
+        for (const ScenarioParam& p : info.params) {
+          known += (known.empty() ? "" : ", ") + p.name;
+        }
+        fail("model '" + info.name + "' has no parameter '" + key +
+             "' (known: " + known + ")");
+      }
+      it->second = value;
+      overridden_.insert(key);
+    }
+    name_ = info.name;
+  }
+
+  // Hard error when any of `keys` was explicitly overridden but the
+  // selected model variant (described by `variant`) never reads it — an
+  // override the run ignores is as dangerous as a typo'd key.
+  void reject_unused(const std::string& variant,
+                     std::initializer_list<const char*> keys) const {
+    for (const char* key : keys) {
+      if (overridden_.count(key)) {
+        fail("model '" + name_ + "': parameter '" + std::string(key) +
+             "' does not apply to " + variant);
+      }
+    }
+  }
+
+  const std::string& str(const std::string& key) const {
+    return values_.at(key);
+  }
+  double num(const std::string& key) const {
+    return parse_double(key, values_.at(key));
+  }
+  std::uint64_t u64(const std::string& key) const {
+    return parse_u64(key, values_.at(key));
+  }
+  std::size_t size(const std::string& key) const {
+    return static_cast<std::size_t>(u64(key));
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> overridden_;
+  std::string name_;
+};
+
+struct ModelEntry {
+  ScenarioModelInfo info;
+  ScenarioModel (*build)(const ParamReader&);
+};
+
+// ---------------------------------------------------------------------------
+// Model builders
+// ---------------------------------------------------------------------------
+
+ScenarioModel build_edge_meg(const ParamReader& p) {
+  const std::size_t n = p.size("n");
+  const double q = p.num("q");
+  double birth = p.num("p");
+  // Only the documented sentinel p = 0 switches to alpha derivation; an
+  // out-of-range p is a hard error like any other bad value, it must not
+  // silently become "use alpha".
+  if (birth < 0.0 || birth > 1.0) {
+    fail("edge_meg: p must be in [0,1] (0 = derive from alpha)");
+  }
+  if (birth == 0.0) {
+    const double alpha = p.num("alpha");
+    if (alpha <= 0.0 || alpha >= 1.0) fail("edge_meg: alpha must be in (0,1)");
+    birth = alpha * q / (1.0 - alpha);  // alpha = p / (p + q)
+  } else {
+    p.reject_unused("an explicit p (alpha is derived-p only)", {"alpha"});
+  }
+  const std::string init_name = p.str("init");
+  EdgeMegInit init;
+  if (init_name == "stationary") {
+    init = EdgeMegInit::kStationary;
+  } else if (init_name == "off") {
+    init = EdgeMegInit::kAllOff;
+  } else if (init_name == "on") {
+    init = EdgeMegInit::kAllOn;
+  } else {
+    fail("edge_meg: init must be stationary|off|on, got '" + init_name + "'");
+  }
+  return {[=](std::uint64_t seed) -> std::unique_ptr<DynamicGraph> {
+            return std::make_unique<TwoStateEdgeMEG>(
+                n, TwoStateParams{birth, q}, seed, init);
+          },
+          n};
+}
+
+ScenarioModel build_general_edge_meg(const ParamReader& p) {
+  const std::size_t n = p.size("n");
+  const std::string link = p.str("link");
+  BurstyLink built = [&] {
+    if (link == "bursty") {
+      p.reject_unused("link=bursty", {"period", "on_states", "advance"});
+      return make_bursty_link(p.num("wake"), p.num("ready"), p.num("drop"));
+    }
+    if (link == "duty_cycle") {
+      p.reject_unused("link=duty_cycle", {"wake", "ready", "drop"});
+      return make_duty_cycle_link(p.size("period"), p.size("on_states"),
+                                  p.num("advance"));
+    }
+    if (link == "four_state") {
+      p.reject_unused("link=four_state",
+                      {"wake", "ready", "drop", "period", "on_states",
+                       "advance"});
+      return make_four_state_link(FourStateLinkParams{});
+    }
+    fail("general_edge_meg: link must be bursty|duty_cycle|four_state, got '" +
+         link + "'");
+  }();
+  return {[n, built](std::uint64_t seed) -> std::unique_ptr<DynamicGraph> {
+            return std::make_unique<GeneralEdgeMEG>(n, built.chain, built.chi,
+                                                    seed);
+          },
+          n};
+}
+
+ScenarioModel build_het_edge_meg(const ParamReader& p) {
+  const std::size_t n = p.size("n");
+  const std::string sampler_name = p.str("sampler");
+  EdgeRateSampler sampler;
+  if (sampler_name == "uniform_alpha") {
+    p.reject_unused("sampler=uniform_alpha",
+                    {"p", "q", "slow_fraction", "slow_factor"});
+    sampler = uniform_alpha_rates(p.num("speed_lo"), p.num("speed_hi"),
+                                  p.num("alpha_lo"), p.num("alpha_hi"));
+  } else if (sampler_name == "two_speed") {
+    p.reject_unused("sampler=two_speed",
+                    {"speed_lo", "speed_hi", "alpha_lo", "alpha_hi"});
+    sampler = two_speed_rates(TwoStateParams{p.num("p"), p.num("q")},
+                              p.num("slow_fraction"), p.num("slow_factor"));
+  } else {
+    fail("het_edge_meg: sampler must be uniform_alpha|two_speed, got '" +
+         sampler_name + "'");
+  }
+  return {[n, sampler](std::uint64_t seed) -> std::unique_ptr<DynamicGraph> {
+            return std::make_unique<HeterogeneousEdgeMEG>(n, sampler, seed);
+          },
+          n};
+}
+
+ScenarioModel build_node_meg(const ParamReader& p) {
+  const std::size_t n = p.size("n");
+  const std::size_t states = p.size("states");
+  if (states < 3) fail("node_meg: states must be >= 3");
+  const DenseChain chain = lazy_random_walk_chain(cycle_graph(states));
+  const std::string connection_name = p.str("connection");
+  ConnectionMap connection = [&] {
+    if (connection_name == "same_state") {
+      p.reject_unused("connection=same_state", {"radius"});
+      return same_state_connection(states);
+    }
+    if (connection_name == "cycle") {
+      return cycle_proximity_connection(states, p.size("radius"));
+    }
+    fail("node_meg: connection must be same_state|cycle, got '" +
+         connection_name + "'");
+  }();
+  return {[n, chain, connection](std::uint64_t seed)
+              -> std::unique_ptr<DynamicGraph> {
+            return std::make_unique<ExplicitNodeMEG>(n, chain, connection,
+                                                     seed);
+          },
+          n};
+}
+
+ScenarioModel build_clique_flicker(const ParamReader& p) {
+  const std::size_t n = p.size("n");
+  const std::size_t clique = p.size("clique");
+  const double rho = p.num("rho");
+  const double resample = p.num("resample");
+  return {[=](std::uint64_t seed) -> std::unique_ptr<DynamicGraph> {
+            return std::make_unique<CliqueFlickerGraph>(n, clique, rho, seed,
+                                                        resample);
+          },
+          n};
+}
+
+ScenarioModel build_random_walk(const ParamReader& p) {
+  const std::size_t n = p.size("n");
+  RandomWalkParams params;
+  params.move_radius = static_cast<std::uint32_t>(p.u64("move_radius"));
+  params.connect_radius = static_cast<std::uint32_t>(p.u64("connect_radius"));
+  params.mobile_fraction = p.num("mobile_fraction");
+  const auto mobility =
+      std::make_shared<const Graph>(grid_2d(p.size("side")));
+  return {[n, params, mobility](std::uint64_t seed)
+              -> std::unique_ptr<DynamicGraph> {
+            return std::make_unique<RandomWalkModel>(mobility, n, params,
+                                                     seed);
+          },
+          n};
+}
+
+ScenarioModel build_random_waypoint(const ParamReader& p) {
+  const std::size_t n = p.size("n");
+  WaypointParams params;
+  params.side_length = p.num("side");
+  params.v_min = p.num("v_min");
+  params.v_max = p.num("v_max");
+  params.radius = p.num("radius");
+  params.resolution = p.size("resolution");
+  return {[n, params](std::uint64_t seed) -> std::unique_ptr<DynamicGraph> {
+            return std::make_unique<RandomWaypointModel>(n, params, seed);
+          },
+          n};
+}
+
+ScenarioModel build_random_trip(const ParamReader& p) {
+  const std::size_t n = p.size("n");
+  const std::string policy_name = p.str("policy");
+  const double side = p.num("side");
+  const double v_min = p.num("v_min");
+  const double v_max = p.num("v_max");
+  std::shared_ptr<const TripPolicy> policy;
+  if (policy_name == "square") {
+    p.reject_unused("policy=square", {"leg_lo", "leg_hi"});
+    policy = std::make_shared<SquareWaypointPolicy>(
+        side, v_min, v_max, p.u64("pause_lo"), p.u64("pause_hi"));
+  } else if (policy_name == "disk") {
+    p.reject_unused("policy=disk",
+                    {"pause_lo", "pause_hi", "leg_lo", "leg_hi"});
+    policy = std::make_shared<DiskWaypointPolicy>(side, v_min, v_max);
+  } else if (policy_name == "direction") {
+    p.reject_unused("policy=direction", {"pause_lo", "pause_hi"});
+    policy = std::make_shared<RandomDirectionPolicy>(
+        side, v_min, v_max, p.num("leg_lo"), p.num("leg_hi"));
+  } else {
+    fail("random_trip: policy must be square|disk|direction, got '" +
+         policy_name + "'");
+  }
+  const double radius = p.num("radius");
+  const std::size_t resolution = p.size("resolution");
+  return {[n, policy, radius, resolution](std::uint64_t seed)
+              -> std::unique_ptr<DynamicGraph> {
+            return std::make_unique<RandomTripModel>(n, policy, radius,
+                                                     resolution, seed);
+          },
+          n};
+}
+
+ScenarioModel build_grid_paths(const ParamReader& p) {
+  const std::size_t n = p.size("n");
+  const std::size_t side = p.size("side");
+  const auto connect = static_cast<std::uint32_t>(p.u64("connect_radius"));
+  return {[=](std::uint64_t seed) -> std::unique_ptr<DynamicGraph> {
+            return std::make_unique<GridLPathsModel>(side, n, connect, seed);
+          },
+          n};
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+const std::vector<ModelEntry>& registry() {
+  static const std::vector<ModelEntry> entries = {
+      {{"edge_meg",
+        "two-state edge-Markovian evolving graph (birth p, death q)",
+        {{"n", "256", "number of nodes"},
+         {"p", "0", "per-edge birth probability (0 = derive from alpha)"},
+         {"q", "0.3", "per-edge death probability"},
+         {"alpha", "0.02", "stationary edge density p/(p+q), used when p=0"},
+         {"init", "stationary", "initial edge law: stationary|off|on"}}},
+       &build_edge_meg},
+      {{"general_edge_meg",
+        "hidden-chain edge-MEG (Appendix A generalization)",
+        {{"n", "128", "number of nodes"},
+         {"link", "bursty", "link chain: bursty|duty_cycle|four_state"},
+         {"wake", "0.02", "bursty: off -> warming rate"},
+         {"ready", "0.5", "bursty: warming -> on rate"},
+         {"drop", "0.3", "bursty: on -> off rate"},
+         {"period", "6", "duty_cycle: cycle length"},
+         {"on_states", "2", "duty_cycle: number of on states"},
+         {"advance", "0.5", "duty_cycle: advance probability"}}},
+       &build_general_edge_meg},
+      {{"het_edge_meg",
+        "heterogeneous per-edge (p, q) edge-MEG",
+        {{"n", "128", "number of nodes"},
+         {"sampler", "uniform_alpha", "rate law: uniform_alpha|two_speed"},
+         {"speed_lo", "0.1", "uniform_alpha: min p+q"},
+         {"speed_hi", "1.0", "uniform_alpha: max p+q"},
+         {"alpha_lo", "0.01", "uniform_alpha: min stationary density"},
+         {"alpha_hi", "0.05", "uniform_alpha: max stationary density"},
+         {"p", "0.02", "two_speed: base birth rate"},
+         {"q", "0.3", "two_speed: base death rate"},
+         {"slow_fraction", "0.2", "two_speed: fraction of slow edges"},
+         {"slow_factor", "0.1", "two_speed: slow-edge rate scale"}}},
+       &build_het_edge_meg},
+      {{"node_meg",
+        "explicit node-MEG: lazy walk on a cycle of states + connection map",
+        {{"n", "128", "number of nodes"},
+         {"states", "12", "cycle length of the hidden state chain"},
+         {"connection", "same_state", "connection map: same_state|cycle"},
+         {"radius", "1", "cycle connection: max state distance"}}},
+       &build_node_meg},
+      {{"clique_flicker",
+        "flickering-clique ablation model (max positive edge correlation)",
+        {{"n", "128", "number of nodes"},
+         {"clique", "16", "clique size m"},
+         {"rho", "0.5", "probability the clique is on per step"},
+         {"resample", "1.0", "subset resample probability per step"}}},
+       &build_clique_flicker},
+      {{"random_walk",
+        "graph mobility: lazy-ball random walk of agents on a grid",
+        {{"n", "128", "number of agents"},
+         {"side", "8", "grid side (side*side points)"},
+         {"move_radius", "1", "hops per move (rho)"},
+         {"connect_radius", "0", "connection range in hops (0 = same point)"},
+         {"mobile_fraction", "1.0", "fraction of mobile agents"}}},
+       &build_random_walk},
+      {{"random_waypoint",
+        "random waypoint over the square (geometric mobility)",
+        {{"n", "96", "number of agents"},
+         {"side", "8.0", "square side length L"},
+         {"v_min", "0.5", "minimum trip speed"},
+         {"v_max", "1.0", "maximum trip speed"},
+         {"radius", "1.0", "transmission radius"},
+         {"resolution", "32", "connectivity grid resolution"}}},
+       &build_random_waypoint},
+      {{"random_trip",
+        "Le Boudec-Vojnovic random trip class (square|disk|direction)",
+        {{"n", "96", "number of agents"},
+         {"policy", "square", "trip policy: square|disk|direction"},
+         {"side", "8.0", "bounding square side"},
+         {"v_min", "0.5", "minimum trip speed"},
+         {"v_max", "1.0", "maximum trip speed"},
+         {"pause_lo", "0", "square: min pause rounds at waypoint"},
+         {"pause_hi", "0", "square: max pause rounds at waypoint"},
+         {"leg_lo", "1.0", "direction: min leg length"},
+         {"leg_hi", "4.0", "direction: max leg length"},
+         {"radius", "1.0", "transmission radius"},
+         {"resolution", "32", "connectivity grid resolution"}}},
+       &build_random_trip},
+      {{"grid_paths",
+        "L-shaped shortest paths on a grid (the paper's random paths model)",
+        {{"n", "200", "number of agents"},
+         {"side", "10", "grid side"},
+         {"connect_radius", "1", "L1 connection radius in hops"}}},
+       &build_grid_paths},
+  };
+  return entries;
+}
+
+const ModelEntry& find_entry(const std::string& name) {
+  for (const ModelEntry& entry : registry()) {
+    if (entry.info.name == name) return entry;
+  }
+  std::string known;
+  for (const ModelEntry& entry : registry()) {
+    known += (known.empty() ? "" : ", ") + entry.info.name;
+  }
+  fail(name.empty() ? "missing model name (pass --model=<name>; known: " +
+                          known + ")"
+                    : "unknown model '" + name + "' (known: " + known + ")");
+}
+
+}  // namespace
+
+const std::vector<ScenarioModelInfo>& scenario_models() {
+  static const std::vector<ScenarioModelInfo> infos = [] {
+    std::vector<ScenarioModelInfo> out;
+    for (const ModelEntry& entry : registry()) out.push_back(entry.info);
+    return out;
+  }();
+  return infos;
+}
+
+const ScenarioModelInfo* find_scenario_model(const std::string& name) {
+  for (const ScenarioModelInfo& info : scenario_models()) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+ScenarioModel make_model_factory(const ScenarioSpec& spec) {
+  const ModelEntry& entry = find_entry(spec.model);
+  const ParamReader reader(entry.info, spec.params);
+  ScenarioModel model = entry.build(reader);
+  if (model.num_nodes == 0) fail(spec.model + ": n must be >= 1");
+  return model;
+}
+
+ProcessFactory make_process_factory(const std::string& process_spec) {
+  const std::size_t colon = process_spec.find(':');
+  const std::string head = process_spec.substr(0, colon);
+  const std::string arg =
+      colon == std::string::npos ? "" : process_spec.substr(colon + 1);
+  if (head == "flooding") {
+    if (!arg.empty()) fail("process flooding takes no argument");
+    return [] { return std::make_unique<FloodingProcess>(); };
+  }
+  if (head == "gossip") {
+    GossipMode mode;
+    if (arg.empty() || arg == "pushpull") {
+      mode = GossipMode::kPushPull;
+    } else if (arg == "push") {
+      mode = GossipMode::kPush;
+    } else if (arg == "pull") {
+      mode = GossipMode::kPull;
+    } else {
+      fail("gossip mode must be push|pull|pushpull, got '" + arg + "'");
+    }
+    return [mode] { return std::make_unique<GossipProcess>(mode); };
+  }
+  if (head == "kpush") {
+    const std::uint64_t k = arg.empty() ? 1 : parse_u64("kpush", arg);
+    if (k == 0) fail("kpush: k must be >= 1");
+    return [k] { return std::make_unique<KPushProcess>(k); };
+  }
+  if (head == "radio") {
+    const double tau = arg.empty() ? 1.0 : parse_double("radio", arg);
+    if (tau <= 0.0 || tau > 1.0) fail("radio: tau must be in (0,1]");
+    return [tau] { return std::make_unique<RadioBroadcastProcess>(tau); };
+  }
+  if (head == "ttl") {
+    const std::uint64_t ttl = arg.empty() ? 8 : parse_u64("ttl", arg);
+    if (ttl == 0) fail("ttl: ttl must be >= 1");
+    return [ttl] { return std::make_unique<TtlFloodingProcess>(ttl); };
+  }
+  fail("unknown process '" + head +
+       "' (known: flooding, gossip[:push|pull|pushpull], kpush[:<k>], "
+       "radio[:<tau>], ttl[:<ttl>])");
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  const ScenarioModel model = make_model_factory(spec);
+  const ProcessFactory process = make_process_factory(spec.process);
+  ScenarioResult result;
+  result.num_nodes = model.num_nodes;
+  result.measurement = measure(model.factory, process, spec.trial);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// CLI round-trip
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> scenario_to_args(const ScenarioSpec& spec) {
+  std::vector<std::string> args;
+  args.push_back("--model=" + spec.model);
+  for (const auto& [key, value] : spec.params) {  // std::map: sorted keys
+    args.push_back("--" + key + "=" + value);
+  }
+  args.push_back("--process=" + spec.process);
+  args.push_back("--trials=" + std::to_string(spec.trial.trials));
+  args.push_back("--seed=" + std::to_string(spec.trial.seed));
+  args.push_back("--max_rounds=" + std::to_string(spec.trial.max_rounds));
+  args.push_back("--warmup=" + std::to_string(spec.trial.warmup_steps));
+  args.push_back("--threads=" + std::to_string(spec.trial.threads));
+  args.push_back("--rotate_sources=" +
+                 std::string(spec.trial.rotate_sources ? "1" : "0"));
+  return args;
+}
+
+std::string scenario_to_cli(const ScenarioSpec& spec) {
+  std::string cli;
+  for (const std::string& arg : scenario_to_args(spec)) {
+    cli += (cli.empty() ? "" : " ") + arg;
+  }
+  return cli;
+}
+
+ScenarioSpec parse_scenario_args(const std::vector<std::string>& args) {
+  ScenarioSpec spec;
+  for (const std::string& arg : args) {
+    if (arg.rfind("--", 0) != 0) {
+      fail("expected --key=value, got '" + arg + "'");
+    }
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      fail("expected --key=value, got '" + arg + "'");
+    }
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string value = arg.substr(eq + 1);
+    if (key == "model") {
+      spec.model = value;
+    } else if (key == "process") {
+      spec.process = value;
+    } else if (key == "trials") {
+      spec.trial.trials = static_cast<std::size_t>(parse_u64(key, value));
+    } else if (key == "seed") {
+      spec.trial.seed = parse_u64(key, value);
+    } else if (key == "max_rounds") {
+      spec.trial.max_rounds = parse_u64(key, value);
+    } else if (key == "warmup") {
+      spec.trial.warmup_steps = parse_u64(key, value);
+    } else if (key == "threads") {
+      spec.trial.threads = static_cast<std::size_t>(parse_u64(key, value));
+    } else if (key == "rotate_sources") {
+      if (value == "1" || value == "true") {
+        spec.trial.rotate_sources = true;
+      } else if (value == "0" || value == "false") {
+        spec.trial.rotate_sources = false;
+      } else {
+        fail("rotate_sources must be 0|1|true|false, got '" + value + "'");
+      }
+    } else if (key.empty()) {
+      fail("expected --key=value, got '" + arg + "'");
+    } else {
+      spec.params[key] = value;  // model parameter; validated at build time
+    }
+  }
+  return spec;
+}
+
+ScenarioSpec parse_scenario_cli(const std::string& cli) {
+  std::istringstream stream(cli);
+  std::vector<std::string> args;
+  std::string token;
+  while (stream >> token) args.push_back(token);
+  return parse_scenario_args(args);
+}
+
+}  // namespace megflood

@@ -1,0 +1,110 @@
+#pragma once
+
+// The scenario layer: named, parameterized experiment specifications that
+// a driver (tools/megflood_run.cpp) can list, validate and execute
+// without recompiling a bespoke main.  A scenario is a registered model
+// name plus key=value parameters, a spreading-process spec, and a
+// TrialConfig; running it yields the generic Measurement of core/trial.
+//
+// Model registry.  Every model the repo implements is registered with its
+// full parameter schema (name, default, one-line doc); unknown model
+// names and unknown parameter keys are hard errors, so a typo can never
+// silently fall back to a default.  Registered models:
+//   edge_meg          two-state edge-Markovian evolving graph
+//   general_edge_meg  hidden-chain edge-MEG (bursty / duty-cycle /
+//                     four-state links)
+//   het_edge_meg      heterogeneous per-edge (p, q) edge-MEG
+//   node_meg          explicit node-MEG (lazy cycle walk + connection map)
+//   clique_flicker    beta-independence ablation model
+//   random_walk       graph mobility: random walk on a grid
+//   random_waypoint   geometric mobility over the square
+//   random_trip       Le Boudec-Vojnovic random trip class
+//   grid_paths        L-shaped shortest paths on a grid (random paths)
+//
+// Process spec grammar (one token, optional ':'-argument):
+//   flooding | gossip[:push|pull|pushpull] | kpush[:<k>] |
+//   radio[:<tau>] | ttl[:<ttl>]
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/trial.hpp"
+
+namespace megflood {
+
+struct ScenarioSpec {
+  std::string model;
+  std::map<std::string, std::string> params;  // model key=value overrides
+  std::string process = "flooding";
+  TrialConfig trial;
+};
+
+// One declared model parameter: name, default (as the string the CLI
+// would pass), one-line description.
+struct ScenarioParam {
+  std::string name;
+  std::string default_value;
+  std::string description;
+};
+
+struct ScenarioModelInfo {
+  std::string name;
+  std::string summary;
+  std::vector<ScenarioParam> params;
+};
+
+// All registered models, in registration order (stable for --list).
+const std::vector<ScenarioModelInfo>& scenario_models();
+
+// Registry lookup; nullptr when `name` is not registered.
+const ScenarioModelInfo* find_scenario_model(const std::string& name);
+
+// A built model: the per-trial graph factory plus the node count the
+// parameters resolved to (every registered model has an `n`).
+struct ScenarioModel {
+  GraphFactory factory;
+  std::size_t num_nodes = 0;
+};
+
+// Builds the trial graph factory for spec.model / spec.params.  Throws
+// std::invalid_argument on an unknown model, an unknown parameter key, or
+// a malformed/out-of-range value.
+ScenarioModel make_model_factory(const ScenarioSpec& spec);
+
+// Parses a process spec string (grammar above) into a factory of fresh
+// process instances.  Throws std::invalid_argument on unknown process
+// names or bad arguments.
+ProcessFactory make_process_factory(const std::string& process_spec);
+
+struct ScenarioResult {
+  Measurement measurement;
+  std::size_t num_nodes = 0;
+};
+
+// Validates and runs the scenario end to end: build model factory, build
+// process factory, measure().
+ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+// ---------------------------------------------------------------------------
+// CLI round-trip
+// ---------------------------------------------------------------------------
+
+// Serializes a spec to driver arguments:
+//   --model=<name> [--<key>=<value> ...] --process=<spec> --trials=..
+//   --seed=.. --max_rounds=.. --warmup=.. --threads=.. --rotate_sources=0|1
+// Model params are emitted in sorted key order, so the output is
+// deterministic and parse_scenario_args(scenario_to_args(s)) == s.
+std::vector<std::string> scenario_to_args(const ScenarioSpec& spec);
+std::string scenario_to_cli(const ScenarioSpec& spec);  // args joined by ' '
+
+// Parses driver arguments back into a spec.  Recognized driver flags are
+// listed above; any other --key=value is treated as a model parameter
+// (validated against the registry by make_model_factory).  Throws
+// std::invalid_argument on malformed arguments.
+ScenarioSpec parse_scenario_args(const std::vector<std::string>& args);
+ScenarioSpec parse_scenario_cli(const std::string& cli);  // split on spaces
+
+}  // namespace megflood

@@ -6,12 +6,17 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 #include "util/rng.hpp"
 
 namespace megflood {
 
 namespace {
+
+// Salt separating the per-trial process-RNG seed stream from the graph
+// seed stream; any fixed constant works, it only has to be deterministic.
+constexpr std::uint64_t kProcessSeedSalt = 0x9d2c5680a76f4e1bULL;
 
 // Everything one trial contributes to the measurement; computed
 // independently per trial so workers never share mutable state.
@@ -20,31 +25,36 @@ struct TrialOutcome {
   double rounds = 0.0;
   double spreading = 0.0;
   double saturation = 0.0;
+  MetricsBag metrics;
 };
 
-TrialOutcome run_one(DynamicGraph& graph, std::size_t trial,
+TrialOutcome run_one(DynamicGraph& graph, SpreadingProcess& process,
+                     std::size_t trial, std::uint64_t process_seed,
                      const TrialConfig& config) {
   for (std::uint64_t w = 0; w < config.warmup_steps; ++w) graph.step();
   const auto source = static_cast<NodeId>(
       config.rotate_sources ? trial % graph.num_nodes() : 0);
-  const FloodResult result = flood(graph, source, config.max_rounds);
+  ProcessResult result =
+      run_process(graph, process, source, config.max_rounds, process_seed);
   TrialOutcome out;
-  out.completed = result.completed;
-  if (result.completed) {
-    out.rounds = static_cast<double>(result.rounds);
-    const PhaseSplit phases = split_phases(result, graph.num_nodes());
+  out.completed = result.flood.completed;
+  if (result.flood.completed) {
+    out.rounds = static_cast<double>(result.flood.rounds);
+    const PhaseSplit phases = split_phases(result.flood, graph.num_nodes());
     out.spreading = static_cast<double>(phases.spreading_rounds);
     out.saturation = static_cast<double>(phases.saturation_rounds);
+    out.metrics = std::move(result.metrics);
   }
   return out;
 }
 
 // Deterministic merge: outcomes are folded in trial-index order, so the
 // measurement does not depend on the order trials finished in.
-FloodingMeasurement merge_outcomes(const std::vector<TrialOutcome>& outcomes) {
+Measurement merge_outcomes(std::vector<TrialOutcome>& outcomes) {
   std::vector<double> rounds, spreading, saturation;
+  std::map<std::string, std::vector<double>> metric_samples;
   std::size_t incomplete = 0;
-  for (const TrialOutcome& out : outcomes) {
+  for (TrialOutcome& out : outcomes) {
     if (!out.completed) {
       ++incomplete;
       continue;
@@ -52,11 +62,17 @@ FloodingMeasurement merge_outcomes(const std::vector<TrialOutcome>& outcomes) {
     rounds.push_back(out.rounds);
     spreading.push_back(out.spreading);
     saturation.push_back(out.saturation);
+    for (const auto& [name, value] : out.metrics) {
+      metric_samples[name].push_back(value);
+    }
   }
-  FloodingMeasurement m;
+  Measurement m;
   m.rounds = summarize(std::move(rounds));
   m.spreading_rounds = summarize(std::move(spreading));
   m.saturation_rounds = summarize(std::move(saturation));
+  for (auto& [name, samples] : metric_samples) {
+    m.metrics[name] = summarize(std::move(samples));
+  }
   m.incomplete = incomplete;
   return m;
 }
@@ -69,21 +85,34 @@ std::size_t resolve_threads(std::size_t requested, std::size_t trials) {
   return std::min(requested, trials);
 }
 
+void check_config(const TrialConfig& config) {
+  if (config.trials == 0) {
+    throw std::invalid_argument("measure: trials must be > 0");
+  }
+}
+
 }  // namespace
 
-FloodingMeasurement measure_flooding(
-    const std::function<std::unique_ptr<DynamicGraph>(std::uint64_t)>& factory,
-    const TrialConfig& config) {
-  if (config.trials == 0) {
-    throw std::invalid_argument("measure_flooding: trials must be > 0");
-  }
-  const auto seeds = derive_seeds(config.seed, config.trials);
+Measurement measure(const GraphFactory& graph_factory,
+                    const ProcessFactory& process_factory,
+                    const TrialConfig& config) {
+  check_config(config);
+  // Two decorrelated streams from one root seed: graph seeds keep the
+  // exact derivation measure_flooding has always used, process-RNG seeds
+  // come from a salted stream (so protocol randomness never aliases model
+  // randomness, and every trial stays a pure function of config.seed and
+  // its index).
+  const auto graph_seeds = derive_seeds(config.seed, config.trials);
+  const auto process_seeds =
+      derive_seeds(config.seed ^ kProcessSeedSalt, config.trials);
   std::vector<TrialOutcome> outcomes(config.trials);
   const std::size_t threads = resolve_threads(config.threads, config.trials);
   if (threads <= 1) {
     for (std::size_t trial = 0; trial < config.trials; ++trial) {
-      const std::unique_ptr<DynamicGraph> graph = factory(seeds[trial]);
-      outcomes[trial] = run_one(*graph, trial, config);
+      const std::unique_ptr<DynamicGraph> graph = graph_factory(graph_seeds[trial]);
+      const std::unique_ptr<SpreadingProcess> process = process_factory();
+      outcomes[trial] =
+          run_one(*graph, *process, trial, process_seeds[trial], config);
     }
   } else {
     std::atomic<std::size_t> next{0};
@@ -95,8 +124,11 @@ FloodingMeasurement measure_flooding(
         const std::size_t trial = next.fetch_add(1);
         if (trial >= config.trials) break;
         try {
-          const std::unique_ptr<DynamicGraph> graph = factory(seeds[trial]);
-          outcomes[trial] = run_one(*graph, trial, config);
+          const std::unique_ptr<DynamicGraph> graph =
+              graph_factory(graph_seeds[trial]);
+          const std::unique_ptr<SpreadingProcess> process = process_factory();
+          outcomes[trial] =
+              run_one(*graph, *process, trial, process_seeds[trial], config);
         } catch (...) {
           const std::lock_guard<std::mutex> lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
@@ -113,18 +145,33 @@ FloodingMeasurement measure_flooding(
   return merge_outcomes(outcomes);
 }
 
-FloodingMeasurement measure_flooding_reusing(DynamicGraph& graph,
-                                             const TrialConfig& config) {
-  if (config.trials == 0) {
-    throw std::invalid_argument("measure_flooding: trials must be > 0");
-  }
-  const auto seeds = derive_seeds(config.seed, config.trials);
+Measurement measure_reusing(DynamicGraph& graph,
+                            const ProcessFactory& process_factory,
+                            const TrialConfig& config) {
+  check_config(config);
+  const auto graph_seeds = derive_seeds(config.seed, config.trials);
+  const auto process_seeds =
+      derive_seeds(config.seed ^ kProcessSeedSalt, config.trials);
+  const std::unique_ptr<SpreadingProcess> process = process_factory();
   std::vector<TrialOutcome> outcomes(config.trials);
   for (std::size_t trial = 0; trial < config.trials; ++trial) {
-    graph.reset(seeds[trial]);
-    outcomes[trial] = run_one(graph, trial, config);
+    graph.reset(graph_seeds[trial]);
+    outcomes[trial] =
+        run_one(graph, *process, trial, process_seeds[trial], config);
   }
   return merge_outcomes(outcomes);
+}
+
+FloodingMeasurement measure_flooding(const GraphFactory& factory,
+                                     const TrialConfig& config) {
+  return measure(
+      factory, [] { return std::make_unique<FloodingProcess>(); }, config);
+}
+
+FloodingMeasurement measure_flooding_reusing(DynamicGraph& graph,
+                                             const TrialConfig& config) {
+  return measure_reusing(
+      graph, [] { return std::make_unique<FloodingProcess>(); }, config);
 }
 
 }  // namespace megflood

@@ -2,18 +2,29 @@
 
 // Multi-trial measurement harness.  The paper's bounds hold "with high
 // probability", so experiments report upper quantiles (p90/p99/max) of the
-// flooding time over independent trials, each trial with a fresh model
+// completion time over independent trials, each trial with a fresh model
 // seed and (optionally) a rotating source — approximating
 // F(G) = max_s F(G, s).
+//
+// The harness is process-generic: measure() runs any SpreadingProcess
+// (flooding, gossip, k-push, radio broadcast, TTL flooding, ...) through
+// the same machinery — warmup, rotating sources, derive_seeds per-trial
+// seeding, the thread pool, quantile summaries, phase splits,
+// incomplete-trial accounting, and per-metric aggregation.
+// measure_flooding() is the historical entry point, now a thin wrapper
+// over measure() with a FloodingProcess.
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/dynamic_graph.hpp"
 #include "core/flooding.hpp"
+#include "core/process.hpp"
 #include "util/stats.hpp"
 
 namespace megflood {
@@ -24,43 +35,64 @@ struct TrialConfig {
   std::uint64_t max_rounds = 1'000'000;
   // If true, the source node rotates across trials; otherwise node 0.
   bool rotate_sources = true;
-  // Number of warm-up steps to run after reset before flooding starts
+  // Number of warm-up steps to run after reset before the process starts
   // (lets non-stationary initializations approach stationarity).
   std::uint64_t warmup_steps = 0;
-  // Worker threads for measure_flooding: trials are distributed across
-  // workers, each constructing its own graph through the factory (the
-  // factory must therefore be safe to call concurrently; the stock
+  // Worker threads for measure: trials are distributed across workers,
+  // each constructing its own graph and process through the factories
+  // (the factories must therefore be safe to call concurrently; the stock
   // harness factories, which only read captured parameters, are).  Every
-  // trial is a pure function of its derive_seeds() entry and its index,
+  // trial is a pure function of its derive_seeds() entries and its index,
   // and per-trial outcomes are merged in trial order, so the measurement
   // is bit-identical for every thread count.  0 = one worker per
-  // hardware thread.  measure_flooding_reusing shares one graph and
-  // always runs sequentially.
+  // hardware thread.  measure_reusing shares one graph and always runs
+  // sequentially.
   std::size_t threads = 1;
 };
 
-struct FloodingMeasurement {
+struct Measurement {
   Summary rounds;                 // over completed trials
-  std::size_t incomplete = 0;     // trials that hit max_rounds
+  std::size_t incomplete = 0;     // trials that hit max_rounds (or died out)
   Summary spreading_rounds;       // phase split (completed trials only)
   Summary saturation_rounds;
+  // Process metrics aggregated over completed trials, keyed by the metric
+  // name the process exports (e.g. gossip "contacts", k-push
+  // "transmissions", radio "collisions").
+  std::map<std::string, Summary> metrics;
   // True when not a single trial completed within max_rounds.  Every
   // Summary above is then over zero samples — all fields read 0.0 — and
-  // must not be mistaken for "flooding takes 0 rounds"; harness output
+  // must not be mistaken for "completion takes 0 rounds"; harness output
   // goes through this predicate before printing round statistics.
   bool all_incomplete() const noexcept { return rounds.count == 0; }
 };
 
-// Runs `config.trials` flooding experiments on the graph produced by
-// `factory(seed)`; the factory is called once per trial (concurrently
-// when config.threads != 1).
-FloodingMeasurement measure_flooding(
-    const std::function<std::unique_ptr<DynamicGraph>(std::uint64_t)>& factory,
-    const TrialConfig& config);
+// The historical flooding-only measurement is the same struct: a
+// Measurement whose only metric is FloodingProcess's "transmissions".
+using FloodingMeasurement = Measurement;
+
+using GraphFactory =
+    std::function<std::unique_ptr<DynamicGraph>(std::uint64_t)>;
+using ProcessFactory = std::function<std::unique_ptr<SpreadingProcess>()>;
+
+// Runs `config.trials` experiments of the process produced by
+// `process_factory()` on the graph produced by `graph_factory(seed)`;
+// both factories are called once per trial (concurrently when
+// config.threads != 1).  Trial t's graph seed and process-RNG seed are
+// derived from config.seed via two decorrelated derive_seeds streams.
+Measurement measure(const GraphFactory& graph_factory,
+                    const ProcessFactory& process_factory,
+                    const TrialConfig& config);
 
 // Same but reusing one graph instance via reset() — cheaper when model
 // construction is expensive (e.g. precomputed hop balls).  Always
 // sequential (the trials share the graph); config.threads is ignored.
+Measurement measure_reusing(DynamicGraph& graph,
+                            const ProcessFactory& process_factory,
+                            const TrialConfig& config);
+
+// Flooding-specialized wrappers (the historical API).
+FloodingMeasurement measure_flooding(const GraphFactory& factory,
+                                     const TrialConfig& config);
 FloodingMeasurement measure_flooding_reusing(DynamicGraph& graph,
                                              const TrialConfig& config);
 

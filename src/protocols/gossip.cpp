@@ -1,68 +1,65 @@
 #include "protocols/gossip.hpp"
 
-#include <stdexcept>
-#include <vector>
-
 namespace megflood {
+
+std::string GossipProcess::name() const {
+  switch (mode_) {
+    case GossipMode::kPush:
+      return "gossip:push";
+    case GossipMode::kPull:
+      return "gossip:pull";
+    case GossipMode::kPushPull:
+      return "gossip:pushpull";
+  }
+  return "gossip";
+}
+
+void GossipProcess::begin_trial(std::size_t /*num_nodes*/, NodeId /*source*/) {
+  contacts_ = 0;
+}
+
+void GossipProcess::round(const Snapshot& snapshot,
+                          std::vector<char>& informed,
+                          std::vector<NodeId>& newly, Rng& rng) {
+  const std::size_t n = informed.size();
+  const bool push = mode_ != GossipMode::kPull;
+  const bool pull = mode_ != GossipMode::kPush;
+  for (NodeId u = 0; u < n; ++u) {
+    const auto& nbrs = snapshot.neighbors(u);
+    if (nbrs.empty()) continue;
+    const bool participates =
+        (informed[u] == 1 && push) || (informed[u] == 0 && pull);
+    if (!participates) continue;
+    const NodeId target = nbrs[rng.uniform_int(nbrs.size())];
+    ++contacts_;
+    if (informed[u] == 1) {
+      // push: u sends to target
+      if (!informed[target]) {
+        informed[target] = 2;
+        newly.push_back(target);
+      }
+    } else {
+      // pull: u fetches from target (only pre-round informed targets
+      // count — mark-2 nodes learned it this round and cannot serve it)
+      if (informed[target] == 1) {
+        informed[u] = 2;
+        newly.push_back(u);
+      }
+    }
+  }
+}
+
+void GossipProcess::metrics(MetricsBag& out) const {
+  out["contacts"] = static_cast<double>(contacts_);
+}
 
 GossipResult gossip_flood(DynamicGraph& graph, NodeId source, GossipMode mode,
                           std::uint64_t max_rounds, std::uint64_t seed) {
-  const std::size_t n = graph.num_nodes();
-  if (source >= n) throw std::out_of_range("gossip_flood: bad source");
-
-  const bool push = mode != GossipMode::kPull;
-  const bool pull = mode != GossipMode::kPush;
-
-  Rng rng(seed);
+  GossipProcess process(mode);
+  ProcessResult r = run_process(graph, process, source, max_rounds, seed);
   GossipResult result;
-  std::vector<char> informed(n, 0);
-  informed[source] = 1;
-  std::size_t count = 1;
-  result.flood.informed_counts.push_back(count);
-  if (count == n) {
-    result.flood.completed = true;
-    return result;
-  }
-
-  std::vector<NodeId> newly;
-  for (std::uint64_t t = 0; t < max_rounds; ++t) {
-    const Snapshot& snap = graph.snapshot();
-    newly.clear();
-    for (NodeId u = 0; u < n; ++u) {
-      const auto& nbrs = snap.neighbors(u);
-      if (nbrs.empty()) continue;
-      const bool participates =
-          (informed[u] == 1 && push) || (informed[u] == 0 && pull);
-      if (!participates) continue;
-      const NodeId target = nbrs[rng.uniform_int(nbrs.size())];
-      ++result.contacts;
-      if (informed[u] == 1) {
-        // push: u sends to target
-        if (!informed[target]) {
-          informed[target] = 2;
-          newly.push_back(target);
-        }
-      } else {
-        // pull: u fetches from target (only pre-round informed targets
-        // count — mark-2 nodes learned it this round and cannot serve it)
-        if (informed[target] == 1) {
-          informed[u] = 2;
-          newly.push_back(u);
-        }
-      }
-    }
-    for (NodeId v : newly) informed[v] = 1;
-    count += newly.size();
-    result.flood.informed_counts.push_back(count);
-    graph.step();
-    if (count == n) {
-      result.flood.completed = true;
-      result.flood.rounds = t + 1;
-      return result;
-    }
-  }
-  result.flood.completed = false;
-  result.flood.rounds = max_rounds;
+  result.flood = std::move(r.flood);
+  result.contacts = static_cast<std::uint64_t>(r.metrics.at("contacts"));
   return result;
 }
 

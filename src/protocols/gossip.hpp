@@ -9,9 +9,11 @@
 // compared against.
 
 #include <cstdint>
+#include <string>
 
 #include "core/dynamic_graph.hpp"
 #include "core/flooding.hpp"
+#include "core/process.hpp"
 #include "util/rng.hpp"
 
 namespace megflood {
@@ -22,12 +24,32 @@ enum class GossipMode {
   kPushPull,  // both
 };
 
+// Gossip as a SpreadingProcess (plugs into measure()).  Metric:
+// "contacts" — one per participating node per round.
+class GossipProcess final : public SpreadingProcess {
+ public:
+  explicit GossipProcess(GossipMode mode) : mode_(mode) {}
+
+  std::string name() const override;
+  void begin_trial(std::size_t num_nodes, NodeId source) override;
+  void round(const Snapshot& snapshot, std::vector<char>& informed,
+             std::vector<NodeId>& newly, Rng& rng) override;
+  void metrics(MetricsBag& out) const override;
+
+  GossipMode mode() const noexcept { return mode_; }
+
+ private:
+  GossipMode mode_;
+  std::uint64_t contacts_ = 0;
+};
+
 struct GossipResult {
   FloodResult flood;
   // Total contacts made (one per node per round that participates).
   std::uint64_t contacts = 0;
 };
 
+// Single-run convenience wrapper over run_process(GossipProcess).
 GossipResult gossip_flood(DynamicGraph& graph, NodeId source, GossipMode mode,
                           std::uint64_t max_rounds, std::uint64_t seed);
 

@@ -6,64 +6,51 @@
 
 namespace megflood {
 
+KPushProcess::KPushProcess(std::size_t k) : k_(k) {
+  if (k == 0) throw std::invalid_argument("KPushProcess: k must be >= 1");
+}
+
+void KPushProcess::begin_trial(std::size_t /*num_nodes*/, NodeId /*source*/) {
+  transmissions_ = 0;
+}
+
+void KPushProcess::round(const Snapshot& snapshot,
+                         std::vector<char>& informed,
+                         std::vector<NodeId>& newly, Rng& rng) {
+  const std::size_t n = informed.size();
+  for (NodeId u = 0; u < n; ++u) {
+    if (informed[u] != 1) continue;
+    const auto& nbrs = snapshot.neighbors(u);
+    if (nbrs.empty()) continue;
+    if (nbrs.size() <= k_) {
+      picks_.assign(nbrs.begin(), nbrs.end());
+    } else {
+      // Partial Fisher-Yates over a copy: k distinct uniform picks.
+      picks_.assign(nbrs.begin(), nbrs.end());
+      for (std::size_t i = 0; i < k_; ++i) {
+        const std::size_t j = i + rng.uniform_int(picks_.size() - i);
+        std::swap(picks_[i], picks_[j]);
+      }
+      picks_.resize(k_);
+    }
+    transmissions_ += picks_.size();
+    for (NodeId v : picks_) {
+      if (!informed[v]) {
+        informed[v] = 2;
+        newly.push_back(v);
+      }
+    }
+  }
+}
+
+void KPushProcess::metrics(MetricsBag& out) const {
+  out["transmissions"] = static_cast<double>(transmissions_);
+}
+
 FloodResult k_push_flood(DynamicGraph& graph, NodeId source, std::size_t k,
                          std::uint64_t max_rounds, std::uint64_t seed) {
-  const std::size_t n = graph.num_nodes();
-  if (source >= n) throw std::out_of_range("k_push_flood: bad source");
-  if (k == 0) throw std::invalid_argument("k_push_flood: k must be >= 1");
-
-  Rng rng(seed);
-  FloodResult result;
-  std::vector<char> informed(n, 0);
-  informed[source] = 1;
-  std::size_t informed_count = 1;
-  result.informed_counts.push_back(informed_count);
-  if (informed_count == n) {
-    result.completed = true;
-    return result;
-  }
-
-  std::vector<NodeId> picks;
-  std::vector<NodeId> newly;
-  for (std::uint64_t t = 0; t < max_rounds; ++t) {
-    const Snapshot& snap = graph.snapshot();
-    newly.clear();
-    for (NodeId u = 0; u < n; ++u) {
-      if (informed[u] != 1) continue;
-      const auto& nbrs = snap.neighbors(u);
-      if (nbrs.empty()) continue;
-      if (nbrs.size() <= k) {
-        picks.assign(nbrs.begin(), nbrs.end());
-      } else {
-        // Partial Fisher-Yates over a copy: k distinct uniform picks.
-        picks.assign(nbrs.begin(), nbrs.end());
-        for (std::size_t i = 0; i < k; ++i) {
-          const std::size_t j =
-              i + rng.uniform_int(picks.size() - i);
-          std::swap(picks[i], picks[j]);
-        }
-        picks.resize(k);
-      }
-      for (NodeId v : picks) {
-        if (!informed[v]) {
-          informed[v] = 2;
-          newly.push_back(v);
-        }
-      }
-    }
-    for (NodeId v : newly) informed[v] = 1;
-    informed_count += newly.size();
-    result.informed_counts.push_back(informed_count);
-    graph.step();
-    if (informed_count == n) {
-      result.completed = true;
-      result.rounds = t + 1;
-      return result;
-    }
-  }
-  result.completed = false;
-  result.rounds = max_rounds;
-  return result;
+  KPushProcess process(k);
+  return run_process(graph, process, source, max_rounds, seed).flood;
 }
 
 RandomSubsetOverlay::RandomSubsetOverlay(DynamicGraph& inner, std::size_t k,
@@ -74,6 +61,12 @@ RandomSubsetOverlay::RandomSubsetOverlay(DynamicGraph& inner, std::size_t k,
   }
   overlay_.reset(inner_->num_nodes());
   rebuild_overlay();
+}
+
+RandomSubsetOverlay::RandomSubsetOverlay(std::unique_ptr<DynamicGraph> inner,
+                                         std::size_t k, std::uint64_t seed)
+    : RandomSubsetOverlay(*inner, k, seed) {
+  owned_ = std::move(inner);
 }
 
 void RandomSubsetOverlay::rebuild_overlay() {
@@ -119,6 +112,11 @@ void RandomSubsetOverlay::step() {
 }
 
 void RandomSubsetOverlay::reset(std::uint64_t seed) {
+  // Determinism audit: the overlay after reset(s) is a pure function of s
+  // — the inner model re-initializes from s, the selection stream is
+  // reseeded from a fixed salt of s (decorrelating it from the inner
+  // model's draws without any trial-local arithmetic), and the overlay is
+  // rebuilt immediately, so snapshot() never exposes pre-reset edges.
   inner_->reset(seed);
   rng_.reseed(seed ^ 0xabcdef1234567890ULL);
   reset_clock();

@@ -9,15 +9,39 @@
 // behave alike and stay within the flooding bound's regime.
 
 #include <cstdint>
+#include <memory>
+#include <string>
 
 #include "core/dynamic_graph.hpp"
 #include "core/flooding.hpp"
+#include "core/process.hpp"
 #include "util/rng.hpp"
 
 namespace megflood {
 
-// Direct simulation: every informed node pushes to min(k, deg) uniformly
-// chosen distinct current neighbors per round.
+// Direct simulation as a SpreadingProcess: every informed node pushes to
+// min(k, deg) uniformly chosen distinct current neighbors per round.
+// Metric: "transmissions" — actual pushes sent (counting duplicates to
+// already-informed targets, which still cost bandwidth).
+class KPushProcess final : public SpreadingProcess {
+ public:
+  explicit KPushProcess(std::size_t k);
+
+  std::string name() const override { return "kpush:" + std::to_string(k_); }
+  void begin_trial(std::size_t num_nodes, NodeId source) override;
+  void round(const Snapshot& snapshot, std::vector<char>& informed,
+             std::vector<NodeId>& newly, Rng& rng) override;
+  void metrics(MetricsBag& out) const override;
+
+  std::size_t k() const noexcept { return k_; }
+
+ private:
+  std::size_t k_;
+  std::uint64_t transmissions_ = 0;
+  std::vector<NodeId> picks_;  // round scratch
+};
+
+// Single-run convenience wrapper over run_process(KPushProcess).
 FloodResult k_push_flood(DynamicGraph& graph, NodeId source, std::size_t k,
                          std::uint64_t max_rounds, std::uint64_t seed);
 
@@ -31,6 +55,11 @@ class RandomSubsetOverlay final : public DynamicGraph {
   // Does not own `inner`; the overlay advances it on step().
   RandomSubsetOverlay(DynamicGraph& inner, std::size_t k, std::uint64_t seed);
 
+  // Owning variant for factory-built trial graphs: the overlay keeps the
+  // inner model alive (measure()'s per-trial factories return one object).
+  RandomSubsetOverlay(std::unique_ptr<DynamicGraph> inner, std::size_t k,
+                      std::uint64_t seed);
+
   std::size_t num_nodes() const override { return inner_->num_nodes(); }
   const Snapshot& snapshot() const override { return overlay_; }
   void step() override;
@@ -40,6 +69,7 @@ class RandomSubsetOverlay final : public DynamicGraph {
   void rebuild_overlay();
 
   DynamicGraph* inner_;
+  std::unique_ptr<DynamicGraph> owned_;  // null in the non-owning case
   std::size_t k_;
   Rng rng_;
   Snapshot overlay_;

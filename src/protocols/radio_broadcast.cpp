@@ -1,65 +1,70 @@
 #include "protocols/radio_broadcast.hpp"
 
 #include <stdexcept>
-#include <vector>
+
+#include "util/table.hpp"
 
 namespace megflood {
 
+RadioBroadcastProcess::RadioBroadcastProcess(double tau) : tau_(tau) {
+  if (tau <= 0.0 || tau > 1.0) {
+    throw std::invalid_argument(
+        "RadioBroadcastProcess: tau must be in (0,1]");
+  }
+}
+
+std::string RadioBroadcastProcess::name() const {
+  return "radio:" + Table::num(tau_, 2);
+}
+
+void RadioBroadcastProcess::begin_trial(std::size_t num_nodes,
+                                        NodeId /*source*/) {
+  transmissions_ = 0;
+  collisions_ = 0;
+  transmitting_.assign(num_nodes, 0);
+  heard_.assign(num_nodes, 0);
+}
+
+void RadioBroadcastProcess::round(const Snapshot& snapshot,
+                                  std::vector<char>& informed,
+                                  std::vector<NodeId>& newly, Rng& rng) {
+  const std::size_t n = informed.size();
+  // Phase 1: informed nodes decide whether to transmit.
+  for (NodeId u = 0; u < n; ++u) {
+    transmitting_[u] =
+        informed[u] == 1 && (tau_ >= 1.0 || rng.bernoulli(tau_));
+    if (transmitting_[u]) ++transmissions_;
+  }
+  // Phase 2: reception — exactly one transmitting neighbor.
+  for (NodeId u = 0; u < n; ++u) heard_[u] = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    if (!transmitting_[u]) continue;
+    for (NodeId v : snapshot.neighbors(u)) ++heard_[v];
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (informed[v]) continue;
+    if (heard_[v] == 1) {
+      informed[v] = 2;
+      newly.push_back(v);
+    } else if (heard_[v] > 1) {
+      ++collisions_;
+    }
+  }
+}
+
+void RadioBroadcastProcess::metrics(MetricsBag& out) const {
+  out["transmissions"] = static_cast<double>(transmissions_);
+  out["collisions"] = static_cast<double>(collisions_);
+}
+
 RadioResult radio_broadcast(DynamicGraph& graph, NodeId source, double tau,
                             std::uint64_t max_rounds, std::uint64_t seed) {
-  const std::size_t n = graph.num_nodes();
-  if (source >= n) throw std::out_of_range("radio_broadcast: bad source");
-  if (tau <= 0.0 || tau > 1.0) {
-    throw std::invalid_argument("radio_broadcast: tau must be in (0,1]");
-  }
-
-  Rng rng(seed);
+  RadioBroadcastProcess process(tau);
+  ProcessResult r = run_process(graph, process, source, max_rounds, seed);
   RadioResult result;
-  std::vector<char> informed(n, 0);
-  informed[source] = 1;
-  std::size_t count = 1;
-  result.flood.informed_counts.push_back(count);
-  if (count == n) {
-    result.flood.completed = true;
-    return result;
-  }
-
-  std::vector<char> transmitting(n, 0);
-  std::vector<std::uint32_t> heard(n, 0);  // transmitting-neighbor count
-  for (std::uint64_t t = 0; t < max_rounds; ++t) {
-    const Snapshot& snap = graph.snapshot();
-    // Phase 1: informed nodes decide whether to transmit.
-    for (NodeId u = 0; u < n; ++u) {
-      transmitting[u] = informed[u] && (tau >= 1.0 || rng.bernoulli(tau));
-      if (transmitting[u]) ++result.transmissions;
-    }
-    // Phase 2: reception — exactly one transmitting neighbor.
-    for (NodeId u = 0; u < n; ++u) heard[u] = 0;
-    for (NodeId u = 0; u < n; ++u) {
-      if (!transmitting[u]) continue;
-      for (NodeId v : snap.neighbors(u)) ++heard[v];
-    }
-    std::size_t newly = 0;
-    for (NodeId v = 0; v < n; ++v) {
-      if (informed[v]) continue;
-      if (heard[v] == 1) {
-        informed[v] = 1;
-        ++newly;
-      } else if (heard[v] > 1) {
-        ++result.collisions;
-      }
-    }
-    count += newly;
-    result.flood.informed_counts.push_back(count);
-    graph.step();
-    if (count == n) {
-      result.flood.completed = true;
-      result.flood.rounds = t + 1;
-      return result;
-    }
-  }
-  result.flood.completed = false;
-  result.flood.rounds = max_rounds;
+  result.flood = std::move(r.flood);
+  result.transmissions = static_cast<std::uint64_t>(r.metrics.at("transmissions"));
+  result.collisions = static_cast<std::uint64_t>(r.metrics.at("collisions"));
   return result;
 }
 

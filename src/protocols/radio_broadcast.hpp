@@ -13,12 +13,39 @@
 // tau < 1.  Both are exposed here.
 
 #include <cstdint>
+#include <string>
 
 #include "core/dynamic_graph.hpp"
 #include "core/flooding.hpp"
+#include "core/process.hpp"
 #include "util/rng.hpp"
 
 namespace megflood {
+
+// Radio broadcast as a SpreadingProcess.  Metrics: "transmissions" and
+// "collisions" ((node, round) receptions lost to collision).
+class RadioBroadcastProcess final : public SpreadingProcess {
+ public:
+  // Informed nodes transmit independently with probability `tau` per
+  // round; tau = 1.0 reproduces the deterministic always-transmit
+  // protocol.  Requires tau in (0, 1].
+  explicit RadioBroadcastProcess(double tau);
+
+  std::string name() const override;
+  void begin_trial(std::size_t num_nodes, NodeId source) override;
+  void round(const Snapshot& snapshot, std::vector<char>& informed,
+             std::vector<NodeId>& newly, Rng& rng) override;
+  void metrics(MetricsBag& out) const override;
+
+  double tau() const noexcept { return tau_; }
+
+ private:
+  double tau_;
+  std::uint64_t transmissions_ = 0;
+  std::uint64_t collisions_ = 0;
+  std::vector<char> transmitting_;       // round scratch
+  std::vector<std::uint32_t> heard_;     // transmitting-neighbor count
+};
 
 struct RadioResult {
   FloodResult flood;
@@ -26,8 +53,7 @@ struct RadioResult {
   std::uint64_t collisions = 0;  // (node, round) receptions lost to collision
 };
 
-// Informed nodes transmit independently with probability `tau` per round.
-// tau = 1.0 reproduces the deterministic always-transmit protocol.
+// Single-run convenience wrapper over run_process(RadioBroadcastProcess).
 RadioResult radio_broadcast(DynamicGraph& graph, NodeId source, double tau,
                             std::uint64_t max_rounds, std::uint64_t seed);
 

@@ -1,62 +1,58 @@
 #include "protocols/ttl_flooding.hpp"
 
 #include <stdexcept>
-#include <vector>
 
 namespace megflood {
 
-TtlFloodResult ttl_flood(DynamicGraph& graph, NodeId source, std::uint64_t ttl,
-                         std::uint64_t max_rounds) {
-  const std::size_t n = graph.num_nodes();
-  if (source >= n) throw std::out_of_range("ttl_flood: bad source");
-  if (ttl == 0) throw std::invalid_argument("ttl_flood: ttl must be >= 1");
-
-  TtlFloodResult result;
-  // remaining[v]: rounds of relaying left; 0 = uninformed or expired.
-  std::vector<std::uint64_t> remaining(n, 0);
-  std::vector<char> informed(n, 0);
-  informed[source] = 1;
-  remaining[source] = ttl;
-  std::size_t informed_count = 1;
-  result.flood.informed_counts.push_back(informed_count);
-  if (informed_count == n) {
-    result.flood.completed = true;
-    return result;
+TtlFloodingProcess::TtlFloodingProcess(std::uint64_t ttl) : ttl_(ttl) {
+  if (ttl == 0) {
+    throw std::invalid_argument("TtlFloodingProcess: ttl must be >= 1");
   }
+}
 
-  std::vector<NodeId> newly;
-  for (std::uint64_t t = 0; t < max_rounds; ++t) {
-    const Snapshot& snap = graph.snapshot();
-    newly.clear();
-    bool anyone_active = false;
-    for (NodeId u = 0; u < n; ++u) {
-      if (remaining[u] == 0) continue;
-      anyone_active = true;
-      ++result.transmissions;
-      for (NodeId v : snap.neighbors(u)) {
-        if (!informed[v]) {
-          informed[v] = 1;
-          newly.push_back(v);
-        }
+void TtlFloodingProcess::begin_trial(std::size_t num_nodes, NodeId source) {
+  transmissions_ = 0;
+  exhausted_ = false;
+  remaining_.assign(num_nodes, 0);
+  remaining_[source] = ttl_;
+}
+
+void TtlFloodingProcess::round(const Snapshot& snapshot,
+                               std::vector<char>& informed,
+                               std::vector<NodeId>& newly, Rng& /*rng*/) {
+  const std::size_t n = informed.size();
+  bool anyone_active = false;
+  for (NodeId u = 0; u < n; ++u) {
+    if (remaining_[u] == 0) continue;
+    anyone_active = true;
+    ++transmissions_;
+    for (NodeId v : snapshot.neighbors(u)) {
+      if (!informed[v]) {
+        informed[v] = 2;
+        newly.push_back(v);
       }
     }
-    // Age the active set, then activate this round's newly informed.
-    for (NodeId u = 0; u < n; ++u) {
-      if (remaining[u] > 0) --remaining[u];
-    }
-    for (NodeId v : newly) remaining[v] = ttl;
-    informed_count += newly.size();
-    result.flood.informed_counts.push_back(informed_count);
-    graph.step();
-    if (informed_count == n) {
-      result.flood.completed = true;
-      result.flood.rounds = t + 1;
-      return result;
-    }
-    if (!anyone_active) break;  // protocol died out before completion
   }
-  result.flood.completed = false;
-  result.flood.rounds = max_rounds;
+  // Age the active set, then activate this round's newly informed.
+  for (NodeId u = 0; u < n; ++u) {
+    if (remaining_[u] > 0) --remaining_[u];
+  }
+  for (NodeId v : newly) remaining_[v] = ttl_;
+  exhausted_ = !anyone_active;
+}
+
+void TtlFloodingProcess::metrics(MetricsBag& out) const {
+  out["transmissions"] = static_cast<double>(transmissions_);
+}
+
+TtlFloodResult ttl_flood(DynamicGraph& graph, NodeId source, std::uint64_t ttl,
+                         std::uint64_t max_rounds) {
+  TtlFloodingProcess process(ttl);
+  ProcessResult r = run_process(graph, process, source, max_rounds, /*seed=*/0);
+  TtlFloodResult result;
+  result.flood = std::move(r.flood);
+  result.transmissions =
+      static_cast<std::uint64_t>(r.metrics.at("transmissions"));
   return result;
 }
 

@@ -1,0 +1,237 @@
+// Tests for the unified SpreadingProcess API: equivalence of
+// FloodingProcess with the word-parallel flood(), process metrics, TTL
+// die-out semantics, and — the harness guarantee the trial runner makes
+// for *every* protocol, not just flooding — measurements that are
+// bit-identical for any thread count.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/fixed_graphs.hpp"
+#include "core/process.hpp"
+#include "core/trial.hpp"
+#include "graph/builders.hpp"
+#include "meg/edge_meg.hpp"
+#include "protocols/gossip.hpp"
+#include "protocols/k_push.hpp"
+#include "protocols/radio_broadcast.hpp"
+#include "protocols/ttl_flooding.hpp"
+
+namespace megflood {
+namespace {
+
+TEST(RunProcess, FloodingProcessMatchesWordEngineFlood) {
+  // FloodingProcess::run substitutes the word-parallel flood() kernel;
+  // the generic per-round engine it overrides (invoked here via the
+  // qualified base call) must produce an identical trajectory AND
+  // identical metrics on the same model realization.
+  TwoStateEdgeMEG a(48, {0.05, 0.25}, 99);
+  TwoStateEdgeMEG b(48, {0.05, 0.25}, 99);
+  FloodingProcess process;
+  const ProcessResult generic =
+      process.SpreadingProcess::run(a, 3, 10'000, 1234);
+  const ProcessResult word = run_process(b, process, 3, 10'000, 1234);
+  ASSERT_TRUE(generic.flood.completed);
+  ASSERT_TRUE(word.flood.completed);
+  EXPECT_EQ(generic.flood.rounds, word.flood.rounds);
+  EXPECT_EQ(generic.flood.informed_counts, word.flood.informed_counts);
+  // Every informed node transmits every executed round — identical
+  // accounting in both engines.
+  EXPECT_GT(word.metrics.at("transmissions"), 0.0);
+  EXPECT_EQ(generic.metrics.at("transmissions"),
+            word.metrics.at("transmissions"));
+}
+
+TEST(RunProcess, BadSourceThrows) {
+  FixedDynamicGraph g(path_graph(4));
+  FloodingProcess process;
+  EXPECT_THROW((void)run_process(g, process, 9, 10, 1), std::out_of_range);
+}
+
+TEST(RunProcess, LegacyWrappersMatchProcessClasses) {
+  // The retained free functions are thin wrappers; same seeds must give
+  // the same trajectories and metrics as driving the class directly.
+  TwoStateEdgeMEG a(32, {0.2, 0.2}, 5);
+  TwoStateEdgeMEG b(32, {0.2, 0.2}, 5);
+  const GossipResult wrapper = gossip_flood(a, 0, GossipMode::kPushPull, 1000, 77);
+  GossipProcess process(GossipMode::kPushPull);
+  const ProcessResult direct = run_process(b, process, 0, 1000, 77);
+  EXPECT_EQ(wrapper.flood.rounds, direct.flood.rounds);
+  EXPECT_EQ(wrapper.flood.informed_counts, direct.flood.informed_counts);
+  EXPECT_EQ(static_cast<double>(wrapper.contacts),
+            direct.metrics.at("contacts"));
+}
+
+TEST(RunProcess, TtlDiesOutEarlyAndReportsIncomplete) {
+  // 3 nodes; only the first snapshot has an edge.  With ttl = 1 the
+  // relay budget expires after the first rounds and node 2 is never
+  // reached: the driver must stop early (exhausted()), not burn the full
+  // round budget.
+  std::vector<Snapshot> script;
+  Snapshot first(3);
+  first.add_edge(0, 1);
+  script.push_back(std::move(first));
+  script.emplace_back(3);  // empty forever after
+  ScriptedDynamicGraph graph(std::move(script));
+  TtlFloodingProcess process(1);
+  const ProcessResult r = run_process(graph, process, 0, 1'000'000, 0);
+  EXPECT_FALSE(r.flood.completed);
+  EXPECT_TRUE(process.exhausted());
+  EXPECT_LT(graph.time(), 10u);  // early exit, not 1e6 steps
+  EXPECT_EQ(r.metrics.at("transmissions"), 2.0);  // node 0 then node 1
+}
+
+TEST(RunProcess, RadioExportsCollisionMetrics) {
+  // On a 4-cycle 0-1-2-3 with tau = 1, round 1 informs nodes 1 and 3
+  // (each hears exactly the source); from round 2 on they both transmit
+  // into node 2, which is jammed deterministically forever.
+  FixedDynamicGraph g(cycle_graph(4));
+  RadioBroadcastProcess process(1.0);
+  const ProcessResult r = run_process(g, process, 0, 100, 9);
+  EXPECT_FALSE(r.flood.completed);  // node 2 is jammed forever
+  EXPECT_GT(r.metrics.at("collisions"), 0.0);
+  EXPECT_GT(r.metrics.at("transmissions"), 0.0);
+}
+
+TEST(Measure, FloodingWrapperIsTheGenericHarness) {
+  const GraphFactory factory = [](std::uint64_t seed) {
+    return std::make_unique<TwoStateEdgeMEG>(40, TwoStateParams{0.08, 0.25},
+                                             seed);
+  };
+  TrialConfig cfg;
+  cfg.trials = 8;
+  cfg.seed = 21;
+  const Measurement a = measure_flooding(factory, cfg);
+  const Measurement b = measure(
+      factory, [] { return std::make_unique<FloodingProcess>(); }, cfg);
+  EXPECT_EQ(a.incomplete, b.incomplete);
+  EXPECT_DOUBLE_EQ(a.rounds.mean, b.rounds.mean);
+  EXPECT_DOUBLE_EQ(a.rounds.max, b.rounds.max);
+  EXPECT_DOUBLE_EQ(a.metrics.at("transmissions").mean,
+                   b.metrics.at("transmissions").mean);
+}
+
+TEST(Measure, LargeKPushMatchesFloodingMeasurement) {
+  // k >= n-1 pushes to every neighbor: identical round counts to
+  // flooding, trial for trial (both deterministic given the graph).
+  const GraphFactory factory = [](std::uint64_t seed) {
+    return std::make_unique<TwoStateEdgeMEG>(24, TwoStateParams{0.15, 0.2},
+                                             seed);
+  };
+  TrialConfig cfg;
+  cfg.trials = 6;
+  cfg.seed = 5;
+  const Measurement fl = measure_flooding(factory, cfg);
+  const Measurement kp = measure(
+      factory, [] { return std::make_unique<KPushProcess>(64); }, cfg);
+  EXPECT_EQ(fl.incomplete, kp.incomplete);
+  EXPECT_DOUBLE_EQ(fl.rounds.mean, kp.rounds.mean);
+  EXPECT_DOUBLE_EQ(fl.rounds.max, kp.rounds.max);
+}
+
+void expect_identical(const Measurement& a, const Measurement& b) {
+  EXPECT_EQ(a.incomplete, b.incomplete);
+  const auto same_summary = [](const Summary& x, const Summary& y) {
+    EXPECT_EQ(x.count, y.count);
+    EXPECT_DOUBLE_EQ(x.mean, y.mean);
+    EXPECT_DOUBLE_EQ(x.stddev, y.stddev);
+    EXPECT_DOUBLE_EQ(x.min, y.min);
+    EXPECT_DOUBLE_EQ(x.median, y.median);
+    EXPECT_DOUBLE_EQ(x.p90, y.p90);
+    EXPECT_DOUBLE_EQ(x.p99, y.p99);
+    EXPECT_DOUBLE_EQ(x.max, y.max);
+  };
+  same_summary(a.rounds, b.rounds);
+  same_summary(a.spreading_rounds, b.spreading_rounds);
+  same_summary(a.saturation_rounds, b.saturation_rounds);
+  ASSERT_EQ(a.metrics.size(), b.metrics.size());
+  for (const auto& [name, summary] : a.metrics) {
+    ASSERT_TRUE(b.metrics.count(name)) << name;
+    same_summary(summary, b.metrics.at(name));
+  }
+}
+
+// The PR 2 guarantee, extended beyond flooding: every protocol
+// measurement is a pure function of (config, trial index), merged in
+// trial order — so threads = 1, 2 and 0 (auto) are bit-identical.
+void check_thread_invariance(const ProcessFactory& process) {
+  const GraphFactory factory = [](std::uint64_t seed) {
+    return std::make_unique<TwoStateEdgeMEG>(40, TwoStateParams{0.08, 0.25},
+                                             seed);
+  };
+  TrialConfig cfg;
+  cfg.trials = 12;
+  cfg.seed = 7;
+  cfg.warmup_steps = 3;
+  cfg.threads = 1;
+  const Measurement sequential = measure(factory, process, cfg);
+  cfg.threads = 2;
+  const Measurement two = measure(factory, process, cfg);
+  expect_identical(sequential, two);
+  cfg.threads = 0;  // auto: one worker per hardware thread
+  const Measurement auto_threaded = measure(factory, process, cfg);
+  expect_identical(sequential, auto_threaded);
+}
+
+TEST(Measure, GossipThreadCountDoesNotChangeResults) {
+  check_thread_invariance(
+      [] { return std::make_unique<GossipProcess>(GossipMode::kPushPull); });
+}
+
+TEST(Measure, KPushThreadCountDoesNotChangeResults) {
+  check_thread_invariance([] { return std::make_unique<KPushProcess>(2); });
+}
+
+TEST(Measure, RadioThreadCountDoesNotChangeResults) {
+  check_thread_invariance(
+      [] { return std::make_unique<RadioBroadcastProcess>(0.5); });
+}
+
+TEST(Measure, TtlThreadCountDoesNotChangeResults) {
+  check_thread_invariance(
+      [] { return std::make_unique<TtlFloodingProcess>(4); });
+}
+
+TEST(Measure, OverlayFloodThreadCountDoesNotChangeResults) {
+  // The k-push reduction path: flooding over the owning
+  // RandomSubsetOverlay, whose selection RNG is derived from the trial
+  // seed (determinism audit of RandomSubsetOverlay::reset/construction).
+  const GraphFactory factory = [](std::uint64_t seed) {
+    return std::make_unique<RandomSubsetOverlay>(
+        std::make_unique<TwoStateEdgeMEG>(40, TwoStateParams{0.1, 0.25},
+                                          seed),
+        2, seed ^ 0x517cc1b727220a95ULL);
+  };
+  TrialConfig cfg;
+  cfg.trials = 10;
+  cfg.seed = 13;
+  cfg.threads = 1;
+  const Measurement sequential = measure_flooding(factory, cfg);
+  cfg.threads = 0;
+  const Measurement threaded = measure_flooding(factory, cfg);
+  expect_identical(sequential, threaded);
+}
+
+TEST(MeasureReusing, ProtocolResetMatchesFreshConstruction) {
+  // reset(seed) must make a reused model behave like a freshly built one
+  // for protocol measurements too (RNG reseeding audit).
+  TrialConfig cfg;
+  cfg.trials = 6;
+  cfg.seed = 99;
+  const ProcessFactory gossip = [] {
+    return std::make_unique<GossipProcess>(GossipMode::kPush);
+  };
+  TwoStateEdgeMEG model(24, {0.1, 0.2}, 1);
+  const Measurement reused = measure_reusing(model, gossip, cfg);
+  const Measurement fresh = measure(
+      [](std::uint64_t seed) {
+        return std::make_unique<TwoStateEdgeMEG>(
+            24, TwoStateParams{0.1, 0.2}, seed);
+      },
+      gossip, cfg);
+  expect_identical(reused, fresh);
+}
+
+}  // namespace
+}  // namespace megflood

@@ -1,0 +1,227 @@
+// Tests for the scenario layer: registry round-trips for every
+// registered model, hard rejection of unknown models / parameters /
+// process specs, and the ScenarioSpec -> CLI string -> ScenarioSpec
+// parse round-trip.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/scenario.hpp"
+
+namespace megflood {
+namespace {
+
+TEST(ScenarioRegistry, ListsTheExpectedFamilies) {
+  const auto& models = scenario_models();
+  ASSERT_GE(models.size(), 9u);
+  for (const char* name :
+       {"edge_meg", "general_edge_meg", "het_edge_meg", "node_meg",
+        "clique_flicker", "random_walk", "random_waypoint", "random_trip",
+        "grid_paths"}) {
+    EXPECT_NE(find_scenario_model(name), nullptr) << name;
+  }
+  EXPECT_EQ(find_scenario_model("no_such_model"), nullptr);
+}
+
+TEST(ScenarioRegistry, EveryRegisteredModelBuildsAndRuns) {
+  // Registry round-trip: for every registered name, default params
+  // (shrunk to a tiny n) must build a factory whose graphs run an end-to-
+  // end flooding measurement.  Completion is not required (some defaults
+  // are sparse); accounting must be consistent either way.
+  for (const ScenarioModelInfo& info : scenario_models()) {
+    ScenarioSpec spec;
+    spec.model = info.name;
+    spec.params["n"] = "16";
+    spec.trial.trials = 2;
+    spec.trial.seed = 3;
+    spec.trial.max_rounds = 5'000;
+    spec.trial.threads = 1;
+    const ScenarioResult result = run_scenario(spec);
+    EXPECT_EQ(result.num_nodes, 16u) << info.name;
+    EXPECT_EQ(result.measurement.rounds.count + result.measurement.incomplete,
+              spec.trial.trials)
+        << info.name;
+  }
+}
+
+TEST(ScenarioRegistry, ScenarioIsBitIdenticalAcrossThreadCounts) {
+  ScenarioSpec spec;
+  spec.model = "edge_meg";
+  spec.params["n"] = "48";
+  spec.params["alpha"] = "0.05";
+  spec.process = "gossip:pushpull";
+  spec.trial.trials = 8;
+  spec.trial.seed = 11;
+  spec.trial.threads = 1;
+  const ScenarioResult sequential = run_scenario(spec);
+  spec.trial.threads = 0;
+  const ScenarioResult threaded = run_scenario(spec);
+  EXPECT_EQ(sequential.measurement.incomplete,
+            threaded.measurement.incomplete);
+  EXPECT_DOUBLE_EQ(sequential.measurement.rounds.mean,
+                   threaded.measurement.rounds.mean);
+  EXPECT_DOUBLE_EQ(sequential.measurement.rounds.max,
+                   threaded.measurement.rounds.max);
+  EXPECT_DOUBLE_EQ(sequential.measurement.metrics.at("contacts").mean,
+                   threaded.measurement.metrics.at("contacts").mean);
+}
+
+TEST(ScenarioValidation, UnknownModelIsRejected) {
+  ScenarioSpec spec;
+  spec.model = "warp_drive";
+  EXPECT_THROW((void)make_model_factory(spec), std::invalid_argument);
+  spec.model = "";
+  EXPECT_THROW((void)make_model_factory(spec), std::invalid_argument);
+}
+
+TEST(ScenarioValidation, UnknownParameterIsRejected) {
+  ScenarioSpec spec;
+  spec.model = "edge_meg";
+  spec.params["typo_rate"] = "0.5";
+  EXPECT_THROW((void)make_model_factory(spec), std::invalid_argument);
+}
+
+TEST(ScenarioValidation, MalformedValuesAreRejected) {
+  ScenarioSpec spec;
+  spec.model = "edge_meg";
+  spec.params["n"] = "many";
+  EXPECT_THROW((void)make_model_factory(spec), std::invalid_argument);
+  spec.params.clear();
+  spec.params["q"] = "0.3extra";
+  EXPECT_THROW((void)make_model_factory(spec), std::invalid_argument);
+  spec.params.clear();
+  spec.params["init"] = "sideways";
+  EXPECT_THROW((void)make_model_factory(spec), std::invalid_argument);
+  // Non-finite values must fail fast: NaN slips through every range
+  // check (all comparisons are false), so parse_double rejects it.
+  spec.params.clear();
+  spec.params["alpha"] = "nan";
+  EXPECT_THROW((void)make_model_factory(spec), std::invalid_argument);
+  spec.params.clear();
+  spec.params["q"] = "inf";
+  EXPECT_THROW((void)make_model_factory(spec), std::invalid_argument);
+  EXPECT_THROW((void)make_process_factory("radio:nan"),
+               std::invalid_argument);
+  // An out-of-range explicit p is an error, not a silent fallback to the
+  // alpha derivation (only the sentinel p=0 means "derive from alpha").
+  spec.params.clear();
+  spec.params["p"] = "-0.5";
+  EXPECT_THROW((void)make_model_factory(spec), std::invalid_argument);
+}
+
+TEST(ScenarioValidation, VariantInapplicableOverridesAreRejected) {
+  // An explicitly passed parameter the selected variant never reads is a
+  // hard error — the user believes they varied something that the run
+  // would silently ignore.
+  ScenarioSpec spec;
+  spec.model = "het_edge_meg";
+  spec.params["sampler"] = "uniform_alpha";
+  spec.params["p"] = "0.5";  // two_speed-only key
+  EXPECT_THROW((void)make_model_factory(spec), std::invalid_argument);
+
+  spec.params.clear();
+  spec.model = "general_edge_meg";
+  spec.params["link"] = "four_state";
+  spec.params["drop"] = "0.9";  // bursty-only key
+  EXPECT_THROW((void)make_model_factory(spec), std::invalid_argument);
+
+  spec.params.clear();
+  spec.model = "random_trip";
+  spec.params["policy"] = "square";
+  spec.params["leg_lo"] = "2.0";  // direction-only key
+  EXPECT_THROW((void)make_model_factory(spec), std::invalid_argument);
+
+  spec.params.clear();
+  spec.model = "edge_meg";
+  spec.params["p"] = "0.1";
+  spec.params["alpha"] = "0.05";  // unused once p is explicit
+  EXPECT_THROW((void)make_model_factory(spec), std::invalid_argument);
+
+  // The same keys are fine when the matching variant is selected.
+  spec.params.clear();
+  spec.model = "het_edge_meg";
+  spec.params["sampler"] = "two_speed";
+  spec.params["p"] = "0.05";
+  EXPECT_NO_THROW((void)make_model_factory(spec));
+}
+
+TEST(ScenarioValidation, ProcessSpecsParseAndReject) {
+  for (const char* good :
+       {"flooding", "gossip", "gossip:push", "gossip:pull", "gossip:pushpull",
+        "kpush", "kpush:3", "radio", "radio:0.5", "ttl", "ttl:4"}) {
+    EXPECT_NO_THROW((void)make_process_factory(good)) << good;
+  }
+  for (const char* bad : {"warp", "gossip:sideways", "kpush:0", "kpush:x",
+                          "radio:0", "radio:1.5", "ttl:0", "flooding:1"}) {
+    EXPECT_THROW((void)make_process_factory(bad), std::invalid_argument)
+        << bad;
+  }
+  // The factory produces instances whose name() is the canonical spec.
+  EXPECT_EQ(make_process_factory("gossip")()->name(), "gossip:pushpull");
+  EXPECT_EQ(make_process_factory("kpush:3")()->name(), "kpush:3");
+  EXPECT_EQ(make_process_factory("flooding")()->name(), "flooding");
+}
+
+void expect_specs_equal(const ScenarioSpec& a, const ScenarioSpec& b) {
+  EXPECT_EQ(a.model, b.model);
+  EXPECT_EQ(a.params, b.params);
+  EXPECT_EQ(a.process, b.process);
+  EXPECT_EQ(a.trial.trials, b.trial.trials);
+  EXPECT_EQ(a.trial.seed, b.trial.seed);
+  EXPECT_EQ(a.trial.max_rounds, b.trial.max_rounds);
+  EXPECT_EQ(a.trial.warmup_steps, b.trial.warmup_steps);
+  EXPECT_EQ(a.trial.threads, b.trial.threads);
+  EXPECT_EQ(a.trial.rotate_sources, b.trial.rotate_sources);
+}
+
+TEST(ScenarioCli, SpecToCliToSpecRoundTrips) {
+  ScenarioSpec spec;
+  spec.model = "edge_meg";
+  spec.params["n"] = "4096";
+  spec.params["alpha"] = "0.002";
+  spec.process = "gossip:pushpull";
+  spec.trial.trials = 64;
+  spec.trial.seed = 42;
+  spec.trial.max_rounds = 2'000'000;
+  spec.trial.warmup_steps = 10;
+  spec.trial.threads = 0;
+  spec.trial.rotate_sources = false;
+  const std::string cli = scenario_to_cli(spec);
+  const ScenarioSpec parsed = parse_scenario_cli(cli);
+  expect_specs_equal(spec, parsed);
+  // And serialization is a fixed point: spec -> cli -> spec -> cli.
+  EXPECT_EQ(cli, scenario_to_cli(parsed));
+}
+
+TEST(ScenarioCli, DefaultsRoundTripToo) {
+  ScenarioSpec spec;
+  spec.model = "random_waypoint";
+  expect_specs_equal(spec, parse_scenario_cli(scenario_to_cli(spec)));
+}
+
+TEST(ScenarioCli, ParseMatchesIssueExample) {
+  const ScenarioSpec spec = parse_scenario_cli(
+      "--model=edge_meg --n=4096 --alpha=0.002 --process=gossip:pushpull "
+      "--trials=64 --threads=0");
+  EXPECT_EQ(spec.model, "edge_meg");
+  EXPECT_EQ(spec.params.at("n"), "4096");
+  EXPECT_EQ(spec.params.at("alpha"), "0.002");
+  EXPECT_EQ(spec.process, "gossip:pushpull");
+  EXPECT_EQ(spec.trial.trials, 64u);
+  EXPECT_EQ(spec.trial.threads, 0u);
+}
+
+TEST(ScenarioCli, MalformedArgumentsAreRejected) {
+  EXPECT_THROW((void)parse_scenario_cli("model=edge_meg"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_scenario_cli("--trials"), std::invalid_argument);
+  EXPECT_THROW((void)parse_scenario_cli("--trials=sixty"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_scenario_cli("--rotate_sources=maybe"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_scenario_cli("--=3"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace megflood

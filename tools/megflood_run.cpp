@@ -1,0 +1,209 @@
+// megflood_run — the scenario driver: list, validate and execute named
+// spreading scenarios without recompiling a bespoke main.
+//
+//   $ megflood_run --list
+//   $ megflood_run --model=edge_meg --n=4096 --alpha=0.002 \
+//         --process=gossip:pushpull --trials=64 --threads=0 --format=csv
+//
+// Driver flags: --model, --process, --trials, --seed, --max_rounds,
+// --warmup, --threads, --rotate_sources, --format=table|csv|json, --list,
+// --help.  Every other --key=value is a model parameter validated against
+// the registry (unknown key or model = hard error).  csv/json go to
+// stdout (one header + one data row for csv); warnings go to stderr so
+// the machine-readable stream stays clean.
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/scenario.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace megflood;
+
+std::string fmt(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  return buffer;
+}
+
+void print_usage(std::ostream& os) {
+  os << "usage: megflood_run --model=<name> [--<param>=<value> ...]\n"
+        "                    [--process=<spec>] [--trials=N] [--seed=S]\n"
+        "                    [--max_rounds=M] [--warmup=W] [--threads=T]\n"
+        "                    [--rotate_sources=0|1] [--format=table|csv|json]\n"
+        "       megflood_run --list\n"
+        "\n"
+        "process spec: flooding | gossip[:push|pull|pushpull] | kpush[:<k>]\n"
+        "              | radio[:<tau>] | ttl[:<ttl>]\n"
+        "exit codes:   0 ok, 2 invalid scenario/usage, 3 no trial completed\n";
+}
+
+void print_list() {
+  std::cout << "registered models:\n";
+  for (const ScenarioModelInfo& info : scenario_models()) {
+    std::cout << "\n  " << info.name << " — " << info.summary << "\n";
+    for (const ScenarioParam& param : info.params) {
+      std::printf("    --%-16s default %-12s %s\n", param.name.c_str(),
+                  param.default_value.c_str(), param.description.c_str());
+    }
+  }
+  std::cout << "\nprocesses: flooding | gossip[:push|pull|pushpull] | "
+               "kpush[:<k>] | radio[:<tau>] | ttl[:<ttl>]\n";
+}
+
+// Flat (column, value) row shared by the csv and json emitters; round
+// statistics are empty when no trial completed (all_incomplete), never 0.
+std::vector<std::pair<std::string, std::string>> result_fields(
+    const ScenarioSpec& spec, const ScenarioResult& result) {
+  const Measurement& m = result.measurement;
+  const std::size_t completed = m.rounds.count;
+  std::vector<std::pair<std::string, std::string>> fields = {
+      {"model", spec.model},
+      {"process", spec.process},
+      {"n", std::to_string(result.num_nodes)},
+      {"trials", std::to_string(spec.trial.trials)},
+      {"completed", std::to_string(completed)},
+      {"incomplete", std::to_string(m.incomplete)},
+  };
+  const auto stat = [&](const std::string& name, double value) {
+    fields.emplace_back(name, m.all_incomplete() ? "" : fmt(value));
+  };
+  stat("rounds_mean", m.rounds.mean);
+  stat("rounds_median", m.rounds.median);
+  stat("rounds_p90", m.rounds.p90);
+  stat("rounds_p99", m.rounds.p99);
+  stat("rounds_max", m.rounds.max);
+  stat("spreading_median", m.spreading_rounds.median);
+  stat("saturation_median", m.saturation_rounds.median);
+  for (const auto& [name, summary] : m.metrics) {
+    stat(name + "_mean", summary.mean);
+    stat(name + "_median", summary.median);
+  }
+  return fields;
+}
+
+void emit_csv(const ScenarioSpec& spec, const ScenarioResult& result) {
+  const auto fields = result_fields(spec, result);
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    std::cout << fields[i].first << (i + 1 < fields.size() ? "," : "\n");
+  }
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    std::cout << fields[i].second << (i + 1 < fields.size() ? "," : "\n");
+  }
+}
+
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out + "\"";
+}
+
+void emit_json(const ScenarioSpec& spec, const ScenarioResult& result) {
+  const auto fields = result_fields(spec, result);
+  std::cout << "{";
+  bool first = true;
+  for (const auto& [name, value] : fields) {
+    if (!first) std::cout << ", ";
+    first = false;
+    std::cout << json_quote(name) << ": ";
+    const bool numeric = name != "model" && name != "process";
+    if (value.empty()) {
+      std::cout << "null";
+    } else if (numeric) {
+      std::cout << value;
+    } else {
+      std::cout << json_quote(value);
+    }
+  }
+  std::cout << "}\n";
+}
+
+void emit_table(const ScenarioSpec& spec, const ScenarioResult& result) {
+  const Measurement& m = result.measurement;
+  std::cout << "scenario: " << scenario_to_cli(spec) << "\n";
+  std::cout << "n = " << result.num_nodes << ", completed "
+            << m.rounds.count << "/" << spec.trial.trials << " trials\n\n";
+  Table table({"statistic", "value"});
+  table.add_row({"rounds mean", bench::fmt_rounds(m, m.rounds.mean)});
+  table.add_row({"rounds median", bench::fmt_rounds(m, m.rounds.median)});
+  table.add_row({"rounds p90", bench::fmt_rounds(m, m.rounds.p90)});
+  table.add_row({"rounds p99", bench::fmt_rounds(m, m.rounds.p99)});
+  table.add_row({"rounds max", bench::fmt_rounds(m, m.rounds.max, 0)});
+  table.add_row(
+      {"spreading median", bench::fmt_rounds(m, m.spreading_rounds.median)});
+  table.add_row(
+      {"saturation median", bench::fmt_rounds(m, m.saturation_rounds.median)});
+  for (const auto& [name, summary] : m.metrics) {
+    table.add_row({name + " median", bench::fmt_rounds(m, summary.median, 0)});
+  }
+  table.print(std::cout);
+  bench::warn_incomplete(m, "this scenario");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace megflood;
+
+  std::vector<std::string> args;
+  std::string format = "table";
+  bool list = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return 0;
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (list) {
+    print_list();
+    return 0;
+  }
+  if (format != "table" && format != "csv" && format != "json") {
+    std::cerr << "megflood_run: format must be table|csv|json, got '" << format
+              << "'\n";
+    return 2;
+  }
+  if (args.empty()) {
+    print_usage(std::cerr);
+    return 2;
+  }
+
+  try {
+    const ScenarioSpec spec = parse_scenario_args(args);
+    const ScenarioResult result = run_scenario(spec);
+    if (format == "csv") {
+      emit_csv(spec, result);
+    } else if (format == "json") {
+      emit_json(spec, result);
+    } else {
+      emit_table(spec, result);
+    }
+    if (format != "table" && result.measurement.incomplete > 0) {
+      std::cerr << "megflood_run: " << result.measurement.incomplete << "/"
+                << spec.trial.trials << " trials incomplete\n";
+    }
+    // Exit 3 when not a single trial completed: the emitted row carries
+    // no round statistics, and machine consumers (including the CI smoke
+    // step) must not read a fully stalled scenario as success.
+    return result.measurement.all_incomplete() ? 3 : 0;
+  } catch (const std::exception& error) {
+    std::cerr << "megflood_run: " << error.what() << "\n";
+    return 2;
+  }
+}
