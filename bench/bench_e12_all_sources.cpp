@@ -30,13 +30,15 @@ void run_model(const std::string& name, Factory&& factory,
   // flood_all_sources() measures F(G) = max_s F(G, s) on one shared
   // realization — per-source results, not a Measurement — so it drives
   // the engine directly; realization seeds come from derive_seeds like
-  // every measure() trial.
+  // every measure() trial.  threads = 0 uses every hardware thread over
+  // the word-column blocks; the result is bit-identical to a serial run.
   const auto seeds = derive_seeds(/*master=*/11, kRealizations);
   std::vector<double> maxima, medians, minima, spreads;
   for (std::uint64_t trial = 0; trial < kRealizations; ++trial) {
     auto model = factory(seeds[trial]);
     for (std::uint64_t w = 0; w < warmup; ++w) model->step();
-    const AllSourcesResult all = flood_all_sources(*model, 1'000'000);
+    const AllSourcesResult all =
+        flood_all_sources(*model, 1'000'000, /*threads=*/0);
     if (!all.all_completed) {
       std::cout << "WARNING: some sources incomplete in realization "
                 << trial << "\n";

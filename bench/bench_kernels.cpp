@@ -6,8 +6,10 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
 #include "core/flooding.hpp"
+#include "geometry/square_grid.hpp"
 #include "graph/builders.hpp"
 #include "meg/edge_meg.hpp"
 #include "meg/general_edge_meg.hpp"
@@ -16,6 +18,7 @@
 #include "mobility/random_paths.hpp"
 #include "mobility/random_walk.hpp"
 #include "mobility/random_waypoint.hpp"
+#include "util/rng.hpp"
 
 namespace megflood {
 namespace {
@@ -121,6 +124,45 @@ void BM_WaypointStep(benchmark::State& state) {
 }
 BENCHMARK(BM_WaypointStep)->Arg(128)->Arg(512);
 
+void BM_WaypointStepLarge(benchmark::State& state) {
+  // Paper scale: n = 4096 agents at slow (v << bucket width) speeds, the
+  // regime where the incremental NeighborIndex path dominates.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  WaypointParams p;
+  p.side_length = 64.0;
+  p.v_min = 0.05;
+  p.v_max = 0.1;
+  p.radius = 1.0;
+  p.resolution = 256;
+  RandomWaypointModel model(n, p, 1);
+  for (auto _ : state) {
+    model.step();
+    benchmark::DoNotOptimize(model.snapshot().num_edges());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WaypointStepLarge)->Arg(4096)->Unit(benchmark::kMicrosecond);
+
+void BM_NeighborRebuild(benchmark::State& state) {
+  // Full counting-pass rebuild of the bucketed neighbor index (the
+  // fallback path of refresh(); also the init/collapse/reset path).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const SquareGrid grid(128, 32.0);
+  NeighborIndex index(grid, 1.0);
+  Rng rng(1);
+  std::vector<CellId> cells(n);
+  for (auto& cell : cells) {
+    cell = static_cast<CellId>(rng.uniform_int(grid.num_points()));
+  }
+  for (auto _ : state) {
+    index.rebuild(cells);
+    benchmark::DoNotOptimize(index.num_nodes());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_NeighborRebuild)->Arg(512)->Arg(4096);
+
 void BM_GridLPathsStep(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   GridLPathsModel model(16, n, 1, 1);
@@ -157,6 +199,29 @@ void BM_FloodAllSources(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_FloodAllSources)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FloodAllSourcesThreaded(benchmark::State& state) {
+  // Word-column-partitioned all-sources kernel; results are bit-identical
+  // to BM_FloodAllSources at any thread count, so this measures pure
+  // scaling of the round kernel (bounded by the host's core count).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  TwoStateEdgeMEG meg(n, {2.0 / static_cast<double>(n), 0.3}, 1);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    meg.reset(seed++);
+    const AllSourcesResult all = flood_all_sources(meg, 4096, threads);
+    benchmark::DoNotOptimize(all.max_rounds);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FloodAllSourcesThreaded)
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Args({512, 4})
+    ->Args({1024, 4})
     ->Unit(benchmark::kMillisecond);
 
 void BM_FullFloodSparseEdgeMeg(benchmark::State& state) {

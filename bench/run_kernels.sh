@@ -5,6 +5,13 @@
 #
 # Usage: bench/run_kernels.sh [build-dir]   (default: ./build)
 #
+# The build type is FORCED to Release: numbers from a -O0/Debug tree are
+# meaningless, and an inherited Debug cache once polluted the recorded
+# BENCH_kernels.json.  Note that the `library_build_type` field in the
+# JSON describes how the *system google-benchmark library* was built
+# (Debian ships it as "debug"); the build type of the megflood code under
+# test is recorded separately as `megflood_build_type` in the context.
+#
 # Equivalent CMake target: cmake --build <build-dir> --target bench_kernels_json
 
 set -eu
@@ -12,14 +19,23 @@ set -eu
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}
 
-if [ ! -x "$build_dir/bench_kernels" ]; then
-  echo "error: $build_dir/bench_kernels not found." >&2
-  echo "Build it first (requires google-benchmark):" >&2
-  echo "  cmake -B build -S . && cmake --build build -j --target bench_kernels" >&2
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null
+
+if ! cmake --build "$build_dir" -j --target bench_kernels >/dev/null; then
+  echo "error: could not build bench_kernels (google-benchmark required):" >&2
+  echo "  cmake -B $build_dir -S $repo_root -DCMAKE_BUILD_TYPE=Release" >&2
+  echo "  cmake --build $build_dir -j --target bench_kernels" >&2
+  exit 1
+fi
+
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build_dir/CMakeCache.txt")
+if [ "$build_type" != "Release" ]; then
+  echo "error: $build_dir is configured as '$build_type', not Release" >&2
   exit 1
 fi
 
 "$build_dir/bench_kernels" \
+  --benchmark_context=megflood_build_type="$build_type" \
   --benchmark_format=json \
   --benchmark_out="$repo_root/BENCH_kernels.json" \
   --benchmark_out_format=json

@@ -50,4 +50,29 @@ inline void for_each_set_bit(const std::uint64_t* words, std::size_t count,
   }
 }
 
+// dst[w] |= src[w] over a word range — the all-sources flood applies this
+// per snapshot edge, restricted to one worker's word-column block.
+inline void or_words(std::uint64_t* dst, const std::uint64_t* src,
+                     std::size_t count) noexcept {
+  for (std::size_t w = 0; w < count; ++w) dst[w] |= src[w];
+}
+
+// Calls fn(index) for every bit set in `next` but not in `cur`, in
+// increasing index order, offsetting indices by `base_bit` (the first bit
+// of the word range being scanned).  The all-sources flood uses it to
+// turn a word-column delta into per-source counter updates.
+template <typename Fn>
+inline void for_each_fresh_bit(const std::uint64_t* cur,
+                               const std::uint64_t* next, std::size_t count,
+                               std::size_t base_bit, Fn&& fn) {
+  for (std::size_t w = 0; w < count; ++w) {
+    std::uint64_t fresh = next[w] & ~cur[w];
+    while (fresh != 0) {
+      const auto b = static_cast<std::size_t>(std::countr_zero(fresh));
+      fn(base_bit + w * kBitWordBits + b);
+      fresh &= fresh - 1;
+    }
+  }
+}
+
 }  // namespace megflood

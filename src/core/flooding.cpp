@@ -1,7 +1,13 @@
 #include "core/flooding.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <exception>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "core/bitwords.hpp"
 
@@ -92,8 +98,73 @@ FloodResult flood(DynamicGraph& graph, NodeId source, std::uint64_t max_rounds) 
   return result;
 }
 
+namespace {
+
+// One all-sources flooding round restricted to the word-column block
+// [w_lo, w_hi) — i.e. to sources [64 * w_lo, 64 * w_hi).  Refreshes the
+// block of `next` from `cur`, ORs every snapshot edge over the block,
+// extracts the fresh bits into the block's per-source counters, and
+// advances the per-source results that live in the block.  Returns how
+// many of them completed this round.
+//
+// This is the unit of parallelism: blocks touch disjoint words of every
+// row and disjoint counter/result slots, so any partition of [0, words)
+// can run concurrently with no shared writes — and since the block
+// computation is a pure function of (cur, snapshot), the partition (and
+// hence the thread count) cannot change a single bit of the outcome.
+std::size_t all_sources_round_block(const Snapshot& snap, std::uint64_t t,
+                                    std::size_t n, std::size_t words,
+                                    std::size_t w_lo, std::size_t w_hi,
+                                    const std::uint64_t* cur,
+                                    std::uint64_t* next, std::size_t* counts,
+                                    char* done,
+                                    std::vector<FloodResult>& per_source) {
+  const std::size_t span = w_hi - w_lo;
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::uint64_t* const row_cur = cur + v * words + w_lo;
+    std::copy(row_cur, row_cur + span, next + v * words + w_lo);
+  }
+  for (const auto& [u, v] : snap.edge_buffer()) {
+    or_words(next + std::size_t{u} * words + w_lo,
+             cur + std::size_t{v} * words + w_lo, span);
+    or_words(next + std::size_t{v} * words + w_lo,
+             cur + std::size_t{u} * words + w_lo, span);
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    for_each_fresh_bit(cur + v * words + w_lo, next + v * words + w_lo, span,
+                       w_lo * kBitWordBits,
+                       [&](std::size_t s) { ++counts[s]; });
+  }
+  const std::size_t s_lo = w_lo * kBitWordBits;
+  const std::size_t s_hi = std::min(n, w_hi * kBitWordBits);
+  std::size_t completed = 0;
+  for (std::size_t s = s_lo; s < s_hi; ++s) {
+    if (done[s]) continue;
+    per_source[s].informed_counts.push_back(counts[s]);
+    if (counts[s] == n) {
+      per_source[s].completed = true;
+      per_source[s].rounds = t + 1;
+      done[s] = 1;
+      ++completed;
+    }
+  }
+  return completed;
+}
+
+std::size_t resolve_flood_workers(std::size_t threads, std::size_t words) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 0 ? hw : 1;
+  }
+  // One worker per word column at most: a column is the atom of work.
+  return std::max<std::size_t>(1, std::min(threads, words));
+}
+
+}  // namespace
+
 AllSourcesResult flood_all_sources(DynamicGraph& graph,
-                                   std::uint64_t max_rounds) {
+                                   std::uint64_t max_rounds,
+                                   std::size_t threads) {
   const std::size_t n = graph.num_nodes();
   // All n floods run interleaved against the same live snapshot stream, so
   // every source sees the same realization (the definition of F(G)).
@@ -103,6 +174,7 @@ AllSourcesResult flood_all_sources(DynamicGraph& graph,
   // row[u] |= row[v] on word-packed rows; per-source counters are updated
   // from the newly-set bits (each of the <= n^2 (source, node) pairs turns
   // on exactly once over the whole run, so delta extraction amortizes).
+  // Workers split the word columns (see flooding.hpp).
   AllSourcesResult all;
   all.per_source.resize(n);
   const std::size_t words = bit_words(n);
@@ -120,43 +192,88 @@ AllSourcesResult flood_all_sources(DynamicGraph& graph,
       --remaining;
     }
   }
-  for (std::uint64_t t = 0; t < max_rounds && remaining > 0; ++t) {
-    const Snapshot& snap = graph.snapshot();
-    next = cur;
-    for (const auto& [u, v] : snap.edge_buffer()) {
-      std::uint64_t* next_u = next.data() + std::size_t{u} * words;
-      std::uint64_t* next_v = next.data() + std::size_t{v} * words;
-      const std::uint64_t* cur_u = cur.data() + std::size_t{u} * words;
-      const std::uint64_t* cur_v = cur.data() + std::size_t{v} * words;
-      for (std::size_t w = 0; w < words; ++w) {
-        next_u[w] |= cur_v[w];
-        next_v[w] |= cur_u[w];
-      }
+  const std::size_t workers = resolve_flood_workers(threads, words);
+  if (workers <= 1) {
+    for (std::uint64_t t = 0; t < max_rounds && remaining > 0; ++t) {
+      remaining -= all_sources_round_block(graph.snapshot(), t, n, words, 0,
+                                           words, cur.data(), next.data(),
+                                           counts.data(), done.data(),
+                                           all.per_source);
+      std::swap(cur, next);
+      graph.step();
     }
-    for (NodeId v = 0; v < n; ++v) {
-      const std::uint64_t* row_cur = cur.data() + std::size_t{v} * words;
-      const std::uint64_t* row_next = next.data() + std::size_t{v} * words;
-      for (std::size_t w = 0; w < words; ++w) {
-        std::uint64_t fresh = row_next[w] & ~row_cur[w];
-        while (fresh != 0) {
-          const auto b = static_cast<std::size_t>(std::countr_zero(fresh));
-          ++counts[w * kBitWordBits + b];
-          fresh &= fresh - 1;
+  } else if (max_rounds > 0 && remaining > 0) {
+    // Round-synchronous worker pool: each worker owns a contiguous word
+    // block for the whole run.  The barrier's completion step (exclusive,
+    // runs while every worker is parked) swaps the buffers, advances the
+    // model and recomputes the shared stop flag; workers read that flag
+    // only after the barrier, so every thread always agrees on the round
+    // count.  `remaining` is the one cross-block quantity — decremented
+    // with a relaxed atomic in the work phase, read only in the
+    // completion step.
+    std::atomic<std::size_t> remaining_shared{remaining};
+    std::uint64_t round = 0;
+    bool stop = false;
+    // Error funnel: a throwing worker (or a throwing graph.step()) must
+    // end the run with a catchable exception, exactly like the serial
+    // path — not std::terminate.  Failing workers record the first
+    // exception, raise `failed`, and keep arriving at the barrier so
+    // nobody deadlocks; the completion step turns `failed` into `stop`.
+    std::atomic<bool> failed{false};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    const auto record_error = [&]() noexcept {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+      failed.store(true, std::memory_order_relaxed);
+    };
+    std::barrier sync(static_cast<std::ptrdiff_t>(workers), [&]() noexcept {
+      try {
+        std::swap(cur, next);
+        graph.step();
+        ++round;
+      } catch (...) {
+        record_error();
+      }
+      stop = failed.load(std::memory_order_relaxed) ||
+             round >= max_rounds ||
+             remaining_shared.load(std::memory_order_relaxed) == 0;
+    });
+    auto work = [&](std::size_t k) {
+      const std::size_t w_lo = k * words / workers;
+      const std::size_t w_hi = (k + 1) * words / workers;
+      while (true) {
+        try {
+          const std::size_t completed = all_sources_round_block(
+              graph.snapshot(), round, n, words, w_lo, w_hi, cur.data(),
+              next.data(), counts.data(), done.data(), all.per_source);
+          if (completed > 0) {
+            remaining_shared.fetch_sub(completed, std::memory_order_relaxed);
+          }
+        } catch (...) {
+          record_error();
         }
+        sync.arrive_and_wait();
+        if (stop) break;
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    try {
+      for (std::size_t k = 0; k < workers; ++k) pool.emplace_back(work, k);
+    } catch (...) {
+      // Thread spawn failed after some workers already started: record
+      // the error and retire the unspawned participants from the barrier
+      // (arrive_and_drop), so the live workers can complete the current
+      // phase, observe stop, and exit — the same catchable-exception
+      // contract as every other failure, never a deadlock + terminate.
+      record_error();
+      for (std::size_t k = pool.size(); k < workers; ++k) {
+        sync.arrive_and_drop();
       }
     }
-    for (NodeId s = 0; s < n; ++s) {
-      if (done[s]) continue;
-      all.per_source[s].informed_counts.push_back(counts[s]);
-      if (counts[s] == n) {
-        all.per_source[s].completed = true;
-        all.per_source[s].rounds = t + 1;
-        done[s] = 1;
-        --remaining;
-      }
-    }
-    std::swap(cur, next);
-    graph.step();
+    for (std::thread& worker : pool) worker.join();
+    if (first_error) std::rethrow_exception(first_error);
   }
   all.min_rounds = max_rounds;
   all.max_rounds = 0;

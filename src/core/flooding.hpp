@@ -69,6 +69,16 @@ PhaseSplit split_phases(const FloodResult& result, std::size_t num_nodes);
 //  - min_rounds: min_s F(G, s) over *completed* sources only; if no
 //    source completed it is the budget (NOT a valid minimum — check
 //    completed_count before reading it as a radius).
+//
+// `threads` parallelizes the round kernel by partitioning the bit-row
+// reachability matrix into contiguous word-column blocks (i.e. disjoint
+// slices of the source axis): each worker applies row[v] |= row[u] over
+// its own word block for the whole edge list, and owns the per-source
+// counters of the sources in its block, so there are no shared writes and
+// no atomics in the hot loop.  The partition only splits independent
+// per-source computations, so the result is bit-for-bit identical for
+// every thread count.  1 = serial (no worker threads spawned), 0 = one
+// worker per hardware thread; workers are capped at one per word column.
 struct AllSourcesResult {
   std::vector<FloodResult> per_source;
   std::uint64_t max_rounds = 0;   // F(G) on this realization (see above)
@@ -77,6 +87,7 @@ struct AllSourcesResult {
   bool all_completed = false;
 };
 AllSourcesResult flood_all_sources(DynamicGraph& graph,
-                                   std::uint64_t max_rounds);
+                                   std::uint64_t max_rounds,
+                                   std::size_t threads = 1);
 
 }  // namespace megflood

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/fixed_graphs.hpp"
 #include "graph/builders.hpp"
 #include "markov/chain.hpp"
 #include "meg/clique_flicker.hpp"
@@ -283,7 +284,7 @@ ScenarioModel build_random_waypoint(const ParamReader& p) {
   return {[n, params](std::uint64_t seed) -> std::unique_ptr<DynamicGraph> {
             return std::make_unique<RandomWaypointModel>(n, params, seed);
           },
-          n};
+          n, RandomWaypointModel::suggested_warmup(params)};
 }
 
 ScenarioModel build_random_trip(const ParamReader& p) {
@@ -316,7 +317,7 @@ ScenarioModel build_random_trip(const ParamReader& p) {
             return std::make_unique<RandomTripModel>(n, policy, radius,
                                                      resolution, seed);
           },
-          n};
+          n, RandomTripModel::suggested_warmup(*policy)};
 }
 
 ScenarioModel build_grid_paths(const ParamReader& p) {
@@ -327,6 +328,57 @@ ScenarioModel build_grid_paths(const ParamReader& p) {
             return std::make_unique<GridLPathsModel>(side, n, connect, seed);
           },
           n};
+}
+
+std::size_t square_side(const char* model, std::size_t n) {
+  const auto side = static_cast<std::size_t>(
+      std::llround(std::sqrt(static_cast<double>(n))));
+  if (side == 0 || side * side != n) {
+    fail(std::string(model) + ": n must be a perfect square (a side*side " +
+         "grid), got " + std::to_string(n));
+  }
+  return side;
+}
+
+ScenarioModel make_fixed_model(std::shared_ptr<const Graph> graph) {
+  const std::size_t n = graph->num_vertices();
+  return {[graph = std::move(graph)](std::uint64_t)
+              -> std::unique_ptr<DynamicGraph> {
+            return std::make_unique<FixedDynamicGraph>(*graph);
+          },
+          n};
+}
+
+ScenarioModel build_fixed(const ParamReader& p) {
+  const std::size_t n = p.size("n");
+  if (n == 0) fail("fixed: n must be >= 1");
+  const std::string topology = p.str("topology");
+  auto graph = std::make_shared<const Graph>([&]() -> Graph {
+    if (topology == "path") return path_graph(n);
+    if (topology == "cycle") return cycle_graph(n);
+    if (topology == "complete") return complete_graph(n);
+    if (topology == "star") return star_graph(n);
+    if (topology == "grid") return grid_2d(square_side("fixed", n));
+    if (topology == "torus") return torus_2d(square_side("fixed", n));
+    fail("fixed: topology must be path|cycle|complete|star|grid|torus, "
+         "got '" + topology + "'");
+  }());
+  return make_fixed_model(std::move(graph));
+}
+
+ScenarioModel build_k_augmented(const ParamReader& p) {
+  const std::size_t n = p.size("n");
+  const std::size_t side = square_side("k_augmented_grid", n);
+  const std::size_t k = p.size("k");
+  if (k == 0) fail("k_augmented_grid: k must be >= 1");
+  const std::uint64_t torus = p.u64("torus");
+  if (torus > 1) fail("k_augmented_grid: torus must be 0|1");
+  if (torus == 1 && side <= 2 * k + 1) {
+    fail("k_augmented_grid: the torus construction requires side > 2k + 1");
+  }
+  auto graph = std::make_shared<const Graph>(
+      torus == 1 ? k_augmented_torus(side, k) : k_augmented_grid(side, k));
+  return make_fixed_model(std::move(graph));
 }
 
 // ---------------------------------------------------------------------------
@@ -418,6 +470,18 @@ const std::vector<ModelEntry>& registry() {
          {"side", "10", "grid side"},
          {"connect_radius", "1", "L1 connection radius in hops"}}},
        &build_grid_paths},
+      {{"fixed",
+        "fixed-topology baseline: E_t = E (flooding = synchronous BFS)",
+        {{"n", "64", "number of nodes (grid|torus: a perfect square)"},
+         {"topology", "cycle",
+          "topology: path|cycle|complete|star|grid|torus"}}},
+       &build_fixed},
+      {{"k_augmented_grid",
+        "static k-augmented grid/torus (Corollary 6's headline example)",
+        {{"n", "64", "number of nodes (side^2, a perfect square)"},
+         {"k", "2", "connect grid points at hop distance <= k"},
+         {"torus", "0", "1 = wrap around (regular; needs side > 2k+1)"}}},
+       &build_k_augmented},
   };
   return entries;
 }
@@ -506,9 +570,19 @@ ProcessFactory make_process_factory(const std::string& process_spec) {
 ScenarioResult run_scenario(const ScenarioSpec& spec) {
   const ScenarioModel model = make_model_factory(spec);
   const ProcessFactory process = make_process_factory(spec.process);
+  TrialConfig trial = spec.trial;
+  if (spec.warmup_auto) {
+    if (!model.suggested_warmup) {
+      fail("model '" + spec.model +
+           "' declares no suggested warmup, so --warmup=auto is undefined; "
+           "pass a numeric --warmup (mobility models random_waypoint and "
+           "random_trip support auto)");
+    }
+    trial.warmup_steps = *model.suggested_warmup;
+  }
   ScenarioResult result;
   result.num_nodes = model.num_nodes;
-  result.measurement = measure(model.factory, process, spec.trial);
+  result.measurement = measure(model.factory, process, trial);
   return result;
 }
 
@@ -526,7 +600,9 @@ std::vector<std::string> scenario_to_args(const ScenarioSpec& spec) {
   args.push_back("--trials=" + std::to_string(spec.trial.trials));
   args.push_back("--seed=" + std::to_string(spec.trial.seed));
   args.push_back("--max_rounds=" + std::to_string(spec.trial.max_rounds));
-  args.push_back("--warmup=" + std::to_string(spec.trial.warmup_steps));
+  args.push_back("--warmup=" + (spec.warmup_auto
+                                    ? std::string("auto")
+                                    : std::to_string(spec.trial.warmup_steps)));
   args.push_back("--threads=" + std::to_string(spec.trial.threads));
   args.push_back("--rotate_sources=" +
                  std::string(spec.trial.rotate_sources ? "1" : "0"));
@@ -564,7 +640,13 @@ ScenarioSpec parse_scenario_args(const std::vector<std::string>& args) {
     } else if (key == "max_rounds") {
       spec.trial.max_rounds = parse_u64(key, value);
     } else if (key == "warmup") {
-      spec.trial.warmup_steps = parse_u64(key, value);
+      if (value == "auto") {
+        spec.warmup_auto = true;
+        spec.trial.warmup_steps = 0;
+      } else {
+        spec.warmup_auto = false;
+        spec.trial.warmup_steps = parse_u64(key, value);
+      }
     } else if (key == "threads") {
       spec.trial.threads = static_cast<std::size_t>(parse_u64(key, value));
     } else if (key == "rotate_sources") {

@@ -20,6 +20,8 @@
 //   random_waypoint   geometric mobility over the square
 //   random_trip       Le Boudec-Vojnovic random trip class
 //   grid_paths        L-shaped shortest paths on a grid (random paths)
+//   fixed             fixed-topology baseline (E_t = E for all t)
+//   k_augmented_grid  static k-augmented grid/torus (Corollary 6)
 //
 // Process spec grammar (one token, optional ':'-argument):
 //   flooding | gossip[:push|pull|pushpull] | kpush[:<k>] |
@@ -28,6 +30,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -40,6 +43,11 @@ struct ScenarioSpec {
   std::map<std::string, std::string> params;  // model key=value overrides
   std::string process = "flooding";
   TrialConfig trial;
+  // --warmup=auto: resolve trial.warmup_steps from the model's suggested
+  // warmup at run time.  Models that declare none (everything except the
+  // geometric mobility models) make run_scenario fail hard — a silent
+  // zero warmup would quietly measure the non-stationary start.
+  bool warmup_auto = false;
 };
 
 // One declared model parameter: name, default (as the string the CLI
@@ -63,10 +71,14 @@ const std::vector<ScenarioModelInfo>& scenario_models();
 const ScenarioModelInfo* find_scenario_model(const std::string& name);
 
 // A built model: the per-trial graph factory plus the node count the
-// parameters resolved to (every registered model has an `n`).
+// parameters resolved to (every registered model has an `n`), plus the
+// model's suggested warmup (Theta(L / v_max) for the geometric mobility
+// models; empty for models whose stationary start needs none — see
+// --warmup=auto).
 struct ScenarioModel {
   GraphFactory factory;
   std::size_t num_nodes = 0;
+  std::optional<std::uint64_t> suggested_warmup;
 };
 
 // Builds the trial graph factory for spec.model / spec.params.  Throws
@@ -96,7 +108,12 @@ ScenarioResult run_scenario(const ScenarioSpec& spec);
 //   --model=<name> [--<key>=<value> ...] --process=<spec> --trials=..
 //   --seed=.. --max_rounds=.. --warmup=.. --threads=.. --rotate_sources=0|1
 // Model params are emitted in sorted key order, so the output is
-// deterministic and parse_scenario_args(scenario_to_args(s)) == s.
+// deterministic and parse_scenario_args(scenario_to_args(s)) == s for
+// every *canonical* spec.  --warmup accepts a step count or the literal
+// `auto` (spec.warmup_auto); since the flag carries one value, a spec
+// with warmup_auto set serializes as `auto` and parses back with
+// warmup_steps = 0 — warmup_auto = true canonicalizes warmup_steps to 0
+// (run_scenario ignores the field in auto mode either way).
 std::vector<std::string> scenario_to_args(const ScenarioSpec& spec);
 std::string scenario_to_cli(const ScenarioSpec& spec);  // args joined by ' '
 

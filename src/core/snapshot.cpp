@@ -6,27 +6,9 @@
 
 namespace megflood {
 
-void Snapshot::clear() {
-  edges_.clear();
-  csr_valid_ = false;
-}
-
 void Snapshot::reset(std::size_t num_nodes) {
   num_nodes_ = num_nodes;
   clear();
-}
-
-void Snapshot::add_edge(NodeId u, NodeId v) {
-  check_node(u);
-  check_node(v);
-  edges_.emplace_back(u, v);
-  csr_valid_ = false;
-}
-
-void Snapshot::check_node(NodeId v) const {
-  if (v >= num_nodes_) {
-    throw std::out_of_range("Snapshot: node id out of range");
-  }
 }
 
 void Snapshot::ensure_csr() const {

@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -32,15 +33,35 @@ class Snapshot {
   std::size_t num_nodes() const noexcept { return num_nodes_; }
   std::size_t num_edges() const noexcept { return edges_.size(); }
 
-  // Drops all edges, keeps capacity.
-  void clear();
+  // Drops all edges, keeps capacity.  Inline: clear()/add_edge() are the
+  // producer side of every model's per-step snapshot rebuild.
+  void clear() noexcept {
+    edges_.clear();
+    csr_valid_ = false;
+  }
 
   // Resize to `num_nodes` and drop all edges.
   void reset(std::size_t num_nodes);
 
   // Adds undirected {u, v}; caller guarantees no duplicates within a step
   // (models generate each pair at most once per snapshot).
-  void add_edge(NodeId u, NodeId v);
+  void add_edge(NodeId u, NodeId v) {
+    check_node(u);
+    check_node(v);
+    edges_.emplace_back(u, v);
+    csr_valid_ = false;
+  }
+
+  // Replaces the edge set wholesale by swapping buffers: `edges` receives
+  // the previous edge list (its capacity gets reused by the producer next
+  // step).  Caller guarantees the add_edge contract for every entry
+  // (endpoints < num_nodes(), no duplicates); producers that already own
+  // a validated pair list (NeighborIndex::collect_pairs) skip the
+  // per-edge bounds checks this way.
+  void swap_edges(std::vector<std::pair<NodeId, NodeId>>& edges) noexcept {
+    edges_.swap(edges);
+    csr_valid_ = false;
+  }
 
   // Neighbor list of v in insertion order.  The span is invalidated by the
   // next clear()/reset()/add_edge().
@@ -75,7 +96,11 @@ class Snapshot {
 
  private:
   void ensure_csr() const;
-  void check_node(NodeId v) const;
+  void check_node(NodeId v) const {
+    if (v >= num_nodes_) {
+      throw std::out_of_range("Snapshot: node id out of range");
+    }
+  }
 
   std::size_t num_nodes_ = 0;
   std::vector<std::pair<NodeId, NodeId>> edges_;

@@ -1,6 +1,7 @@
 #include "meg/general_edge_meg.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 #include "meg/on_set.hpp"
@@ -66,19 +67,171 @@ StateId GeneralEdgeMEG::pair_state(NodeId i, NodeId j) const {
 void GeneralEdgeMEG::initialize() {
   for (auto& bucket : buckets_) bucket.clear();
   on_.clear();
-  // Same per-pair stationary draws (and RNG stream) as the historical
-  // initializer, so initial states match the reference sampler exactly.
-  std::size_t e = 0;
-  for (NodeId i = 0; i + 1 < n_; ++i) {
-    for (NodeId j = i + 1; j < n_; ++j, ++e) {
-      const StateId s = DenseChain::sample_from(stationary_, rng_);
-      states_[e] = static_cast<std::uint8_t>(s);
-      const std::uint64_t key = pack_pair(i, j);
-      buckets_[s].push_back(key);
-      if (chi_[s]) on_.push_back(key);  // ascending e => sorted
+  const bool scattered = sample_initial_states();
+  if (scattered && !chi_[init_majority_]) {
+    // The scatter path knows exactly which (few) pairs are non-majority,
+    // so the dominant bucket can be bulk-written as consecutive key
+    // ranges instead of walking all O(n^2) pairs one push at a time.
+    fill_buckets_from_scatter();
+  } else {
+    // Generic fill with exact-size reservations from a counting pass:
+    // the majority bucket holds nearly every pair, and letting it grow
+    // by doubling would copy tens of megabytes of keys at paper scale.
+    std::vector<std::size_t> per_state(chain_.num_states(), 0);
+    for (const std::uint8_t s : states_) ++per_state[s];
+    std::size_t on_count = 0;
+    for (StateId s = 0; s < chain_.num_states(); ++s) {
+      buckets_[s].reserve(per_state[s]);
+      if (chi_[s]) on_count += per_state[s];
+    }
+    on_.reserve(on_count);
+    // Ascending pair order, so every bucket and the on-set come out
+    // sorted without a sort pass.
+    std::size_t e = 0;
+    for (NodeId i = 0; i + 1 < n_; ++i) {
+      for (NodeId j = i + 1; j < n_; ++j, ++e) {
+        const StateId s = states_[e];
+        const std::uint64_t key = pack_pair(i, j);
+        buckets_[s].push_back(key);
+        if (chi_[s]) on_.push_back(key);
+      }
     }
   }
   rebuild_snapshot();
+}
+
+void GeneralEdgeMEG::fill_buckets_from_scatter() {
+  // Packed keys pack_pair(i, j) are consecutive integers along a row of
+  // the pair triangle, and row-major key order equals linear pair-index
+  // order — so between two (sorted) minority positions the majority
+  // bucket receives a pure iota range.  Minority pairs go to their own
+  // buckets (and, when chi, the on-set) in the same ascending sweep, so
+  // every bucket ends up sorted exactly as the generic fill would leave
+  // it.  Precondition: states_ scattered by sample_initial_states() and
+  // chi_[init_majority_] == false (the on-set is then just the chi
+  // minority).
+  const std::uint64_t minority = init_positions_.size();
+  auto& majority_bucket = buckets_[init_majority_];
+  majority_bucket.resize(states_.size() - minority);
+  std::uint64_t* out = majority_bucket.data();
+  std::size_t mp = 0;
+  for (NodeId i = 0; i + 1 < n_; ++i) {
+    const std::uint64_t row_start = pair_row_start(n_, i);
+    const std::uint64_t row_len = n_ - 1 - i;
+    const std::uint64_t key0 = pack_pair(i, i + 1);
+    std::uint64_t p = 0;
+    while (mp < minority && init_positions_[mp] < row_start + row_len) {
+      const std::uint64_t stop = init_positions_[mp] - row_start;
+      for (; p < stop; ++p) *out++ = key0 + p;
+      const StateId s = states_[row_start + stop];
+      buckets_[s].push_back(key0 + stop);
+      if (chi_[s]) on_.push_back(key0 + stop);
+      p = stop + 1;
+      ++mp;
+    }
+    for (; p < row_len; ++p) *out++ = key0 + p;
+  }
+  assert(out == majority_bucket.data() + majority_bucket.size());
+  assert(mp == minority);
+}
+
+bool GeneralEdgeMEG::sample_initial_states() {
+  // Batched stationary draw: instead of one discrete draw per pair
+  // (O(pairs * |S|)), sample the per-class *counts* — sequential binomial
+  // splits of the multinomial Mult(pairs, pi) — and then place them:
+  // fill everything with the majority class and scatter the k minority
+  // assignments over a uniform random k-subset of pair slots in uniformly
+  // shuffled order.  Conditional on the counts, that is exactly the iid
+  // law's arrangement distribution, so the initial configuration is
+  // distributionally identical to the historical per-pair initializer
+  // (the RNG stream differs; tests/test_skip_sampler_equivalence.cpp
+  // checks the equivalence against the retained reference).  In the
+  // sparse regimes (quiescent majority state) the whole initialization
+  // consumes O(minority pairs) RNG draws instead of O(pairs).
+  const std::uint64_t pairs = states_.size();
+  const std::size_t num_states = chain_.num_states();
+  // The batched-vs-per-pair branch is decided from the *chain* alone,
+  // before any RNG is consumed.  Branching on the sampled counts would
+  // condition the resulting configuration law on the branch taken and
+  // bias it (sparse-looking draws would survive while dense-looking ones
+  // got resampled) — and would waste the O(pairs) split draws whenever
+  // the fallback fired.  With a fixed rule both paths sample the exact
+  // iid stationary law.
+  StateId majority = 0;
+  for (StateId s = 1; s < num_states; ++s) {
+    if (stationary_[s] > stationary_[majority]) majority = s;
+  }
+  if (stationary_[majority] < 0.5) {
+    // No dominant class in expectation: the subset-scatter below would
+    // spend more on rejection than the plain per-pair walk, which is
+    // near-optimal for dense state laws.
+    sample_initial_states_per_pair();
+    return false;
+  }
+  std::vector<std::uint64_t> class_count(num_states, 0);
+  std::uint64_t rest = pairs;
+  double rest_prob = 1.0;
+  for (StateId s = 0; s < num_states && rest > 0; ++s) {
+    double p = s + 1 == num_states
+                   ? 1.0
+                   : (rest_prob > 0.0 ? stationary_[s] / rest_prob : 1.0);
+    p = std::min(p, 1.0);
+    class_count[s] = rng_.binomial(rest, p);
+    rest -= class_count[s];
+    rest_prob -= stationary_[s];
+  }
+
+  const std::uint64_t minority = pairs - class_count[majority];
+  init_majority_ = majority;
+  std::fill(states_.begin(), states_.end(),
+            static_cast<std::uint8_t>(majority));
+  if (minority == 0) {
+    init_positions_.clear();
+    return true;
+  }
+
+  // The minority multiset, uniformly shuffled (Fisher-Yates).
+  init_values_.clear();
+  init_values_.reserve(minority);
+  for (StateId s = 0; s < num_states; ++s) {
+    if (s == majority) continue;
+    init_values_.insert(init_values_.end(), class_count[s],
+                        static_cast<std::uint8_t>(s));
+  }
+  for (std::uint64_t i = minority - 1; i > 0; --i) {
+    std::swap(init_values_[i], init_values_[rng_.uniform_int(i + 1)]);
+  }
+
+  // A uniform minority-sized subset of pair slots by rejection (expected
+  // < 2 draws per slot while minority <= pairs / 2, which pi_majority >=
+  // 1/2 guarantees in expectation; rarer, larger draws just reject a bit
+  // more), emitted in ascending slot order.  The O(pairs) bitmap is
+  // deliberately local: it is the one init-only buffer big enough to
+  // matter (~n^2/2 bytes), and must not outlive initialization.
+  std::vector<std::uint8_t> taken(pairs, 0);
+  init_positions_.clear();
+  init_positions_.reserve(minority);
+  for (std::uint64_t k = 0; k < minority; ++k) {
+    std::uint64_t pos = rng_.uniform_int(pairs);
+    while (taken[pos]) pos = rng_.uniform_int(pairs);
+    taken[pos] = 1;
+    init_positions_.push_back(pos);
+  }
+  std::sort(init_positions_.begin(), init_positions_.end());
+  for (std::uint64_t k = 0; k < minority; ++k) {
+    states_[init_positions_[k]] = init_values_[k];
+  }
+  return true;
+}
+
+void GeneralEdgeMEG::sample_initial_states_per_pair() {
+  // The historical initializer: one stationary draw per pair, kept as the
+  // dense-regime path and as the reference the batched sampler is tested
+  // against.
+  for (auto& state : states_) {
+    state = static_cast<std::uint8_t>(
+        DenseChain::sample_from(stationary_, rng_));
+  }
 }
 
 void GeneralEdgeMEG::rebuild_snapshot() {

@@ -13,10 +13,15 @@
 // then drawn from the conditional exit distribution.  The on-set is a
 // sorted vector of packed (i, j) keys maintained incrementally (like
 // TwoStateEdgeMEG), so a step costs O(|S| + transitions + |E_t|) instead
-// of the historical O(n^2) per-pair resampling.  Per-pair state is still
-// stored densely (one byte per pair), so memory remains O(n^2); in the
-// sparse stationary regimes the paper targets (alpha ~ c/n with a
-// quiescent off state) the *time* per step is now output-sensitive.
+// of the historical O(n^2) per-pair resampling.  Initialization is
+// batched the same way: per-class counts are drawn as sequential binomial
+// splits of the multinomial Mult(pairs, pi) and scattered uniformly, so
+// the stationary start costs O(minority pairs) RNG draws when one class
+// dominates (the historical per-pair walk is retained as the dense-law
+// fallback and as the test reference).  Per-pair state is still stored
+// densely (one byte per pair), so memory remains O(n^2); in the sparse
+// stationary regimes the paper targets (alpha ~ c/n with a quiescent off
+// state) the *time* per step is now output-sensitive.
 
 #include <cstdint>
 #include <vector>
@@ -51,6 +56,13 @@ class GeneralEdgeMEG final : public DynamicGraph {
 
  private:
   void initialize();
+  // Batched multinomial initializer (default); returns true when it took
+  // the majority-fill + scatter path (init_majority_ / init_positions_ /
+  // states_ then describe the configuration), false when it fell back to
+  // the per-pair walk for a dense state law.
+  bool sample_initial_states();
+  void sample_initial_states_per_pair();  // historical reference / fallback
+  void fill_buckets_from_scatter();
   void rebuild_snapshot();
   StateId sample_exit_target(StateId from);
 
@@ -87,6 +99,13 @@ class GeneralEdgeMEG final : public DynamicGraph {
   std::vector<std::uint64_t> died_;
   std::vector<std::uint64_t> born_;
   std::vector<std::uint64_t> merged_;
+
+  // Initialization scratch (batched stationary sampling).  Both vectors
+  // are minority-sized; the O(pairs) rejection bitmap lives on the stack
+  // of sample_initial_states() so a long-lived model does not carry it.
+  std::vector<std::uint8_t> init_values_;
+  std::vector<std::uint64_t> init_positions_;
+  StateId init_majority_ = 0;
 
   Snapshot snapshot_;
 };

@@ -1,0 +1,63 @@
+#pragma once
+
+// Shared snapshot maintenance for the geometric mobility models
+// (random waypoint, random trip): agents snap to grid cells, a
+// NeighborIndex tracks the cells, and the radius pairs are collected
+// branchlessly and swapped into the Snapshot.  Both models fill cells()
+// from their own kinematics each round and then call refresh() (per-step
+// incremental path with the batch fallback) or rebuild() (init /
+// collapse / reset).  Keeping the protocol in one place guarantees the
+// two models can never diverge on it.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/snapshot.hpp"
+#include "geometry/square_grid.hpp"
+
+namespace megflood {
+
+class ProximitySnapshotEngine {
+ public:
+  ProximitySnapshotEngine(const SquareGrid& grid, double radius,
+                          std::size_t num_agents)
+      : index_(grid, radius) {
+    cells_.resize(num_agents);
+    snapshot_.reset(num_agents);
+  }
+
+  // The per-agent cell buffer the owning model fills each round.
+  std::vector<CellId>& cells() noexcept { return cells_; }
+  CellId cell(std::uint32_t agent) const { return cells_.at(agent); }
+
+  const Snapshot& snapshot() const noexcept { return snapshot_; }
+
+  // Full index rebuild from cells() (init / collapse_to / reset paths).
+  void rebuild() {
+    index_.rebuild(cells_);
+    emit();
+  }
+
+  // Per-step path: the index diffs cells() against the previous round
+  // and only moves the agents whose bucket changed — or batch-rebuilds
+  // when a sampled churn estimate says that is cheaper.  Either way the
+  // resulting snapshot is bit-identical to rebuild().
+  void refresh() {
+    index_.refresh(cells_);
+    emit();
+  }
+
+ private:
+  void emit() {
+    index_.collect_pairs(pair_scratch_);
+    snapshot_.swap_edges(pair_scratch_);
+  }
+
+  NeighborIndex index_;
+  std::vector<CellId> cells_;
+  std::vector<std::pair<NodeId, NodeId>> pair_scratch_;
+  Snapshot snapshot_;
+};
+
+}  // namespace megflood

@@ -152,14 +152,12 @@ RandomTripModel::RandomTripModel(std::size_t num_agents,
       policy_(std::move(policy)),
       grid_(resolution, policy_ ? policy_->bounding_side() : 1.0),
       rng_(seed),
-      index_(grid_, radius) {
+      engine_(grid_, radius, num_agents) {
   if (!policy_) throw std::invalid_argument("RandomTripModel: null policy");
   if (num_agents < 2) {
     throw std::invalid_argument("RandomTripModel: need at least 2 agents");
   }
   agents_.resize(num_agents_);
-  cells_.resize(num_agents_);
-  snapshot_.reset(num_agents_);
   initialize();
 }
 
@@ -169,7 +167,8 @@ void RandomTripModel::initialize() {
     agent.trip = policy_->next_trip(agent.pos, rng_);
     agent.pause_left = 0;
   }
-  rebuild_snapshot();
+  snap_cells();
+  engine_.rebuild();
 }
 
 void RandomTripModel::step() {
@@ -200,18 +199,16 @@ void RandomTripModel::step() {
       }
     }
   }
-  rebuild_snapshot();
+  snap_cells();
+  engine_.refresh();
   advance_clock();
 }
 
-void RandomTripModel::rebuild_snapshot() {
+void RandomTripModel::snap_cells() {
+  std::vector<CellId>& cells = engine_.cells();
   for (NodeId i = 0; i < num_agents_; ++i) {
-    cells_[i] = grid_.nearest(agents_[i].pos);
+    cells[i] = grid_.nearest(agents_[i].pos);
   }
-  index_.rebuild(cells_);
-  snapshot_.clear();
-  index_.for_each_pair(
-      [&](std::uint32_t a, std::uint32_t b) { snapshot_.add_edge(a, b); });
 }
 
 void RandomTripModel::reset(std::uint64_t seed) {
@@ -220,9 +217,22 @@ void RandomTripModel::reset(std::uint64_t seed) {
   initialize();
 }
 
-std::uint64_t RandomTripModel::suggested_warmup(double c) const {
+std::uint64_t RandomTripModel::suggested_warmup(const TripPolicy& policy,
+                                                double c) {
+  // The stock policies validate speeds in their constructors, but the
+  // interface does not promise it — guard the division like the waypoint
+  // static does.
+  if (policy.max_speed() <= 0.0 || policy.bounding_side() <= 0.0) {
+    throw std::invalid_argument(
+        "RandomTripModel::suggested_warmup: need max_speed > 0 and "
+        "bounding_side > 0");
+  }
   return static_cast<std::uint64_t>(
-      std::ceil(c * policy_->bounding_side() / policy_->max_speed()));
+      std::ceil(c * policy.bounding_side() / policy.max_speed()));
+}
+
+std::uint64_t RandomTripModel::suggested_warmup(double c) const {
+  return suggested_warmup(*policy_, c);
 }
 
 }  // namespace megflood

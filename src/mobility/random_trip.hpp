@@ -20,6 +20,7 @@
 #include "core/dynamic_graph.hpp"
 #include "geometry/point.hpp"
 #include "geometry/square_grid.hpp"
+#include "mobility/proximity_engine.hpp"
 #include "util/rng.hpp"
 
 namespace megflood {
@@ -119,18 +120,22 @@ class RandomTripModel final : public DynamicGraph {
                   double radius, std::size_t resolution, std::uint64_t seed);
 
   std::size_t num_nodes() const override { return num_agents_; }
-  const Snapshot& snapshot() const override { return snapshot_; }
+  const Snapshot& snapshot() const override { return engine_.snapshot(); }
   void step() override;
   void reset(std::uint64_t seed) override;
 
   const SquareGrid& grid() const noexcept { return grid_; }
   Point2D agent_position(NodeId agent) const { return agents_.at(agent).pos; }
-  CellId agent_cell(NodeId agent) const { return cells_.at(agent); }
+  CellId agent_cell(NodeId agent) const { return engine_.cell(agent); }
   bool agent_paused(NodeId agent) const {
     return agents_.at(agent).pause_left > 0;
   }
 
   // c * bounding_side / max_speed rounds, like the waypoint heuristic.
+  // The static overload lets the scenario layer answer --warmup=auto
+  // without constructing a model.
+  static std::uint64_t suggested_warmup(const TripPolicy& policy,
+                                        double c = 4.0);
   std::uint64_t suggested_warmup(double c = 4.0) const;
 
  private:
@@ -141,16 +146,14 @@ class RandomTripModel final : public DynamicGraph {
   };
 
   void initialize();
-  void rebuild_snapshot();
+  void snap_cells();  // agents_ -> engine_.cells()
 
   std::size_t num_agents_;
   std::shared_ptr<const TripPolicy> policy_;
   SquareGrid grid_;
   Rng rng_;
   std::vector<AgentState> agents_;
-  std::vector<CellId> cells_;
-  NeighborIndex index_;
-  Snapshot snapshot_;
+  ProximitySnapshotEngine engine_;
 };
 
 }  // namespace megflood

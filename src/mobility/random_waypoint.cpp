@@ -13,7 +13,7 @@ RandomWaypointModel::RandomWaypointModel(std::size_t num_agents,
       params_(params),
       grid_(params.resolution, params.side_length),
       rng_(seed),
-      index_(grid_, params.radius) {
+      engine_(grid_, params.radius, num_agents) {
   if (num_agents < 2) {
     throw std::invalid_argument("RandomWaypointModel: need at least 2 agents");
   }
@@ -21,12 +21,7 @@ RandomWaypointModel::RandomWaypointModel(std::size_t num_agents,
     throw std::invalid_argument(
         "RandomWaypointModel: need 0 < v_min <= v_max");
   }
-  if (params_.radius <= 0.0) {
-    throw std::invalid_argument("RandomWaypointModel: radius must be > 0");
-  }
   agents_.resize(num_agents_);
-  cells_.resize(num_agents_);
-  snapshot_.reset(num_agents_);
   initialize();
 }
 
@@ -45,7 +40,8 @@ void RandomWaypointModel::initialize() {
     agent.pos = grid_.position(cell);
     new_trip(agent);
   }
-  rebuild_snapshot();
+  snap_cells();
+  engine_.rebuild();
 }
 
 void RandomWaypointModel::step() {
@@ -67,18 +63,16 @@ void RandomWaypointModel::step() {
       }
     }
   }
-  rebuild_snapshot();
+  snap_cells();
+  engine_.refresh();
   advance_clock();
 }
 
-void RandomWaypointModel::rebuild_snapshot() {
+void RandomWaypointModel::snap_cells() {
+  std::vector<CellId>& cells = engine_.cells();
   for (NodeId i = 0; i < num_agents_; ++i) {
-    cells_[i] = grid_.nearest(agents_[i].pos);
+    cells[i] = grid_.nearest(agents_[i].pos);
   }
-  index_.rebuild(cells_);
-  snapshot_.clear();
-  index_.for_each_pair(
-      [&](std::uint32_t a, std::uint32_t b) { snapshot_.add_edge(a, b); });
 }
 
 void RandomWaypointModel::reset(std::uint64_t seed) {
@@ -92,12 +86,26 @@ void RandomWaypointModel::collapse_to(const Point2D& point) {
     agent.pos = point;
     new_trip(agent);
   }
-  rebuild_snapshot();
+  snap_cells();
+  engine_.rebuild();
+}
+
+std::uint64_t RandomWaypointModel::suggested_warmup(
+    const WaypointParams& params, double c) {
+  // Callable before a model exists (the scenario layer resolves
+  // --warmup=auto from raw params), so it must do its own validation:
+  // ceil(x / 0) would be inf and the uint64 cast undefined.
+  if (params.v_max <= 0.0 || params.side_length <= 0.0) {
+    throw std::invalid_argument(
+        "RandomWaypointModel::suggested_warmup: need v_max > 0 and "
+        "side_length > 0");
+  }
+  return static_cast<std::uint64_t>(
+      std::ceil(c * params.side_length / params.v_max));
 }
 
 std::uint64_t RandomWaypointModel::suggested_warmup(double c) const {
-  return static_cast<std::uint64_t>(
-      std::ceil(c * params_.side_length / params_.v_max));
+  return suggested_warmup(params_, c);
 }
 
 }  // namespace megflood

@@ -24,6 +24,7 @@
 #include "core/dynamic_graph.hpp"
 #include "geometry/point.hpp"
 #include "geometry/square_grid.hpp"
+#include "mobility/proximity_engine.hpp"
 #include "util/rng.hpp"
 
 namespace megflood {
@@ -42,7 +43,7 @@ class RandomWaypointModel final : public DynamicGraph {
                       std::uint64_t seed);
 
   std::size_t num_nodes() const override { return num_agents_; }
-  const Snapshot& snapshot() const override { return snapshot_; }
+  const Snapshot& snapshot() const override { return engine_.snapshot(); }
   void step() override;
   void reset(std::uint64_t seed) override;
 
@@ -50,10 +51,14 @@ class RandomWaypointModel final : public DynamicGraph {
   const WaypointParams& params() const noexcept { return params_; }
 
   Point2D agent_position(NodeId agent) const { return agents_.at(agent).pos; }
-  CellId agent_cell(NodeId agent) const { return cells_.at(agent); }
+  CellId agent_cell(NodeId agent) const { return engine_.cell(agent); }
 
   // Rough warm-up length to near-stationarity: c * L / v_max steps
   // (T_mix of the waypoint chain is Theta(L / v_max), refs [1, 29]).
+  // The static overload lets the scenario layer answer --warmup=auto
+  // without constructing a model.
+  static std::uint64_t suggested_warmup(const WaypointParams& params,
+                                        double c = 4.0);
   std::uint64_t suggested_warmup(double c = 4.0) const;
 
   // Worst-case start for mixing studies: place every agent at `point`
@@ -69,16 +74,14 @@ class RandomWaypointModel final : public DynamicGraph {
 
   void initialize();
   void new_trip(AgentState& agent);
-  void rebuild_snapshot();
+  void snap_cells();  // agents_ -> engine_.cells()
 
   std::size_t num_agents_;
   WaypointParams params_;
   SquareGrid grid_;
   Rng rng_;
   std::vector<AgentState> agents_;
-  std::vector<CellId> cells_;
-  NeighborIndex index_;
-  Snapshot snapshot_;
+  ProximitySnapshotEngine engine_;
 };
 
 }  // namespace megflood

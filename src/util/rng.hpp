@@ -91,6 +91,14 @@ class Rng {
   // saturated value cannot wrap their index arithmetic.
   std::uint64_t geometric(double p) noexcept;
 
+  // Binomial(n, p): number of successes among n Bernoulli(p) trials,
+  // sampled by geometric gap counting over the smaller of p and 1 - p, so
+  // the expected cost is O(n * min(p, 1 - p)) RNG draws.  This is the
+  // batching primitive behind the edge-MEG initializers: in the sparse
+  // regimes (p near 0 or 1) a draw over millions of pairs costs a handful
+  // of geometrics.
+  std::uint64_t binomial(std::uint64_t n, double p) noexcept;
+
   // Derive a statistically independent child generator (e.g. one per node).
   Rng split() noexcept { return Rng((*this)() ^ 0x6a09e667f3bcc909ULL); }
 

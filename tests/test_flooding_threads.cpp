@@ -1,0 +1,119 @@
+// Bit-identity of the threaded all-sources flooding kernel: the word-
+// column partition splits per-source computations that never interact, so
+// flood_all_sources must return byte-for-byte identical results for every
+// thread count — including the trajectory vectors, the budget-truncated
+// (incomplete) case, and thread counts that don't divide the word count.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fixed_graphs.hpp"
+#include "core/flooding.hpp"
+#include "core/snapshot.hpp"
+#include "graph/builders.hpp"
+#include "meg/edge_meg.hpp"
+
+namespace megflood {
+namespace {
+
+void expect_same_results(const AllSourcesResult& a, const AllSourcesResult& b,
+                         const char* what) {
+  EXPECT_EQ(a.max_rounds, b.max_rounds) << what;
+  EXPECT_EQ(a.min_rounds, b.min_rounds) << what;
+  EXPECT_EQ(a.completed_count, b.completed_count) << what;
+  EXPECT_EQ(a.all_completed, b.all_completed) << what;
+  ASSERT_EQ(a.per_source.size(), b.per_source.size()) << what;
+  for (std::size_t s = 0; s < a.per_source.size(); ++s) {
+    ASSERT_EQ(a.per_source[s].completed, b.per_source[s].completed)
+        << what << " source " << s;
+    ASSERT_EQ(a.per_source[s].rounds, b.per_source[s].rounds)
+        << what << " source " << s;
+    ASSERT_EQ(a.per_source[s].informed_counts,
+              b.per_source[s].informed_counts)
+        << what << " source " << s;
+  }
+}
+
+template <typename MakeGraph>
+void expect_thread_count_invariance(MakeGraph&& make_graph,
+                                    std::uint64_t max_rounds,
+                                    const char* what) {
+  const auto graph_serial = make_graph();
+  const AllSourcesResult serial =
+      flood_all_sources(*graph_serial, max_rounds, /*threads=*/1);
+  // 2 and 3 exercise uneven word splits; 0 resolves to the hardware
+  // thread count (whatever it is on the host).
+  for (std::size_t threads : {2ULL, 3ULL, 0ULL}) {
+    const auto graph = make_graph();
+    const AllSourcesResult threaded =
+        flood_all_sources(*graph, max_rounds, threads);
+    expect_same_results(serial, threaded, what);
+    // Both kernels must have advanced the model identically too (the
+    // completion step runs graph.step() exactly once per executed round).
+    EXPECT_EQ(graph_serial->time(), graph->time()) << what;
+  }
+}
+
+TEST(FloodAllSourcesThreads, BitIdenticalOnEdgeMeg) {
+  // n = 200 -> 4 words: splits into 2 (even) and 3 (uneven) blocks.
+  expect_thread_count_invariance(
+      [] {
+        return std::make_unique<TwoStateEdgeMEG>(
+            200, TwoStateParams{2.0 / 200.0, 0.3}, 7);
+      },
+      4096, "edge_meg complete");
+}
+
+TEST(FloodAllSourcesThreads, BitIdenticalWhenBudgetTruncates) {
+  // A budget far below the flooding time leaves every source incomplete;
+  // the truncated trajectories must still agree bit for bit.
+  expect_thread_count_invariance(
+      [] {
+        return std::make_unique<TwoStateEdgeMEG>(
+            192, TwoStateParams{0.2 / 192.0, 0.9}, 11);
+      },
+      3, "edge_meg truncated");
+}
+
+TEST(FloodAllSourcesThreads, BitIdenticalOnFixedTopology) {
+  // Deterministic graph: a path has sources of very different flooding
+  // times, so done-source bookkeeping diverges early between blocks.
+  expect_thread_count_invariance(
+      [] { return std::make_unique<FixedDynamicGraph>(path_graph(130)); },
+      1000, "fixed path");
+}
+
+TEST(FloodAllSourcesThreads, ThreadCountsBeyondWordsClamp) {
+  // n = 70 -> 2 words; asking for 16 workers must clamp, run, and agree.
+  const auto make = [] {
+    return std::make_unique<TwoStateEdgeMEG>(70, TwoStateParams{0.05, 0.3},
+                                             3);
+  };
+  const auto a = make();
+  const auto b = make();
+  expect_same_results(flood_all_sources(*a, 2048, 1),
+                      flood_all_sources(*b, 2048, 16), "clamped workers");
+}
+
+TEST(FloodAllSourcesThreads, SingleNodeAndZeroBudget) {
+  // Degenerate corners must not deadlock the pool: n = 1 (no rounds to
+  // run) and max_rounds = 0 (stop before the first round).
+  Snapshot one(1);
+  for (std::size_t threads : {1ULL, 2ULL, 0ULL}) {
+    ScriptedDynamicGraph graph({one});
+    const AllSourcesResult r = flood_all_sources(graph, 16, threads);
+    EXPECT_TRUE(r.all_completed);
+    EXPECT_EQ(r.per_source[0].rounds, 0u);
+  }
+  for (std::size_t threads : {1ULL, 2ULL, 0ULL}) {
+    TwoStateEdgeMEG meg(80, TwoStateParams{0.1, 0.3}, 5);
+    const AllSourcesResult r = flood_all_sources(meg, 0, threads);
+    EXPECT_EQ(r.completed_count, 0u);
+    EXPECT_FALSE(r.all_completed);
+  }
+}
+
+}  // namespace
+}  // namespace megflood

@@ -169,6 +169,104 @@ TEST(NeighborIndex, PairsEmittedOnce) {
   }
 }
 
+using PairList = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+PairList pairs_of(const NeighborIndex& index) {
+  PairList out;
+  index.collect_pairs(out);
+  return out;
+}
+
+TEST(NeighborIndex, CollectPairsMatchesForEachPair) {
+  const SquareGrid g(12, 1.0);
+  NeighborIndex index(g, 0.3);
+  std::vector<CellId> pos;
+  for (std::uint32_t i = 0; i < 30; ++i) {
+    pos.push_back(static_cast<CellId>((i * 53 + 7) % g.num_points()));
+  }
+  index.rebuild(pos);
+  PairList visited;
+  index.for_each_pair([&](std::uint32_t a, std::uint32_t b) {
+    visited.emplace_back(a, b);
+  });
+  EXPECT_EQ(visited, pairs_of(index));
+}
+
+// The incremental update path must be indistinguishable from a full
+// rebuild: after any stream of single-node moves, the emitted pair list
+// (content *and* order) matches a fresh index rebuilt from the same
+// positions.
+TEST(NeighborIndex, UpdateMatchesFullRebuildUnderRandomMoves) {
+  const SquareGrid g(24, 1.0);
+  NeighborIndex incremental(g, 0.18);
+  NeighborIndex reference(g, 0.18);
+  std::vector<CellId> pos(60);
+  for (std::uint32_t i = 0; i < pos.size(); ++i) {
+    pos[i] = static_cast<CellId>((i * 97 + 13) % g.num_points());
+  }
+  incremental.rebuild(pos);
+  std::uint64_t x = 0x2545f4914f6cdd1dULL;  // tiny deterministic LCG
+  const auto rnd = [&](std::uint64_t bound) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    return (x >> 33) % bound;
+  };
+  for (int move = 0; move < 600; ++move) {
+    const auto node = static_cast<std::uint32_t>(rnd(pos.size()));
+    pos[node] = static_cast<CellId>(rnd(g.num_points()));
+    incremental.update(node, pos[node]);
+    reference.rebuild(pos);
+    ASSERT_EQ(pairs_of(incremental), pairs_of(reference)) << "move " << move;
+  }
+}
+
+TEST(NeighborIndex, UpdateSurvivesBucketOverflowRecompaction) {
+  // Funnel every node into one bucket so the destination slice overflows
+  // its slack repeatedly and update() takes the recompaction path.
+  const SquareGrid g(32, 8.0);
+  NeighborIndex incremental(g, 1.0);
+  NeighborIndex reference(g, 1.0);
+  std::vector<CellId> pos(64);
+  for (std::uint32_t i = 0; i < pos.size(); ++i) {
+    pos[i] = static_cast<CellId>((i * 131) % g.num_points());
+  }
+  incremental.rebuild(pos);
+  for (std::uint32_t node = 0; node < pos.size(); ++node) {
+    pos[node] = g.nearest({0.1 * (node % 4), 0.1 * (node / 16)});
+    incremental.update(node, pos[node]);
+    reference.rebuild(pos);
+    ASSERT_EQ(pairs_of(incremental), pairs_of(reference)) << "node " << node;
+  }
+}
+
+TEST(NeighborIndex, RefreshMatchesFullRebuildAtAnyChurn) {
+  // refresh() picks between per-node updates and the batch rebuild by a
+  // churn threshold; both sides of the switch must agree with a scratch
+  // full rebuild.
+  const SquareGrid g(20, 1.0);
+  NeighborIndex incremental(g, 0.21);
+  NeighborIndex reference(g, 0.21);
+  std::vector<CellId> pos(48);
+  for (std::uint32_t i = 0; i < pos.size(); ++i) {
+    pos[i] = static_cast<CellId>((i * 61 + 5) % g.num_points());
+  }
+  incremental.rebuild(pos);
+  std::uint64_t x = 42;
+  const auto rnd = [&](std::uint64_t bound) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    return (x >> 33) % bound;
+  };
+  for (int round = 0; round < 200; ++round) {
+    // Alternate low churn (a couple of nodes) and full-churn rounds.
+    const std::size_t movers = (round % 2 == 0) ? 2 : pos.size();
+    for (std::size_t m = 0; m < movers; ++m) {
+      pos[rnd(pos.size())] = static_cast<CellId>(rnd(g.num_points()));
+    }
+    incremental.refresh(pos);
+    reference.rebuild(pos);
+    ASSERT_EQ(pairs_of(incremental), pairs_of(reference)) << "round " << round;
+  }
+}
+
 // Property: for a full occupancy of the grid, the number of index-reported
 // pairs matches the analytic disc count.
 class NeighborIndexDensity : public ::testing::TestWithParam<double> {};

@@ -244,5 +244,50 @@ TEST_P(RngBoundsTest, AlwaysBelowBound) {
 INSTANTIATE_TEST_SUITE_P(ManyBounds, RngBoundsTest,
                          ::testing::Values(1, 2, 3, 5, 17, 64, 1000, 123456));
 
+TEST(Binomial, EdgeCases) {
+  Rng rng(1);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.binomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.binomial(100, -0.5), 0u);
+  EXPECT_EQ(rng.binomial(100, 1.0), 100u);
+  EXPECT_EQ(rng.binomial(100, 1.5), 100u);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t draw = rng.binomial(10, 0.3);
+    EXPECT_LE(draw, 10u);
+  }
+}
+
+TEST(Binomial, MeanAndVarianceMatch) {
+  // Both branches of the sampler (direct successes for p <= 1/2, flipped
+  // failures for p > 1/2) must land on the Binomial(n, p) moments.
+  for (const double p : {0.02, 0.4, 0.6, 0.97}) {
+    Rng rng(99);
+    const std::uint64_t n = 400;
+    const int kDraws = 4000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < kDraws; ++i) {
+      const auto draw = static_cast<double>(rng.binomial(n, p));
+      sum += draw;
+      sum_sq += draw * draw;
+    }
+    const double mean = sum / kDraws;
+    const double var = sum_sq / kDraws - mean * mean;
+    const double expect_mean = static_cast<double>(n) * p;
+    const double expect_var = static_cast<double>(n) * p * (1.0 - p);
+    // 6 standard errors of the sample mean.
+    EXPECT_NEAR(mean, expect_mean,
+                6.0 * std::sqrt(expect_var / kDraws) + 1e-9)
+        << "p = " << p;
+    EXPECT_NEAR(var, expect_var, 0.15 * expect_var + 0.5) << "p = " << p;
+  }
+}
+
+TEST(Binomial, Determinism) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.binomial(1000, 0.123), b.binomial(1000, 0.123));
+  }
+}
+
 }  // namespace
 }  // namespace megflood

@@ -14,11 +14,11 @@ namespace {
 
 TEST(ScenarioRegistry, ListsTheExpectedFamilies) {
   const auto& models = scenario_models();
-  ASSERT_GE(models.size(), 9u);
+  ASSERT_GE(models.size(), 11u);
   for (const char* name :
        {"edge_meg", "general_edge_meg", "het_edge_meg", "node_meg",
         "clique_flicker", "random_walk", "random_waypoint", "random_trip",
-        "grid_paths"}) {
+        "grid_paths", "fixed", "k_augmented_grid"}) {
     EXPECT_NE(find_scenario_model(name), nullptr) << name;
   }
   EXPECT_EQ(find_scenario_model("no_such_model"), nullptr);
@@ -65,6 +65,80 @@ TEST(ScenarioRegistry, ScenarioIsBitIdenticalAcrossThreadCounts) {
                    threaded.measurement.rounds.max);
   EXPECT_DOUBLE_EQ(sequential.measurement.metrics.at("contacts").mean,
                    threaded.measurement.metrics.at("contacts").mean);
+}
+
+TEST(ScenarioRegistry, FixedTopologiesBuildAndValidate) {
+  ScenarioSpec spec;
+  spec.model = "fixed";
+  spec.params["topology"] = "torus";
+  spec.params["n"] = "25";
+  EXPECT_NO_THROW((void)make_model_factory(spec));
+  // grid/torus demand a perfect-square n.
+  spec.params["n"] = "24";
+  EXPECT_THROW((void)make_model_factory(spec), std::invalid_argument);
+  spec.params["topology"] = "moebius";
+  spec.params["n"] = "25";
+  EXPECT_THROW((void)make_model_factory(spec), std::invalid_argument);
+  // path/cycle/complete/star take any n >= 1.
+  spec.params.clear();
+  spec.params["topology"] = "star";
+  spec.params["n"] = "17";
+  const ScenarioModel star = make_model_factory(spec);
+  EXPECT_EQ(star.num_nodes, 17u);
+  // A fixed topology is seed-invariant: flooding a 17-star from the hub
+  // completes in 1 round on every trial.
+  const auto graph = star.factory(123);
+  EXPECT_EQ(graph->num_nodes(), 17u);
+  EXPECT_EQ(graph->snapshot().num_edges(), 16u);
+}
+
+TEST(ScenarioRegistry, KAugmentedGridValidates) {
+  ScenarioSpec spec;
+  spec.model = "k_augmented_grid";
+  spec.params["n"] = "49";
+  spec.params["k"] = "2";
+  const ScenarioModel model = make_model_factory(spec);
+  EXPECT_EQ(model.num_nodes, 49u);
+  spec.params["k"] = "0";
+  EXPECT_THROW((void)make_model_factory(spec), std::invalid_argument);
+  spec.params["k"] = "3";
+  spec.params["torus"] = "1";  // needs side > 2k + 1 = 7, side is 7
+  EXPECT_THROW((void)make_model_factory(spec), std::invalid_argument);
+  spec.params["n"] = "81";  // side 9 > 7: fine
+  EXPECT_NO_THROW((void)make_model_factory(spec));
+  spec.params["torus"] = "2";
+  EXPECT_THROW((void)make_model_factory(spec), std::invalid_argument);
+}
+
+TEST(ScenarioWarmup, AutoResolvesForMobilityModels) {
+  ScenarioSpec spec;
+  spec.model = "random_waypoint";
+  spec.params["n"] = "16";
+  spec.warmup_auto = true;
+  spec.trial.trials = 2;
+  spec.trial.seed = 3;
+  spec.trial.max_rounds = 5'000;
+  const ScenarioResult result = run_scenario(spec);
+  EXPECT_EQ(result.measurement.rounds.count + result.measurement.incomplete,
+            2u);
+  // The model builder exposes the suggested warmup it resolved to:
+  // Theta(side / v_max) with the documented c = 4.
+  const ScenarioModel model = make_model_factory(spec);
+  ASSERT_TRUE(model.suggested_warmup.has_value());
+  EXPECT_EQ(*model.suggested_warmup, 32u);  // ceil(4 * 8.0 / 1.0)
+  spec.model = "random_trip";
+  const ScenarioModel trip = make_model_factory(spec);
+  ASSERT_TRUE(trip.suggested_warmup.has_value());
+  EXPECT_GT(*trip.suggested_warmup, 0u);
+}
+
+TEST(ScenarioWarmup, AutoIsAHardErrorForModelsWithoutOne) {
+  ScenarioSpec spec;
+  spec.model = "edge_meg";
+  spec.params["n"] = "16";
+  spec.warmup_auto = true;
+  spec.trial.trials = 1;
+  EXPECT_THROW((void)run_scenario(spec), std::invalid_argument);
 }
 
 TEST(ScenarioValidation, UnknownModelIsRejected) {
@@ -171,6 +245,7 @@ void expect_specs_equal(const ScenarioSpec& a, const ScenarioSpec& b) {
   EXPECT_EQ(a.trial.seed, b.trial.seed);
   EXPECT_EQ(a.trial.max_rounds, b.trial.max_rounds);
   EXPECT_EQ(a.trial.warmup_steps, b.trial.warmup_steps);
+  EXPECT_EQ(a.warmup_auto, b.warmup_auto);
   EXPECT_EQ(a.trial.threads, b.trial.threads);
   EXPECT_EQ(a.trial.rotate_sources, b.trial.rotate_sources);
 }
@@ -198,6 +273,25 @@ TEST(ScenarioCli, DefaultsRoundTripToo) {
   ScenarioSpec spec;
   spec.model = "random_waypoint";
   expect_specs_equal(spec, parse_scenario_cli(scenario_to_cli(spec)));
+}
+
+TEST(ScenarioCli, WarmupAutoRoundTrips) {
+  ScenarioSpec spec;
+  spec.model = "random_trip";
+  spec.warmup_auto = true;
+  const std::string cli = scenario_to_cli(spec);
+  EXPECT_NE(cli.find("--warmup=auto"), std::string::npos);
+  const ScenarioSpec parsed = parse_scenario_cli(cli);
+  expect_specs_equal(spec, parsed);
+  EXPECT_EQ(cli, scenario_to_cli(parsed));
+  // A numeric warmup after an auto parses back to non-auto.
+  const ScenarioSpec numeric =
+      parse_scenario_cli("--model=random_trip --warmup=auto --warmup=12");
+  EXPECT_FALSE(numeric.warmup_auto);
+  EXPECT_EQ(numeric.trial.warmup_steps, 12u);
+  // Anything else is still rejected.
+  EXPECT_THROW((void)parse_scenario_cli("--model=edge_meg --warmup=soon"),
+               std::invalid_argument);
 }
 
 TEST(ScenarioCli, ParseMatchesIssueExample) {

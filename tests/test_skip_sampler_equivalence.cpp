@@ -1,10 +1,15 @@
 // Equivalence suite for the geometric-skip samplers behind
-// GeneralEdgeMEG and HeterogeneousEdgeMEG (PR 2).  The skip engines
+// GeneralEdgeMEG and HeterogeneousEdgeMEG (PR 2) and the batched
+// multinomial initializer of GeneralEdgeMEG (PR 4).  The skip engines
 // consume the RNG in a different order than the historical per-pair
 // samplers (retained in tests/reference_engine.hpp), so the proof has
 // three parts:
-//  1. exactness at t = 0 — the initializers share the historical stream,
-//     so initial states must match the reference bit-for-bit;
+//  1. initial-state equivalence — GeneralEdgeMEG's batched initializer
+//     (binomial class counts + uniform scatter) is checked
+//     *distributionally* against the reference's per-pair stationary
+//     draws: per-class frequencies and per-slot marginals over many
+//     seeds.  HeterogeneousEdgeMEG still shares the historical stream
+//     and must match the reference bit-for-bit at t = 0;
 //  2. exact snapshot-set equality against brute force — at every step the
 //     incrementally maintained snapshot must equal the edge set
 //     recomputed by an O(n^2) walk of the model's own per-pair state;
@@ -96,19 +101,101 @@ void expect_close_rates(double a_num, double b_num, double denom,
 // GeneralEdgeMEG
 // ---------------------------------------------------------------------------
 
-TEST(SkipSamplerGeneral, InitialStateMatchesReferenceExactly) {
-  const auto link = make_bursty_link(0.1, 0.4, 0.3);
-  for (std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
-    GeneralEdgeMEG meg(20, link.chain, link.chi, seed);
-    reference::RefGeneralEdgeMEG ref(20, link.chain, link.chi, seed);
-    EXPECT_EQ(meg.snapshot().edges(), ref.edges()) << "seed " << seed;
-    for (NodeId i = 0; i + 1 < 20; ++i) {
-      for (NodeId j = i + 1; j < 20; ++j) {
-        ASSERT_EQ(meg.pair_state(i, j),
-                  ref.state(pair_index_of(20, i, j)))
-            << "seed " << seed << " pair (" << i << "," << j << ")";
+// The batched initializer (binomial class counts + uniform scatter) uses
+// a different RNG stream than the reference's per-pair draws, so
+// equivalence at t = 0 is distributional: over many independent seeds,
+// (a) each hidden state's frequency must match the reference within
+// binomial confidence bounds, and (b) each *slot* must be exchangeable —
+// a fixed pair's state law must not depend on its index (this is what a
+// missing shuffle or a biased subset draw would break).
+void expect_initializer_distribution_matches(const BurstyLink& link,
+                                             std::size_t n,
+                                             std::uint64_t seed_base) {
+  const std::size_t pairs = n * (n - 1) / 2;
+  const std::size_t states = link.chain.num_states();
+  constexpr int kSeeds = 400;
+  std::vector<std::uint64_t> got(states, 0), want(states, 0);
+  // Slot marginals: the first and last pair, batched vs reference.
+  std::vector<std::uint64_t> got_first(states, 0), got_last(states, 0);
+  std::vector<std::uint64_t> want_first(states, 0);
+  for (int trial = 0; trial < kSeeds; ++trial) {
+    const std::uint64_t seed = seed_base + static_cast<std::uint64_t>(trial);
+    GeneralEdgeMEG meg(n, link.chain, link.chi, seed);
+    reference::RefGeneralEdgeMEG ref(n, link.chain, link.chi, seed);
+    std::size_t e = 0;
+    for (NodeId i = 0; i + 1 < n; ++i) {
+      for (NodeId j = i + 1; j < n; ++j, ++e) {
+        ++got[meg.pair_state(i, j)];
+        ++want[ref.state(e)];
       }
     }
+    ++got_first[meg.pair_state(0, 1)];
+    ++got_last[meg.pair_state(static_cast<NodeId>(n - 2),
+                              static_cast<NodeId>(n - 1))];
+    ++want_first[ref.state(0)];
+  }
+  const auto all = static_cast<double>(pairs) * kSeeds;
+  for (std::size_t s = 0; s < states; ++s) {
+    expect_close_rates(static_cast<double>(got[s]),
+                       static_cast<double>(want[s]), all,
+                       "initial class frequency");
+    // Slot samples are independent across seeds, so the plain binomial
+    // bound applies at denominator kSeeds.
+    expect_close_rates(static_cast<double>(got_first[s]),
+                       static_cast<double>(want_first[s]),
+                       static_cast<double>(kSeeds), "first-slot marginal");
+    expect_close_rates(static_cast<double>(got_last[s]),
+                       static_cast<double>(want_first[s]),
+                       static_cast<double>(kSeeds), "last-slot marginal");
+  }
+}
+
+TEST(SkipSamplerGeneral, BatchedInitializerMatchesReferenceInDistribution) {
+  // Sparse-ish bursty law: the quiescent off state dominates, so this
+  // exercises the binomial-split + uniform-scatter fast path.
+  expect_initializer_distribution_matches(make_bursty_link(0.1, 0.4, 0.3),
+                                          12, 1000);
+}
+
+TEST(SkipSamplerGeneral, BatchedInitializerMatchesReferenceDenseLaw) {
+  // Near-uniform stationary law (cyclic duty-cycle chain): no class
+  // dominates, so the initializer takes the per-pair fallback; the
+  // distributional contract must hold all the same.
+  expect_initializer_distribution_matches(make_duty_cycle_link(4, 2, 0.5),
+                                          12, 5000);
+}
+
+TEST(SkipSamplerGeneral, BatchedInitializerUnbiasedAtBoundaryLaw) {
+  // Regression: the batched/per-pair branch must be a function of the
+  // *chain* only, never of the sampled counts.  A count-dependent
+  // fallback resamples "dense-looking" draws and skews the configuration
+  // law — at pi_max = 1/2 the bias in the count-of-majority-state
+  // distribution was >100 sigma before the fix.  iid chain with
+  // stationary exactly (1/2, 1/4, 1/4), n = 4 (6 pairs): the number of
+  // state-0 pairs must be Binomial(6, 1/2).
+  const DenseChain chain({{0.5, 0.25, 0.25},
+                          {0.5, 0.25, 0.25},
+                          {0.5, 0.25, 0.25}});
+  const std::vector<bool> chi{false, true, true};
+  constexpr std::size_t kN = 4, kPairs = 6;
+  constexpr int kSeeds = 20000;
+  std::vector<std::uint64_t> hist(kPairs + 1, 0);
+  for (int trial = 0; trial < kSeeds; ++trial) {
+    GeneralEdgeMEG meg(kN, chain, chi, 90000 + static_cast<std::uint64_t>(trial));
+    std::size_t zeros = 0;
+    for (NodeId i = 0; i + 1 < kN; ++i) {
+      for (NodeId j = i + 1; j < kN; ++j) {
+        zeros += meg.pair_state(i, j) == 0;
+      }
+    }
+    ++hist[zeros];
+  }
+  const double binom6[kPairs + 1] = {1, 6, 15, 20, 15, 6, 1};  // * 2^-6
+  for (std::size_t k = 0; k <= kPairs; ++k) {
+    const double expected = binom6[k] / 64.0;
+    const double freq = static_cast<double>(hist[k]) / kSeeds;
+    const double se = std::sqrt(expected * (1.0 - expected) / kSeeds);
+    EXPECT_NEAR(freq, expected, 6.0 * se + 1e-9) << "count " << k;
   }
 }
 

@@ -35,12 +35,14 @@ std::string fmt(double value) {
 void print_usage(std::ostream& os) {
   os << "usage: megflood_run --model=<name> [--<param>=<value> ...]\n"
         "                    [--process=<spec>] [--trials=N] [--seed=S]\n"
-        "                    [--max_rounds=M] [--warmup=W] [--threads=T]\n"
+        "                    [--max_rounds=M] [--warmup=W|auto] [--threads=T]\n"
         "                    [--rotate_sources=0|1] [--format=table|csv|json]\n"
         "       megflood_run --list\n"
         "\n"
         "process spec: flooding | gossip[:push|pull|pushpull] | kpush[:<k>]\n"
         "              | radio[:<tau>] | ttl[:<ttl>]\n"
+        "--warmup=auto uses the model's suggested warmup (Theta(L/v) for\n"
+        "the geometric mobility models; models without one fail hard).\n"
         "exit codes:   0 ok, 2 invalid scenario/usage, 3 no trial completed\n";
 }
 
