@@ -58,6 +58,10 @@ BENCHMARK(BM_GeneralEdgeMegStep)->Arg(64)->Arg(256);
 void BM_GeneralEdgeMegStepSparse(benchmark::State& state) {
   // Paper-scale sparse regime: bursty hidden chain scaled so the
   // stationary edge probability is ~8/n (alpha = 2 / (n/4 + 4)).
+  // Storage is kAuto: n <= 4096 runs the dense reference engine
+  // (numbers comparable with PR 2-4), n >= 16384 crosses the memory
+  // threshold and runs the sparse minority-state map — sizes the dense
+  // engine cannot allocate (~4.8 GB of per-pair state at n = 32768).
   const auto n = static_cast<std::size_t>(state.range(0));
   auto link = make_bursty_link(4.0 / static_cast<double>(n), 0.5, 0.5);
   GeneralEdgeMEG meg(n, link.chain, link.chi, 1);
@@ -66,25 +70,55 @@ void BM_GeneralEdgeMegStepSparse(benchmark::State& state) {
     benchmark::DoNotOptimize(meg.snapshot().num_edges());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(meg_storage_name(meg.storage()));
 }
-BENCHMARK(BM_GeneralEdgeMegStepSparse)->Arg(1024)->Arg(4096)
-    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_GeneralEdgeMegStepSparse)->Arg(1024)->Arg(4096)->Arg(16384)
+    ->Arg(32768)->Unit(benchmark::kMicrosecond);
 
 void BM_HeterogeneousEdgeMegStepSparse(benchmark::State& state) {
   // Sparse heterogeneous regime: per-edge alpha in [4/n, 12/n] (~8/n on
   // average), continuous rate spread so every edge has distinct rates.
+  // kAuto with the analytic rate bounds: dense (identical to the 3-arg
+  // ctor) through n = 4096, the on-set-only sparse engine above — at
+  // n = 32768 the dense engine would need ~14 GB of rates and buckets.
   const auto n = static_cast<std::size_t>(state.range(0));
   const double a = 8.0 / static_cast<double>(n);
   HeterogeneousEdgeMEG meg(n, uniform_alpha_rates(0.2, 0.5, 0.5 * a, 1.5 * a),
-                           1);
+                           1, MegStorage::kAuto,
+                           uniform_alpha_bounds(0.2, 0.5, 0.5 * a, 1.5 * a));
   for (auto _ : state) {
     meg.step();
     benchmark::DoNotOptimize(meg.snapshot().num_edges());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(meg_storage_name(meg.storage()));
 }
 BENCHMARK(BM_HeterogeneousEdgeMegStepSparse)->Arg(1024)->Arg(4096)
-    ->Unit(benchmark::kMicrosecond);
+    ->Arg(16384)->Arg(32768)->Unit(benchmark::kMicrosecond);
+
+void BM_FloodSparseGeneralEdgeMeg(benchmark::State& state) {
+  // End-to-end flooding on the sparse minority-state engine at sizes the
+  // dense per-pair representation cannot allocate: each iteration resets
+  // to a fresh stationary start and floods from node 0 to completion
+  // (expected O(log n / log(1 + n alpha)) rounds at alpha ~ 8/n).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto link = make_bursty_link(4.0 / static_cast<double>(n), 0.5, 0.5);
+  GeneralEdgeMEG meg(n, link.chain, link.chi, 1, MegStorage::kSparse);
+  std::uint64_t seed = 1;
+  std::uint64_t total_rounds = 0;
+  for (auto _ : state) {
+    meg.reset(seed++);
+    const FloodResult r = flood(meg, 0, 4096);
+    total_rounds += r.rounds;
+    benchmark::DoNotOptimize(r.rounds);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["rounds"] = benchmark::Counter(
+      static_cast<double>(total_rounds) /
+      static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_FloodSparseGeneralEdgeMeg)->Arg(16384)->Arg(32768)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_NodeMegStep(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -117,7 +117,8 @@ std::size_t all_sources_round_block(const Snapshot& snap, std::uint64_t t,
                                     std::size_t w_lo, std::size_t w_hi,
                                     const std::uint64_t* cur,
                                     std::uint64_t* next, std::size_t* counts,
-                                    char* done,
+                                    char* done, std::uint32_t* col_active,
+                                    std::vector<std::size_t>& active_cols,
                                     std::vector<FloodResult>& per_source) {
   const std::size_t span = w_hi - w_lo;
   for (std::size_t v = 0; v < n; ++v) {
@@ -130,10 +131,32 @@ std::size_t all_sources_round_block(const Snapshot& snap, std::uint64_t t,
     or_words(next + std::size_t{v} * words + w_lo,
              cur + std::size_t{u} * words + w_lo, span);
   }
-  for (std::size_t v = 0; v < n; ++v) {
-    for_each_fresh_bit(cur + v * words + w_lo, next + v * words + w_lo, span,
-                       w_lo * kBitWordBits,
-                       [&](std::size_t s) { ++counts[s]; });
+  // Delta extraction skips fully-done word columns: a completed source s
+  // has counts[s] == n, i.e. bit s is set in every row of cur, so a fresh
+  // bit can never appear in its column again — once all (up to) 64
+  // sources of a column are done (col_active[w] == 0) the per-bit scan of
+  // that word is pure overhead in every remaining round.  The copy and
+  // edge-OR passes above stay full-span: they are branchless word ops,
+  // and per-word activity checks in the OR loop would cost more than
+  // they save.
+  active_cols.clear();
+  for (std::size_t w = w_lo; w < w_hi; ++w) {
+    if (col_active[w] > 0) active_cols.push_back(w);
+  }
+  if (active_cols.size() == span) {
+    for (std::size_t v = 0; v < n; ++v) {
+      for_each_fresh_bit(cur + v * words + w_lo, next + v * words + w_lo,
+                         span, w_lo * kBitWordBits,
+                         [&](std::size_t s) { ++counts[s]; });
+    }
+  } else {
+    for (std::size_t v = 0; v < n; ++v) {
+      for (const std::size_t w : active_cols) {
+        for_each_fresh_bit(cur + v * words + w, next + v * words + w, 1,
+                           w * kBitWordBits,
+                           [&](std::size_t s) { ++counts[s]; });
+      }
+    }
   }
   const std::size_t s_lo = w_lo * kBitWordBits;
   const std::size_t s_hi = std::min(n, w_hi * kBitWordBits);
@@ -145,6 +168,7 @@ std::size_t all_sources_round_block(const Snapshot& snap, std::uint64_t t,
       per_source[s].completed = true;
       per_source[s].rounds = t + 1;
       done[s] = 1;
+      --col_active[s / kBitWordBits];
       ++completed;
     }
   }
@@ -192,12 +216,22 @@ AllSourcesResult flood_all_sources(DynamicGraph& graph,
       --remaining;
     }
   }
+  // Per word column, the number of its sources still flooding; the delta
+  // extraction visits only columns with col_active > 0.  Each block owns
+  // its columns' counters, so the threaded path needs no atomics here.
+  std::vector<std::uint32_t> col_active(words, 0);
+  for (NodeId s = 0; s < n; ++s) {
+    if (!done[s]) ++col_active[s / kBitWordBits];
+  }
   const std::size_t workers = resolve_flood_workers(threads, words);
   if (workers <= 1) {
+    std::vector<std::size_t> active_cols;
+    active_cols.reserve(words);
     for (std::uint64_t t = 0; t < max_rounds && remaining > 0; ++t) {
       remaining -= all_sources_round_block(graph.snapshot(), t, n, words, 0,
                                            words, cur.data(), next.data(),
                                            counts.data(), done.data(),
+                                           col_active.data(), active_cols,
                                            all.per_source);
       std::swap(cur, next);
       graph.step();
@@ -242,11 +276,14 @@ AllSourcesResult flood_all_sources(DynamicGraph& graph,
     auto work = [&](std::size_t k) {
       const std::size_t w_lo = k * words / workers;
       const std::size_t w_hi = (k + 1) * words / workers;
+      std::vector<std::size_t> active_cols;
+      active_cols.reserve(w_hi - w_lo);
       while (true) {
         try {
           const std::size_t completed = all_sources_round_block(
               graph.snapshot(), round, n, words, w_lo, w_hi, cur.data(),
-              next.data(), counts.data(), done.data(), all.per_source);
+              next.data(), counts.data(), done.data(), col_active.data(),
+              active_cols, all.per_source);
           if (completed > 0) {
             remaining_shared.fetch_sub(completed, std::memory_order_relaxed);
           }

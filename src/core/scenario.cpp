@@ -15,6 +15,7 @@
 #include "meg/general_edge_meg.hpp"
 #include "meg/heterogeneous_edge_meg.hpp"
 #include "meg/node_meg.hpp"
+#include "meg/storage.hpp"
 #include "mobility/random_paths.hpp"
 #include "mobility/random_trip.hpp"
 #include "mobility/random_walk.hpp"
@@ -46,6 +47,13 @@ double parse_double(const std::string& key, const std::string& value) {
     fail("parameter " + key + ": '" + value + "' is not a finite number");
   }
   return parsed;
+}
+
+MegStorage parse_storage(const std::string& value) {
+  if (value == "dense") return MegStorage::kDense;
+  if (value == "sparse") return MegStorage::kSparse;
+  if (value == "auto") return MegStorage::kAuto;
+  fail("storage must be dense|sparse|auto, got '" + value + "'");
 }
 
 std::uint64_t parse_u64(const std::string& key, const std::string& value) {
@@ -189,9 +197,15 @@ ScenarioModel build_general_edge_meg(const ParamReader& p) {
     fail("general_edge_meg: link must be bursty|duty_cycle|four_state, got '" +
          link + "'");
   }();
-  return {[n, built](std::uint64_t seed) -> std::unique_ptr<DynamicGraph> {
+  const MegStorage storage = parse_storage(p.str("storage"));
+  // Probe at n = 2: an explicit storage=sparse on a chain without a
+  // quiescent majority must fail at validation time, not on trial 1
+  // (sparse qualification depends only on the chain, not on n).
+  (void)GeneralEdgeMEG(2, built.chain, built.chi, 0, storage);
+  return {[n, built, storage](std::uint64_t seed)
+              -> std::unique_ptr<DynamicGraph> {
             return std::make_unique<GeneralEdgeMEG>(n, built.chain, built.chi,
-                                                    seed);
+                                                    seed, storage);
           },
           n};
 }
@@ -199,23 +213,43 @@ ScenarioModel build_general_edge_meg(const ParamReader& p) {
 ScenarioModel build_het_edge_meg(const ParamReader& p) {
   const std::size_t n = p.size("n");
   const std::string sampler_name = p.str("sampler");
+  const MegStorage storage = parse_storage(p.str("storage"));
   EdgeRateSampler sampler;
+  RateBounds bounds;
   if (sampler_name == "uniform_alpha") {
     p.reject_unused("sampler=uniform_alpha",
                     {"p", "q", "slow_fraction", "slow_factor"});
     sampler = uniform_alpha_rates(p.num("speed_lo"), p.num("speed_hi"),
+                                  p.num("alpha_lo"), p.num("alpha_hi"));
+    bounds = uniform_alpha_bounds(p.num("speed_lo"), p.num("speed_hi"),
                                   p.num("alpha_lo"), p.num("alpha_hi"));
   } else if (sampler_name == "two_speed") {
     p.reject_unused("sampler=two_speed",
                     {"speed_lo", "speed_hi", "alpha_lo", "alpha_hi"});
     sampler = two_speed_rates(TwoStateParams{p.num("p"), p.num("q")},
                               p.num("slow_fraction"), p.num("slow_factor"));
+    bounds = two_speed_bounds(TwoStateParams{p.num("p"), p.num("q")},
+                              p.num("slow_fraction"), p.num("slow_factor"));
   } else {
     fail("het_edge_meg: sampler must be uniform_alpha|two_speed, got '" +
          sampler_name + "'");
   }
-  return {[n, sampler](std::uint64_t seed) -> std::unique_ptr<DynamicGraph> {
-            return std::make_unique<HeterogeneousEdgeMEG>(n, sampler, seed);
+  // Probe at n = 2 like build_general_edge_meg: unsound RateBounds for a
+  // sparse run (e.g. a zero birth envelope) must fail at validation
+  // time, not on trial 1.  kAuto is resolved against the *real* n first
+  // — a tiny probe under kAuto would take the dense branch and skip
+  // exactly the sparse bounds checks it exists to front-load.
+  const MegStorage probe_storage =
+      storage == MegStorage::kAuto &&
+              meg_auto_prefers_sparse(
+                  HeterogeneousEdgeMEG::dense_footprint_bytes(n))
+          ? MegStorage::kSparse
+          : storage;
+  (void)HeterogeneousEdgeMEG(2, sampler, 0, probe_storage, bounds);
+  return {[n, sampler, storage, bounds](std::uint64_t seed)
+              -> std::unique_ptr<DynamicGraph> {
+            return std::make_unique<HeterogeneousEdgeMEG>(n, sampler, seed,
+                                                          storage, bounds);
           },
           n};
 }
@@ -404,7 +438,10 @@ const std::vector<ModelEntry>& registry() {
          {"drop", "0.3", "bursty: on -> off rate"},
          {"period", "6", "duty_cycle: cycle length"},
          {"on_states", "2", "duty_cycle: number of on states"},
-         {"advance", "0.5", "duty_cycle: advance probability"}}},
+         {"advance", "0.5", "duty_cycle: advance probability"},
+         {"storage", "auto",
+          "state storage: dense|sparse|auto (sparse = minority map, "
+          "O(minority+on) memory; auto switches on a memory threshold)"}}},
        &build_general_edge_meg},
       {{"het_edge_meg",
         "heterogeneous per-edge (p, q) edge-MEG",
@@ -417,7 +454,10 @@ const std::vector<ModelEntry>& registry() {
          {"p", "0.02", "two_speed: base birth rate"},
          {"q", "0.3", "two_speed: base death rate"},
          {"slow_fraction", "0.2", "two_speed: fraction of slow edges"},
-         {"slow_factor", "0.1", "two_speed: slow-edge rate scale"}}},
+         {"slow_factor", "0.1", "two_speed: slow-edge rate scale"},
+         {"storage", "auto",
+          "state storage: dense|sparse|auto (sparse = on-set only, rates "
+          "re-derived on demand; auto switches on a memory threshold)"}}},
        &build_het_edge_meg},
       {{"node_meg",
         "explicit node-MEG: lazy walk on a cycle of states + connection map",

@@ -245,6 +245,19 @@ void NeighborIndex::collect_pairs(
   // The accept pattern changes every round (agents move), so a
   // conditional push costs a mispredict on roughly every third candidate
   // — the predicated store is ~2x faster on the live scan.
+  //
+  // Two refinements over the PR 4 scalar loop, both order-preserving
+  // (tests/test_mobility_incremental.cpp pins snapshots bit-for-bit):
+  //  * the candidate compare runs two entries per trip — the predicated
+  //    store chains count -> store address serially, and pairing two
+  //    independent distance computations per iteration hides half that
+  //    latency on rows of length >= 2;
+  //  * the coordinate block of the row-below neighbor trio is software-
+  //    prefetched at the start of each home bucket.  Buckets {1,-1},
+  //    {1,0}, {1,1} are *adjacent slices* of the flat block store, so a
+  //    two-line prefetch at their base covers all three — these bps-
+  //    strided blocks are the bucket walk's only non-streaming accesses
+  //    (the {0,1} neighbor adjoins the home slice).
   const double r2 = radius_ * radius_;
   const auto bps = static_cast<std::ptrdiff_t>(buckets_per_side_);
   const std::uint32_t* const entries = entries_.data();
@@ -265,6 +278,16 @@ void NeighborIndex::collect_pairs(
       const auto b = static_cast<std::size_t>(br * bps + bc);
       const std::size_t cell_size = size_[b];
       if (cell_size == 0) continue;
+#if defined(__GNUC__) || defined(__clang__)
+      if (br + 1 < bps) {
+        const auto below =
+            static_cast<std::size_t>(b + bps - (bc > 0 ? 1 : 0));
+        const Point2D* const below_pts = points + offset_[below];
+        __builtin_prefetch(below_pts);
+        __builtin_prefetch(below_pts + 4);  // 4 Point2D per cache line
+        __builtin_prefetch(entries + offset_[below]);
+      }
+#endif
       const std::uint32_t* const cell = entries + offset_[b];
       const Point2D* const cell_pts = points + offset_[b];
       if (cell_size > 1) {
@@ -272,7 +295,14 @@ void NeighborIndex::collect_pairs(
         for (std::size_t a = 0; a + 1 < cell_size; ++a) {
           const Point2D pa = cell_pts[a];
           const std::uint32_t ida = cell[a];
-          for (std::size_t c = a + 1; c < cell_size; ++c) {
+          std::size_t c = a + 1;
+          for (; c + 2 <= cell_size; c += 2) {
+            buf[count] = {ida, cell[c]};
+            count += squared_distance(pa, cell_pts[c]) <= r2;
+            buf[count] = {ida, cell[c + 1]};
+            count += squared_distance(pa, cell_pts[c + 1]) <= r2;
+          }
+          if (c < cell_size) {
             buf[count] = {ida, cell[c]};
             count += squared_distance(pa, cell_pts[c]) <= r2;
           }
@@ -292,7 +322,14 @@ void NeighborIndex::collect_pairs(
         for (std::size_t a = 0; a < cell_size; ++a) {
           const Point2D pa = cell_pts[a];
           const std::uint32_t ida = cell[a];
-          for (std::size_t c = 0; c < other_size; ++c) {
+          std::size_t c = 0;
+          for (; c + 2 <= other_size; c += 2) {
+            buf[count] = {ida, other[c]};
+            count += squared_distance(pa, other_pts[c]) <= r2;
+            buf[count] = {ida, other[c + 1]};
+            count += squared_distance(pa, other_pts[c + 1]) <= r2;
+          }
+          if (c < other_size) {
             buf[count] = {ida, other[c]};
             count += squared_distance(pa, other_pts[c]) <= r2;
           }

@@ -8,15 +8,6 @@
 
 namespace megflood {
 
-namespace {
-
-inline std::uint64_t pack_index(std::uint64_t n, std::uint64_t index) noexcept {
-  const auto [i, j] = pair_from_index(n, index);
-  return pack_pair(i, j);
-}
-
-}  // namespace
-
 TwoStateEdgeMEG::TwoStateEdgeMEG(std::size_t num_nodes, TwoStateParams params,
                                  std::uint64_t seed, EdgeMegInit init)
     : n_(num_nodes),
@@ -47,7 +38,7 @@ void TwoStateEdgeMEG::initialize() {
       // strictly increasing, so on_ is sorted by construction.
       geometric_select(rng_, total_pairs_, chain_.stationary_on(),
                        [&](std::uint64_t e) {
-                         on_.push_back(pack_index(n_, e));
+                         on_.push_back(pair_key_from_index(n_, e));
                        });
       break;
     }
@@ -93,7 +84,7 @@ void TwoStateEdgeMEG::step() {
   if (p > 0.0) {
     born_.clear();
     geometric_select(rng_, total_pairs_, p, [&](std::uint64_t e) {
-      const std::uint64_t key = pack_index(n_, e);
+      const std::uint64_t key = pair_key_from_index(n_, e);
       if (!std::binary_search(killed_.begin(), killed_.end(), key)) {
         born_.push_back(key);
       }

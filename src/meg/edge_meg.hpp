@@ -13,6 +13,13 @@
 // incrementally — deaths are filtered in place, births merged in — so a
 // step performs no hashing, no re-sort, and (after warmup) no allocation;
 // the triangular-index inversion runs only for the few birth candidates.
+//
+// In the storage-mode taxonomy of meg/storage.hpp this engine is
+// *always* sparse: the two-state chain needs no per-pair hidden state,
+// so the on-set is the entire representation (memory O(#on)) and the
+// off majority has been implicit since PR 1.  The general and
+// heterogeneous engines gained the same property via their
+// minority-state maps; there is no dense mode to select here.
 
 #include <cstdint>
 #include <vector>

@@ -10,7 +10,8 @@
 namespace megflood {
 
 GeneralEdgeMEG::GeneralEdgeMEG(std::size_t num_nodes, DenseChain chain,
-                               std::vector<bool> chi, std::uint64_t seed)
+                               std::vector<bool> chi, std::uint64_t seed,
+                               MegStorage storage)
     : n_(num_nodes),
       chain_(std::move(chain)),
       chi_(std::move(chi)),
@@ -25,7 +26,6 @@ GeneralEdgeMEG::GeneralEdgeMEG(std::size_t num_nodes, DenseChain chain,
     throw std::invalid_argument("GeneralEdgeMEG: > 256 states unsupported");
   }
   stationary_ = chain_.stationary();
-  states_.resize(pair_count(n_));
 
   const std::size_t num_states = chain_.num_states();
   exit_prob_.resize(num_states, 0.0);
@@ -42,10 +42,50 @@ GeneralEdgeMEG::GeneralEdgeMEG(std::size_t num_nodes, DenseChain chain,
     }
     exit_prob_[s] = std::min(cum, 1.0);
   }
-  buckets_.resize(num_states);
+
+  // Storage resolution.  Sparse needs (a) a dominant stationary state,
+  // so the batched Binomial machinery covers the implicit population
+  // (this is the same pi_max >= 1/2 rule the dense batched initializer
+  // uses), and (b) chi(majority) == false, so the on-set is a subset of
+  // the minority map and memory really is O(#minority + #on).
+  StateId majority = 0;
+  for (StateId s = 1; s < num_states; ++s) {
+    if (stationary_[s] > stationary_[majority]) majority = s;
+  }
+  const bool qualifies = stationary_[majority] >= 0.5 && !chi_[majority];
+  if (storage == MegStorage::kSparse && !qualifies) {
+    throw std::invalid_argument(
+        "GeneralEdgeMEG: sparse storage requires a dominant stationary "
+        "state (pi_max >= 1/2) with chi(majority) == false; this chain "
+        "has no quiescent majority — use dense storage");
+  }
+  sparse_ = storage == MegStorage::kSparse ||
+            (storage == MegStorage::kAuto && qualifies &&
+             meg_auto_prefers_sparse(dense_footprint_bytes(n_)));
+  majority_state_ = majority;
+  for (StateId s = 0; s < num_states; ++s) {
+    if (s != majority_state_) {
+      minority_exit_envelope_ = std::max(minority_exit_envelope_, exit_prob_[s]);
+    }
+  }
+  if (!sparse_) {
+    states_.resize(pair_count(n_));
+    buckets_.resize(num_states);
+  }
 
   snapshot_.reset(n_);
   initialize();
+}
+
+std::uint64_t GeneralEdgeMEG::dense_footprint_bytes(
+    std::size_t num_nodes) noexcept {
+  // One state byte (states_) plus one 8-byte packed bucket key per pair.
+  return pair_count(num_nodes) * 9;
+}
+
+std::uint64_t GeneralEdgeMEG::minority_count() const {
+  if (sparse_) return minority_keys_.size();
+  return pair_count(n_) - buckets_[majority_state_].size();
 }
 
 double GeneralEdgeMEG::stationary_edge_probability() const {
@@ -61,10 +101,22 @@ StateId GeneralEdgeMEG::pair_state(NodeId i, NodeId j) const {
     throw std::out_of_range("pair_state: bad pair");
   }
   if (i > j) std::swap(i, j);
+  if (sparse_) {
+    const std::uint64_t key = pack_pair(i, j);
+    const auto it =
+        std::lower_bound(minority_keys_.begin(), minority_keys_.end(), key);
+    if (it == minority_keys_.end() || *it != key) return majority_state_;
+    return minority_states_[static_cast<std::size_t>(
+        it - minority_keys_.begin())];
+  }
   return states_[pair_index_of(n_, i, j)];
 }
 
 void GeneralEdgeMEG::initialize() {
+  if (sparse_) {
+    initialize_sparse();
+    return;
+  }
   for (auto& bucket : buckets_) bucket.clear();
   on_.clear();
   const bool scattered = sample_initial_states();
@@ -135,6 +187,41 @@ void GeneralEdgeMEG::fill_buckets_from_scatter() {
   assert(mp == minority);
 }
 
+std::vector<std::uint64_t> GeneralEdgeMEG::sample_class_counts(
+    std::uint64_t pairs) {
+  // Sequential binomial splits of the multinomial Mult(pairs, pi).
+  const std::size_t num_states = chain_.num_states();
+  std::vector<std::uint64_t> class_count(num_states, 0);
+  std::uint64_t rest = pairs;
+  double rest_prob = 1.0;
+  for (StateId s = 0; s < num_states && rest > 0; ++s) {
+    double p = s + 1 == num_states
+                   ? 1.0
+                   : (rest_prob > 0.0 ? stationary_[s] / rest_prob : 1.0);
+    p = std::min(p, 1.0);
+    class_count[s] = rng_.binomial(rest, p);
+    rest -= class_count[s];
+    rest_prob -= stationary_[s];
+  }
+  return class_count;
+}
+
+void GeneralEdgeMEG::build_shuffled_minority_values(
+    const std::vector<std::uint64_t>& class_count, StateId majority,
+    std::uint64_t minority) {
+  // The minority multiset, uniformly shuffled (Fisher-Yates).
+  init_values_.clear();
+  init_values_.reserve(minority);
+  for (StateId s = 0; s < class_count.size(); ++s) {
+    if (s == majority) continue;
+    init_values_.insert(init_values_.end(), class_count[s],
+                        static_cast<std::uint8_t>(s));
+  }
+  for (std::uint64_t i = minority - 1; i > 0; --i) {
+    std::swap(init_values_[i], init_values_[rng_.uniform_int(i + 1)]);
+  }
+}
+
 bool GeneralEdgeMEG::sample_initial_states() {
   // Batched stationary draw: instead of one discrete draw per pair
   // (O(pairs * |S|)), sample the per-class *counts* — sequential binomial
@@ -149,7 +236,6 @@ bool GeneralEdgeMEG::sample_initial_states() {
   // sparse regimes (quiescent majority state) the whole initialization
   // consumes O(minority pairs) RNG draws instead of O(pairs).
   const std::uint64_t pairs = states_.size();
-  const std::size_t num_states = chain_.num_states();
   // The batched-vs-per-pair branch is decided from the *chain* alone,
   // before any RNG is consumed.  Branching on the sampled counts would
   // condition the resulting configuration law on the branch taken and
@@ -157,10 +243,7 @@ bool GeneralEdgeMEG::sample_initial_states() {
   // got resampled) — and would waste the O(pairs) split draws whenever
   // the fallback fired.  With a fixed rule both paths sample the exact
   // iid stationary law.
-  StateId majority = 0;
-  for (StateId s = 1; s < num_states; ++s) {
-    if (stationary_[s] > stationary_[majority]) majority = s;
-  }
+  const StateId majority = majority_state_;
   if (stationary_[majority] < 0.5) {
     // No dominant class in expectation: the subset-scatter below would
     // spend more on rejection than the plain per-pair walk, which is
@@ -168,18 +251,7 @@ bool GeneralEdgeMEG::sample_initial_states() {
     sample_initial_states_per_pair();
     return false;
   }
-  std::vector<std::uint64_t> class_count(num_states, 0);
-  std::uint64_t rest = pairs;
-  double rest_prob = 1.0;
-  for (StateId s = 0; s < num_states && rest > 0; ++s) {
-    double p = s + 1 == num_states
-                   ? 1.0
-                   : (rest_prob > 0.0 ? stationary_[s] / rest_prob : 1.0);
-    p = std::min(p, 1.0);
-    class_count[s] = rng_.binomial(rest, p);
-    rest -= class_count[s];
-    rest_prob -= stationary_[s];
-  }
+  const std::vector<std::uint64_t> class_count = sample_class_counts(pairs);
 
   const std::uint64_t minority = pairs - class_count[majority];
   init_majority_ = majority;
@@ -190,38 +262,49 @@ bool GeneralEdgeMEG::sample_initial_states() {
     return true;
   }
 
-  // The minority multiset, uniformly shuffled (Fisher-Yates).
-  init_values_.clear();
-  init_values_.reserve(minority);
-  for (StateId s = 0; s < num_states; ++s) {
-    if (s == majority) continue;
-    init_values_.insert(init_values_.end(), class_count[s],
-                        static_cast<std::uint8_t>(s));
-  }
-  for (std::uint64_t i = minority - 1; i > 0; --i) {
-    std::swap(init_values_[i], init_values_[rng_.uniform_int(i + 1)]);
-  }
+  build_shuffled_minority_values(class_count, majority, minority);
 
   // A uniform minority-sized subset of pair slots by rejection (expected
   // < 2 draws per slot while minority <= pairs / 2, which pi_majority >=
   // 1/2 guarantees in expectation; rarer, larger draws just reject a bit
-  // more), emitted in ascending slot order.  The O(pairs) bitmap is
-  // deliberately local: it is the one init-only buffer big enough to
-  // matter (~n^2/2 bytes), and must not outlive initialization.
-  std::vector<std::uint8_t> taken(pairs, 0);
-  init_positions_.clear();
-  init_positions_.reserve(minority);
-  for (std::uint64_t k = 0; k < minority; ++k) {
-    std::uint64_t pos = rng_.uniform_int(pairs);
-    while (taken[pos]) pos = rng_.uniform_int(pairs);
-    taken[pos] = 1;
-    init_positions_.push_back(pos);
-  }
-  std::sort(init_positions_.begin(), init_positions_.end());
+  // more), emitted in ascending slot order.  sample_distinct_positions
+  // keeps the historical taken-bitmap for subsets this large and its
+  // draw sequence is dedup-structure-independent, so the stream (and
+  // hence the configuration) is unchanged — and identical to the sparse
+  // engine's.
+  sample_distinct_positions(rng_, minority, pairs, init_positions_);
   for (std::uint64_t k = 0; k < minority; ++k) {
     states_[init_positions_[k]] = init_values_[k];
   }
   return true;
+}
+
+void GeneralEdgeMEG::initialize_sparse() {
+  // The batched initializer with the majority left implicit: identical
+  // RNG stream to the dense batched path (splits, shuffle, subset draw),
+  // so a same-seed dense/sparse pair starts in the SAME configuration —
+  // the t = 0 equivalence in tests/test_sparse_storage.cpp is exact.
+  on_.clear();
+  minority_keys_.clear();
+  minority_states_.clear();
+  const std::uint64_t pairs = pair_count(n_);
+  const std::vector<std::uint64_t> class_count = sample_class_counts(pairs);
+  const std::uint64_t minority = pairs - class_count[majority_state_];
+  if (minority > 0) {
+    build_shuffled_minority_values(class_count, majority_state_, minority);
+    sample_distinct_positions(rng_, minority, pairs, init_positions_);
+    minority_keys_.reserve(minority);
+    minority_states_.reserve(minority);
+    for (std::uint64_t k = 0; k < minority; ++k) {
+      // Ascending positions => ascending keys: map and on-set come out
+      // sorted without a sort pass.
+      const std::uint64_t key = pair_key_from_index(n_, init_positions_[k]);
+      minority_keys_.push_back(key);
+      minority_states_.push_back(init_values_[k]);
+      if (chi_[init_values_[k]]) on_.push_back(key);
+    }
+  }
+  rebuild_snapshot();
 }
 
 void GeneralEdgeMEG::sample_initial_states_per_pair() {
@@ -251,6 +334,79 @@ StateId GeneralEdgeMEG::sample_exit_target(StateId from) {
 }
 
 void GeneralEdgeMEG::step() {
+  if (sparse_) {
+    step_sparse();
+  } else {
+    step_dense();
+  }
+  rebuild_snapshot();
+  advance_clock();
+}
+
+void GeneralEdgeMEG::step_sparse() {
+  // Phase 1 (consumes RNG), all selections against the pre-step map.
+  //
+  // Minority movers: geometric-skip the minority map at the largest
+  // minority exit probability and thin each candidate by its class's
+  // exit_prob / envelope — exact by superposition, and output-sensitive
+  // because minority classes are the busy ones.  Each accepted mover
+  // draws its destination from the conditional exit distribution, like
+  // the dense bucket scan.
+  moves_.clear();
+  geometric_select(
+      rng_, minority_keys_.size(), minority_exit_envelope_,
+      [&](std::uint64_t pos) {
+        const StateId from = minority_states_[pos];
+        if (exit_prob_[from] < minority_exit_envelope_ &&
+            !rng_.bernoulli(exit_prob_[from] / minority_exit_envelope_)) {
+          return;
+        }
+        moves_.push_back({pos, from, sample_exit_target(from)});
+      });
+
+  // Majority movers: an iid Bernoulli(exit_prob) selection over the
+  // implicit complement population — Binomial count + uniform distinct
+  // placement (meg/on_set.hpp) — visited in ascending key order, each
+  // drawing its destination like any other mover.  This is exactly the
+  // law of geometric-skipping a materialized majority bucket, without
+  // the O(n^2) keys.
+  died_.clear();
+  born_.clear();
+  inserted_keys_.clear();
+  inserted_states_.clear();
+  bernoulli_complement_select(
+      rng_, n_, minority_keys_, exit_prob_[majority_state_], rank_scratch_,
+      [&](std::uint64_t key) {
+        const StateId to = sample_exit_target(majority_state_);
+        inserted_keys_.push_back(key);
+        inserted_states_.push_back(static_cast<std::uint8_t>(to));
+        if (chi_[to]) born_.push_back(key);  // chi(majority) is false
+      });
+
+  // Phase 2 (no RNG): apply.  Minority movers either change state in
+  // place (key position unchanged, map stays sorted) or return to the
+  // majority (dropped from the map); majority movers merge in as sorted
+  // insertions.  Positions were recorded ascending, so removed_pos_ is
+  // sorted as required by apply_minority_delta.
+  removed_pos_.clear();
+  for (const Move& move : moves_) {
+    const std::uint64_t key = minority_keys_[move.pos];
+    if (chi_[move.from] != chi_[move.to]) {
+      (chi_[move.from] ? died_ : born_).push_back(key);
+    }
+    if (move.to == majority_state_) {
+      removed_pos_.push_back(move.pos);
+    } else {
+      minority_states_[move.pos] = static_cast<std::uint8_t>(move.to);
+    }
+  }
+  apply_minority_delta(minority_keys_, minority_states_, removed_pos_,
+                       inserted_keys_, inserted_states_, key_scratch_,
+                       state_scratch_);
+  apply_on_set_delta(on_, died_, born_, merged_);
+}
+
+void GeneralEdgeMEG::step_dense() {
   // Phase 1 (consumes RNG): per state class, geometric-skip over the
   // bucket with the class exit probability; every selected pair draws its
   // destination from the conditional exit distribution.  All selections
@@ -285,8 +441,6 @@ void GeneralEdgeMEG::step() {
   }
 
   apply_on_set_delta(on_, died_, born_, merged_);
-  rebuild_snapshot();
-  advance_clock();
 }
 
 void GeneralEdgeMEG::reset(std::uint64_t seed) {

@@ -18,16 +18,33 @@
 // splits of the multinomial Mult(pairs, pi) and scattered uniformly, so
 // the stationary start costs O(minority pairs) RNG draws when one class
 // dominates (the historical per-pair walk is retained as the dense-law
-// fallback and as the test reference).  Per-pair state is still stored
-// densely (one byte per pair), so memory remains O(n^2); in the sparse
-// stationary regimes the paper targets (alpha ~ c/n with a quiescent off
-// state) the *time* per step is now output-sensitive.
+// fallback and as the test reference).
+//
+// Storage modes (meg/storage.hpp).  The *dense* engine keeps one state
+// byte plus one bucket key per pair — O(n^2) bytes, the reference
+// implementation.  The *sparse* engine stores only the minority-state
+// map: a sorted packed-key vector (parallel per-entry state bytes) of
+// the pairs whose hidden state differs from the stationary mode; the
+// majority population is implicit.  Per step, minority movers are found
+// by geometric-skipping the map at the largest minority exit probability
+// (envelope thinning, exact by superposition) and majority movers by a
+// batched Binomial draw over the implicit complement population plus a
+// uniform distinct placement (meg/on_set.hpp) — the same iid per-pair
+// transition law as dense, so the two modes are distributionally
+// equivalent (and bit-identical at t = 0, where they share the batched
+// initializer's stream).  Memory is O(#minority + #on), which in the
+// paper's sparse stationary regimes (alpha ~ c/n, quiescent off state)
+// is O(n) — the engine steps at n >= 32768 where dense cannot allocate.
+// Sparse requires a dominant stationary state (pi_max >= 1/2) that chi
+// maps to "off"; explicit kSparse on a non-qualifying chain is a hard
+// error, kAuto falls back to dense.
 
 #include <cstdint>
 #include <vector>
 
 #include "core/dynamic_graph.hpp"
 #include "markov/chain.hpp"
+#include "meg/storage.hpp"
 #include "util/rng.hpp"
 
 namespace megflood {
@@ -37,7 +54,8 @@ class GeneralEdgeMEG final : public DynamicGraph {
   // `chi[s]` is true iff an edge in state s exists.  Initial states are
   // drawn from the chain's stationary distribution.
   GeneralEdgeMEG(std::size_t num_nodes, DenseChain chain,
-                 std::vector<bool> chi, std::uint64_t seed);
+                 std::vector<bool> chi, std::uint64_t seed,
+                 MegStorage storage = MegStorage::kAuto);
 
   std::size_t num_nodes() const override { return n_; }
   const Snapshot& snapshot() const override { return snapshot_; }
@@ -46,16 +64,33 @@ class GeneralEdgeMEG final : public DynamicGraph {
 
   const DenseChain& chain() const noexcept { return chain_; }
 
+  // The resolved storage mode (never kAuto).
+  MegStorage storage() const noexcept {
+    return sparse_ ? MegStorage::kSparse : MegStorage::kDense;
+  }
+
+  // Dense-mode footprint this instance would need: one state byte plus
+  // one 8-byte bucket key per pair.  What kAuto weighs against the
+  // threshold in meg/storage.hpp.
+  static std::uint64_t dense_footprint_bytes(std::size_t num_nodes) noexcept;
+
+  // Sparse mode: number of pairs currently off the majority state (the
+  // minority-map size).  Dense mode reports the same quantity (counted
+  // from the buckets) so tests can compare the representations.
+  std::uint64_t minority_count() const;
+
   // Stationary probability that an edge exists: alpha = sum_{s: chi(s)} pi_s.
   double stationary_edge_probability() const;
 
   // Current hidden state of pair {i, j} (i != j).  The equivalence suite
   // uses this to cross-check the incrementally maintained snapshot
-  // against a brute-force recomputation from the per-pair states.
+  // against a brute-force recomputation from the per-pair states.  O(1)
+  // dense, O(log #minority) sparse.
   StateId pair_state(NodeId i, NodeId j) const;
 
  private:
   void initialize();
+  void initialize_sparse();
   // Batched multinomial initializer (default); returns true when it took
   // the majority-fill + scatter path (init_majority_ / init_positions_ /
   // states_ then describe the configuration), false when it fell back to
@@ -63,6 +98,15 @@ class GeneralEdgeMEG final : public DynamicGraph {
   bool sample_initial_states();
   void sample_initial_states_per_pair();  // historical reference / fallback
   void fill_buckets_from_scatter();
+  // Shared pieces of the batched stationary draw (identical RNG stream in
+  // both storage modes): sequential binomial splits of Mult(pairs, pi),
+  // and the uniformly shuffled minority value multiset.
+  std::vector<std::uint64_t> sample_class_counts(std::uint64_t pairs);
+  void build_shuffled_minority_values(
+      const std::vector<std::uint64_t>& class_count, StateId majority,
+      std::uint64_t minority);
+  void step_dense();
+  void step_sparse();
   void rebuild_snapshot();
   StateId sample_exit_target(StateId from);
 
@@ -71,7 +115,7 @@ class GeneralEdgeMEG final : public DynamicGraph {
   std::vector<bool> chi_;
   Rng rng_;
   std::vector<double> stationary_;
-  std::vector<std::uint8_t> states_;  // one per pair, row-major upper triangle
+  std::vector<std::uint8_t> states_;  // dense: one per pair, row-major triangle
 
   // Per-state exit tables: exit_prob_[s] = sum of the positive
   // off-diagonal entries of row s (the probability of leaving s this
@@ -81,13 +125,22 @@ class GeneralEdgeMEG final : public DynamicGraph {
   std::vector<std::vector<double>> exit_cum_;
   std::vector<std::vector<StateId>> exit_target_;
 
-  // buckets_[s] holds the packed (i << 32 | j) keys of the pairs
-  // currently in state s.  Element order mutates via swap-removes but is
-  // a pure function of the seed, so runs stay reproducible.
+  // Dense mode: buckets_[s] holds the packed (i << 32 | j) keys of the
+  // pairs currently in state s.  Element order mutates via swap-removes
+  // but is a pure function of the seed, so runs stay reproducible.
   std::vector<std::vector<std::uint64_t>> buckets_;
 
   // Sorted packed keys of the pairs whose state maps to "edge exists".
   std::vector<std::uint64_t> on_;
+
+  // Sparse mode: the minority-state map — sorted packed keys of the
+  // pairs NOT in the majority state, with a parallel per-entry state
+  // byte.  Every other pair is implicitly in majority_state_.
+  bool sparse_ = false;
+  StateId majority_state_ = 0;
+  double minority_exit_envelope_ = 0.0;  // max exit prob over minority states
+  std::vector<std::uint64_t> minority_keys_;
+  std::vector<std::uint8_t> minority_states_;
 
   // Step scratch (capacity reused across steps).
   struct Move {
@@ -99,10 +152,18 @@ class GeneralEdgeMEG final : public DynamicGraph {
   std::vector<std::uint64_t> died_;
   std::vector<std::uint64_t> born_;
   std::vector<std::uint64_t> merged_;
+  // Sparse-step scratch: dropped minority positions, majority-mover
+  // insertions, subset ranks, and the minority-map merge buffers.
+  std::vector<std::uint64_t> removed_pos_;
+  std::vector<std::uint64_t> inserted_keys_;
+  std::vector<std::uint8_t> inserted_states_;
+  std::vector<std::uint64_t> rank_scratch_;
+  std::vector<std::uint64_t> key_scratch_;
+  std::vector<std::uint8_t> state_scratch_;
 
   // Initialization scratch (batched stationary sampling).  Both vectors
-  // are minority-sized; the O(pairs) rejection bitmap lives on the stack
-  // of sample_initial_states() so a long-lived model does not carry it.
+  // are minority-sized; the subset draw's dedup buffer (bitmap or hash
+  // set, meg/on_set.hpp) is transient, so nothing larger outlives init.
   std::vector<std::uint8_t> init_values_;
   std::vector<std::uint64_t> init_positions_;
   StateId init_majority_ = 0;

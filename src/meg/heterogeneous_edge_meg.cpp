@@ -12,23 +12,58 @@
 
 namespace megflood {
 
-namespace {
-
-inline std::uint64_t unpack_index(std::uint64_t n, std::uint64_t key) noexcept {
-  return pair_index_of(n, pair_key_i(key), pair_key_j(key));
-}
-
-}  // namespace
-
 HeterogeneousEdgeMEG::HeterogeneousEdgeMEG(std::size_t num_nodes,
                                            EdgeRateSampler sampler,
                                            std::uint64_t seed)
+    : HeterogeneousEdgeMEG(num_nodes, std::move(sampler), seed,
+                           MegStorage::kDense, RateBounds{}) {}
+
+std::uint64_t HeterogeneousEdgeMEG::dense_footprint_bytes(
+    std::size_t num_nodes) noexcept {
+  // Per pair: (p, q) rates (16 B), class id, on/off byte, bucket key (8 B).
+  return pair_count(num_nodes) * 26;
+}
+
+HeterogeneousEdgeMEG::HeterogeneousEdgeMEG(std::size_t num_nodes,
+                                           EdgeRateSampler sampler,
+                                           std::uint64_t seed,
+                                           MegStorage storage,
+                                           const RateBounds& bounds)
     : n_(num_nodes), rng_(seed) {
   if (num_nodes < 2) {
     throw std::invalid_argument("HeterogeneousEdgeMEG: need at least 2 nodes");
   }
   if (!sampler) {
     throw std::invalid_argument("HeterogeneousEdgeMEG: null sampler");
+  }
+  sparse_ = storage == MegStorage::kSparse ||
+            (storage == MegStorage::kAuto &&
+             meg_auto_prefers_sparse(dense_footprint_bytes(n_)));
+  if (sparse_) {
+    // The thinning envelopes and Theorem-1 inputs must be sound before a
+    // single rate is drawn; derive_rates() cross-checks every draw
+    // against them.
+    if (!(bounds.max_birth > 0.0 && bounds.max_birth <= 1.0 &&
+          bounds.max_death > 0.0 && bounds.max_death <= 1.0)) {
+      throw std::invalid_argument(
+          "HeterogeneousEdgeMEG: sparse storage needs rate envelopes "
+          "(RateBounds::max_birth / max_death) in (0, 1]");
+    }
+    if (!(bounds.min_alpha > 0.0 && bounds.min_alpha <= bounds.max_alpha &&
+          bounds.max_alpha < 1.0)) {
+      throw std::invalid_argument(
+          "HeterogeneousEdgeMEG: sparse storage needs alpha bounds with "
+          "0 < min_alpha <= max_alpha < 1");
+    }
+    bounds_ = bounds;
+    sampler_ = std::move(sampler);
+    rate_seed_ = seed ^ 0x5bf03635d1f4bb21ULL;
+    min_alpha_ = bounds_.min_alpha;
+    max_alpha_ = bounds_.max_alpha;
+    max_mixing_ = bounds_.max_mixing;
+    snapshot_.reset(n_);
+    initialize_sparse();
+    return;
   }
   const std::size_t pairs = pair_count(n_);
   rates_.reserve(pairs);
@@ -91,11 +126,37 @@ std::size_t HeterogeneousEdgeMEG::pair_index(NodeId i, NodeId j) const {
   return pair_index_of(n_, i, j);
 }
 
+TwoStateParams HeterogeneousEdgeMEG::derive_rates(
+    std::uint64_t pair_idx) const {
+  // The pair's stream seed is the pair_idx-th entry of
+  // derive_seeds(rate_seed_, pairs), computed in O(1): SplitMix64's k-th
+  // output is finalize(master + (k + 1) * gamma), so seeding at
+  // master + k * gamma and taking one next() lands exactly there.
+  SplitMix64 sm(rate_seed_ + pair_idx * 0x9e3779b97f4a7c15ULL);
+  Rng pair_rng(sm.next());
+  const TwoStateParams r = sampler_(pair_rng);
+  const double alpha = r.birth_rate / (r.birth_rate + r.death_rate);
+  constexpr double kSlack = 1.0 + 1e-9;  // fp slack on analytic bounds
+  if (!(r.birth_rate >= 0.0 && r.death_rate >= 0.0 &&
+        r.birth_rate + r.death_rate > 0.0 &&
+        r.birth_rate <= bounds_.max_birth * kSlack &&
+        r.death_rate <= bounds_.max_death * kSlack &&
+        alpha <= bounds_.max_alpha * kSlack &&
+        alpha * kSlack >= bounds_.min_alpha)) {
+    throw std::logic_error(
+        "HeterogeneousEdgeMEG: sampled rates violate the declared "
+        "RateBounds — the sparse engine's superposition thinning would "
+        "be biased");
+  }
+  return r;
+}
+
 TwoStateParams HeterogeneousEdgeMEG::edge_rates(NodeId i, NodeId j) const {
   if (i == j || i >= n_ || j >= n_) {
     throw std::out_of_range("edge_rates: bad pair");
   }
   if (i > j) std::swap(i, j);
+  if (sparse_) return derive_rates(pair_index(i, j));
   return rates_[pair_index(i, j)];
 }
 
@@ -104,10 +165,38 @@ bool HeterogeneousEdgeMEG::edge_on(NodeId i, NodeId j) const {
     throw std::out_of_range("edge_on: bad pair");
   }
   if (i > j) std::swap(i, j);
+  if (sparse_) {
+    return std::binary_search(on_keys_.begin(), on_keys_.end(),
+                              pack_pair(i, j));
+  }
   return on_[pair_index(i, j)] != 0;
 }
 
+void HeterogeneousEdgeMEG::initialize_sparse() {
+  // Stationary start over the implicit population: every pair is on with
+  // its own alpha_e = p_e / (p_e + q_e).  Binomial(pairs, max_alpha)
+  // candidate slots, uniformly placed, each thinned by
+  // alpha_e / max_alpha — by superposition exactly iid Bernoulli(alpha_e)
+  // per pair, in O(#on) memory and O(alpha_max * pairs) RNG draws.
+  on_keys_.clear();
+  const std::uint64_t pairs = pair_count(n_);
+  const std::uint64_t candidates = rng_.binomial(pairs, bounds_.max_alpha);
+  sample_distinct_positions(rng_, candidates, pairs, pos_scratch_);
+  for (const std::uint64_t pos : pos_scratch_) {
+    const TwoStateParams r = derive_rates(pos);
+    const double alpha = r.birth_rate / (r.birth_rate + r.death_rate);
+    if (alpha >= bounds_.max_alpha || rng_.bernoulli(alpha / bounds_.max_alpha)) {
+      on_keys_.push_back(pair_key_from_index(n_, pos));  // ascending
+    }
+  }
+  rebuild_snapshot();
+}
+
 void HeterogeneousEdgeMEG::initialize() {
+  if (sparse_) {
+    initialize_sparse();
+    return;
+  }
   for (auto& cls : classes_) {
     cls.off.clear();
     cls.on.clear();
@@ -139,6 +228,47 @@ void HeterogeneousEdgeMEG::rebuild_snapshot() {
 }
 
 void HeterogeneousEdgeMEG::step() {
+  if (sparse_) {
+    step_sparse();
+  } else {
+    step_dense();
+  }
+  rebuild_snapshot();
+  advance_clock();
+}
+
+void HeterogeneousEdgeMEG::step_sparse() {
+  // One envelope class over the whole (mostly implicit) population.
+  // Deaths: geometric-skip the on-set at max_death, thin by
+  // q_e / max_death.  Births: Binomial draw over the implicit off
+  // population (complement of the on-set) at max_birth, thinned by
+  // p_e / max_birth.  Both exact by superposition, both against the
+  // pre-step on-set, so no edge flips twice in a step.
+  died_.clear();
+  born_.clear();
+  geometric_select(rng_, on_keys_.size(), bounds_.max_death,
+                   [&](std::uint64_t pos) {
+                     const std::uint64_t key = on_keys_[pos];
+                     const TwoStateParams r =
+                         derive_rates(pair_index_from_key(n_, key));
+                     if (r.death_rate >= bounds_.max_death ||
+                         rng_.bernoulli(r.death_rate / bounds_.max_death)) {
+                       died_.push_back(key);
+                     }
+                   });
+  bernoulli_complement_select(
+      rng_, n_, on_keys_, bounds_.max_birth, rank_scratch_,
+      [&](std::uint64_t key) {
+        const TwoStateParams r = derive_rates(pair_index_from_key(n_, key));
+        if (r.birth_rate >= bounds_.max_birth ||
+            rng_.bernoulli(r.birth_rate / bounds_.max_birth)) {
+          born_.push_back(key);
+        }
+      });
+  apply_on_set_delta(on_keys_, died_, born_, merged_);
+}
+
+void HeterogeneousEdgeMEG::step_dense() {
   // Phase 1 (consumes RNG): per class, geometric-skip over the on-bucket
   // with the envelope death rate and the off-bucket with the envelope
   // birth rate.  Inexact (envelope) classes thin each candidate with an
@@ -152,7 +282,7 @@ void HeterogeneousEdgeMEG::step() {
     geometric_select(rng_, cls.on.size(), cls.env_death,
                      [&](std::uint64_t pos) {
                        if (!cls.exact) {
-                         const auto& r = rates_[unpack_index(n_, cls.on[pos])];
+                         const auto& r = rates_[pair_index_from_key(n_, cls.on[pos])];
                          if (!rng_.bernoulli(r.death_rate / cls.env_death)) {
                            return;
                          }
@@ -162,7 +292,7 @@ void HeterogeneousEdgeMEG::step() {
     geometric_select(rng_, cls.off.size(), cls.env_birth,
                      [&](std::uint64_t pos) {
                        if (!cls.exact) {
-                         const auto& r = rates_[unpack_index(n_, cls.off[pos])];
+                         const auto& r = rates_[pair_index_from_key(n_, cls.off[pos])];
                          if (!rng_.bernoulli(r.birth_rate / cls.env_birth)) {
                            return;
                          }
@@ -184,7 +314,7 @@ void HeterogeneousEdgeMEG::step() {
     cls.on[it->pos] = cls.on.back();
     cls.on.pop_back();
     cls.off.push_back(key);
-    on_[unpack_index(n_, key)] = 0;
+    on_[pair_index_from_key(n_, key)] = 0;
     died_.push_back(key);
   }
   for (auto it = births_.rbegin(); it != births_.rend(); ++it) {
@@ -193,13 +323,11 @@ void HeterogeneousEdgeMEG::step() {
     cls.off[it->pos] = cls.off.back();
     cls.off.pop_back();
     cls.on.push_back(key);
-    on_[unpack_index(n_, key)] = 1;
+    on_[pair_index_from_key(n_, key)] = 1;
     born_.push_back(key);
   }
 
   apply_on_set_delta(on_keys_, died_, born_, merged_);
-  rebuild_snapshot();
-  advance_clock();
 }
 
 void HeterogeneousEdgeMEG::reset(std::uint64_t seed) {
@@ -239,6 +367,53 @@ EdgeRateSampler two_speed_rates(TwoStateParams base, double slow_fraction,
     }
     return base;
   };
+}
+
+RateBounds uniform_alpha_bounds(double speed_lo, double speed_hi,
+                                double alpha_lo, double alpha_hi) {
+  if (!(0.0 < speed_lo && speed_lo <= speed_hi && speed_hi <= 1.0)) {
+    throw std::invalid_argument("uniform_alpha_bounds: bad speed range");
+  }
+  if (!(0.0 < alpha_lo && alpha_lo <= alpha_hi && alpha_hi < 1.0)) {
+    throw std::invalid_argument("uniform_alpha_bounds: bad alpha range");
+  }
+  RateBounds b;
+  // p = alpha * lambda and q = (1 - alpha) * lambda over the rectangle
+  // [alpha_lo, alpha_hi] x [speed_lo, speed_hi].
+  b.max_birth = alpha_hi * speed_hi;
+  b.max_death = (1.0 - alpha_lo) * speed_hi;
+  b.min_alpha = alpha_lo;
+  b.max_alpha = alpha_hi;
+  // tv_after(t) = |1 - lambda|^t * max(alpha, 1 - alpha): maximized at
+  // the slowest speed and an alpha endpoint, so the corner scan is exact.
+  for (const double alpha : {alpha_lo, alpha_hi}) {
+    const TwoStateChain corner(
+        TwoStateParams{alpha * speed_lo, (1.0 - alpha) * speed_lo});
+    b.max_mixing = std::max(b.max_mixing, corner.mixing_time());
+  }
+  return b;
+}
+
+RateBounds two_speed_bounds(TwoStateParams base, double slow_fraction,
+                            double slow_factor) {
+  if (slow_fraction < 0.0 || slow_fraction > 1.0) {
+    throw std::invalid_argument("two_speed_bounds: bad fraction");
+  }
+  if (slow_factor <= 0.0 || slow_factor > 1.0) {
+    throw std::invalid_argument("two_speed_bounds: factor must be in (0,1]");
+  }
+  const TwoStateChain fast(base);
+  RateBounds b;
+  b.max_birth = base.birth_rate;  // the slow class only scales down
+  b.max_death = base.death_rate;
+  b.min_alpha = b.max_alpha = fast.stationary_on();  // scale-invariant
+  b.max_mixing = fast.mixing_time();
+  if (slow_fraction > 0.0) {
+    const TwoStateChain slow(TwoStateParams{base.birth_rate * slow_factor,
+                                            base.death_rate * slow_factor});
+    b.max_mixing = std::max(b.max_mixing, slow.mixing_time());
+  }
+  return b;
 }
 
 }  // namespace megflood

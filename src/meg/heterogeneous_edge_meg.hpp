@@ -19,6 +19,23 @@
 // envelope is the maximum rate and candidates are thinned by an
 // acceptance draw p_e / p_max (exact by superposition), which keeps the
 // step output-sensitive as long as max/mean rates are comparable.
+//
+// Storage modes (meg/storage.hpp).  The *dense* engine above stores the
+// per-pair rates, rate-class ids and on/off bytes — O(n^2) memory, the
+// reference implementation.  The *sparse* engine stores only the sorted
+// on-set: per-pair rates are re-derived on demand from a counter-based
+// per-pair RNG (each pair's stream seed is the pair-index entry of the
+// construction seed's SplitMix64 stream, so rates stay a pure function
+// of the seed without materializing them), and both initialization and
+// the birth scan run as batched Binomial draws over the implicit off
+// population thinned by rate_e / envelope (exact by superposition, see
+// meg/on_set.hpp).  The caller supplies the law's analytic envelopes and
+// Theorem-1 inputs as a RateBounds (the ready-made *_bounds factories
+// below compute them); memory is O(#on), so the paper's sparse regimes
+// run at n >= 32768.  Sparse assigns per-pair rates from the same iid
+// law through a different stream, so sparse-vs-dense equivalence is
+// distributional (tests/test_sparse_storage.cpp); dense behavior is
+// unchanged bit-for-bit.
 
 #include <cstdint>
 #include <functional>
@@ -26,6 +43,7 @@
 
 #include "core/dynamic_graph.hpp"
 #include "markov/two_state.hpp"
+#include "meg/storage.hpp"
 #include "util/rng.hpp"
 
 namespace megflood {
@@ -34,10 +52,31 @@ namespace megflood {
 // a dedicated RNG (so the assignment is a pure function of the seed).
 using EdgeRateSampler = std::function<TwoStateParams(Rng&)>;
 
+// Analytic description of a rate law's support, required by the sparse
+// engine: hard envelopes for the superposition thinning (every drawn rate
+// must satisfy birth <= max_birth, death <= max_death — violations are a
+// logic error and throw) and the law-level Theorem-1 inputs that the
+// dense engine computes from the realized draws.
+struct RateBounds {
+  double max_birth = 0.0;
+  double max_death = 0.0;
+  double min_alpha = 0.0;   // inf over the law's support of p/(p+q)
+  double max_alpha = 0.0;   // sup over the law's support of p/(p+q)
+  std::size_t max_mixing = 0;  // sup of T_mix over the support
+};
+
 class HeterogeneousEdgeMEG final : public DynamicGraph {
  public:
+  // Dense storage (the historical ctor, unchanged behavior).
   HeterogeneousEdgeMEG(std::size_t num_nodes, EdgeRateSampler sampler,
                        std::uint64_t seed);
+
+  // Storage-selecting ctor.  kDense ignores `bounds` beyond validation
+  // and matches the 3-arg ctor bit-for-bit; kSparse requires sound
+  // bounds; kAuto goes sparse above the memory threshold.
+  HeterogeneousEdgeMEG(std::size_t num_nodes, EdgeRateSampler sampler,
+                       std::uint64_t seed, MegStorage storage,
+                       const RateBounds& bounds);
 
   std::size_t num_nodes() const override { return n_; }
   const Snapshot& snapshot() const override { return snapshot_; }
@@ -46,22 +85,38 @@ class HeterogeneousEdgeMEG final : public DynamicGraph {
   // rates themselves are part of the model identity and stay fixed.
   void reset(std::uint64_t seed) override;
 
-  // Theorem-1 inputs for this instance.
+  // Theorem-1 inputs for this instance.  Dense: extremes over the
+  // realized per-pair draws.  Sparse: the law-level bounds supplied at
+  // construction (a sup over the support, hence conservative).
   double min_alpha() const noexcept { return min_alpha_; }
   double max_alpha() const noexcept { return max_alpha_; }
   std::size_t max_mixing_time() const noexcept { return max_mixing_; }
 
+  // The resolved storage mode (never kAuto).
+  MegStorage storage() const noexcept {
+    return sparse_ ? MegStorage::kSparse : MegStorage::kDense;
+  }
+
+  // Dense-mode footprint: rates (16 B) + class id + on byte + one bucket
+  // key (8 B) per pair.  What kAuto weighs against the threshold.
+  static std::uint64_t dense_footprint_bytes(std::size_t num_nodes) noexcept;
+
+  // O(1) dense; sparse re-derives from the pair's counter-based stream.
   TwoStateParams edge_rates(NodeId i, NodeId j) const;
 
-  // Current on/off state of pair {i, j} (i != j); O(1).  The equivalence
-  // suite uses this to cross-check the incrementally maintained snapshot
-  // against a brute-force recomputation.
+  // Current on/off state of pair {i, j} (i != j); O(1) dense,
+  // O(log #on) sparse.  The equivalence suite uses this to cross-check
+  // the incrementally maintained snapshot against a brute-force
+  // recomputation.
   bool edge_on(NodeId i, NodeId j) const;
 
   // Number of rate classes the skip engine uses: the count of distinct
   // (p, q) pairs, or 1 when that count exceeds kMaxExactClasses and the
-  // engine falls back to one envelope-thinned class.
-  std::size_t num_rate_classes() const noexcept { return classes_.size(); }
+  // engine falls back to one envelope-thinned class.  Sparse mode always
+  // runs the single envelope-thinned class.
+  std::size_t num_rate_classes() const noexcept {
+    return sparse_ ? 1 : classes_.size();
+  }
 
   static constexpr std::size_t kMaxExactClasses = 64;
 
@@ -76,17 +131,29 @@ class HeterogeneousEdgeMEG final : public DynamicGraph {
 
   std::size_t pair_index(NodeId i, NodeId j) const;
   void initialize();
+  void initialize_sparse();
+  void step_dense();
+  void step_sparse();
   void rebuild_snapshot();
+  // Sparse: the pair's rates, re-derived from its counter-based stream
+  // (pure function of the construction seed and the pair index).
+  TwoStateParams derive_rates(std::uint64_t pair_idx) const;
 
   std::size_t n_;
   Rng rng_;
-  std::vector<TwoStateParams> rates_;   // row-major upper triangle
-  std::vector<std::uint8_t> class_of_;  // rate-class id per pair
+  std::vector<TwoStateParams> rates_;   // dense: row-major upper triangle
+  std::vector<std::uint8_t> class_of_;  // dense: rate-class id per pair
   std::vector<RateClass> classes_;
-  std::vector<char> on_;                // per-pair on/off state
+  std::vector<char> on_;                // dense: per-pair on/off state
   double min_alpha_ = 1.0;
   double max_alpha_ = 0.0;
   std::size_t max_mixing_ = 0;
+
+  // Sparse mode: the on-set IS the state; rates are derived on demand.
+  bool sparse_ = false;
+  RateBounds bounds_;
+  EdgeRateSampler sampler_;       // retained for on-demand derivation
+  std::uint64_t rate_seed_ = 0;
 
   // Sorted packed keys of the current edge set.
   std::vector<std::uint64_t> on_keys_;
@@ -101,6 +168,8 @@ class HeterogeneousEdgeMEG final : public DynamicGraph {
   std::vector<std::uint64_t> died_;
   std::vector<std::uint64_t> born_;
   std::vector<std::uint64_t> merged_;
+  std::vector<std::uint64_t> rank_scratch_;  // sparse subset draws
+  std::vector<std::uint64_t> pos_scratch_;
 
   Snapshot snapshot_;
 };
@@ -119,5 +188,12 @@ EdgeRateSampler uniform_alpha_rates(double speed_lo, double speed_hi,
 // `slow_factor`, same alpha): stresses the max-mixing epoch length.
 EdgeRateSampler two_speed_rates(TwoStateParams base, double slow_fraction,
                                 double slow_factor);
+
+// Analytic RateBounds for the ready-made samplers (validated with the
+// same argument checks as the sampler factories), for the sparse engine.
+RateBounds uniform_alpha_bounds(double speed_lo, double speed_hi,
+                                double alpha_lo, double alpha_hi);
+RateBounds two_speed_bounds(TwoStateParams base, double slow_fraction,
+                            double slow_factor);
 
 }  // namespace megflood

@@ -4,10 +4,20 @@
 // keys, see meg/pair_index.hpp) for the geometric-skip edge-MEG engines:
 // per step only the flipped edges are known, and the set is updated with
 // one merge pass instead of an O(n^2) rebuild.
+//
+// Also the shared machinery of the *sparse* storage mode (minority-state
+// maps): batched subset sampling over an implicit complement population
+// and the sorted-merge delta that keeps a minority map (parallel key /
+// state vectors) ordered without ever materializing the majority.
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
+#include <unordered_set>
 #include <vector>
+
+#include "meg/pair_index.hpp"
+#include "util/rng.hpp"
 
 namespace megflood {
 
@@ -36,6 +46,130 @@ inline void apply_on_set_delta(std::vector<std::uint64_t>& on,
   }
   scratch.insert(scratch.end(), b, born.end());
   std::swap(on, scratch);
+}
+
+// Draws a uniform random k-subset of [0, bound) into `out`, sorted
+// ascending, by rejection against the already-drawn set.  The rejection
+// stream depends only on set *membership*, so the dedup structure is a
+// pure space/time choice: a flat bound-sized bitmap when the subset is a
+// meaningful fraction of the range (the dense initializers — one byte
+// per slot beats ~40 B per hash node), a transient hash set when it is
+// vanishingly small (the sparse engines, where an O(bound) buffer is the
+// very allocation being avoided).  Both produce the identical draw
+// sequence, so the sampled subset is bit-for-bit the same either way.
+// Expected < 2 draws per slot while k <= bound / 2.  Precondition:
+// k <= bound.
+inline void sample_distinct_positions(Rng& rng, std::uint64_t k,
+                                      std::uint64_t bound,
+                                      std::vector<std::uint64_t>& out) {
+  assert(k <= bound);
+  out.clear();
+  if (k == 0) return;
+  out.reserve(k);
+  if (k >= bound / 32) {
+    std::vector<std::uint8_t> taken(bound, 0);
+    for (std::uint64_t drawn = 0; drawn < k; ++drawn) {
+      std::uint64_t pos = rng.uniform_int(bound);
+      while (taken[pos]) pos = rng.uniform_int(bound);
+      taken[pos] = 1;
+      out.push_back(pos);
+    }
+  } else {
+    std::unordered_set<std::uint64_t> taken;
+    taken.reserve(static_cast<std::size_t>(2 * k));
+    for (std::uint64_t drawn = 0; drawn < k; ++drawn) {
+      std::uint64_t pos = rng.uniform_int(bound);
+      while (!taken.insert(pos).second) pos = rng.uniform_int(bound);
+      out.push_back(pos);
+    }
+  }
+  std::sort(out.begin(), out.end());
+}
+
+// Selects an iid Bernoulli(p) subset of the *complement* of `minority`
+// (sorted packed keys) within the n-node pair population and calls
+// visit(key) in ascending key order.  The implicit-majority sampling
+// primitive of the sparse engines: a Binomial(count, p) size plus a
+// uniform distinct placement is exactly an iid per-pair selection, so the
+// law matches geometric-skipping a dense majority bucket — without ever
+// materializing it.  `rank_scratch` is reused capacity.
+//
+// The rank -> pair-index translation is a single two-pointer merge: the
+// r-th complement element is r + j where j counts the minority entries
+// below it (minority keys sort like linear pair indices, so the walk is
+// one pass over the map).
+template <typename Visit>
+inline void bernoulli_complement_select(Rng& rng, std::uint64_t n,
+                                        const std::vector<std::uint64_t>& minority,
+                                        double p,
+                                        std::vector<std::uint64_t>& rank_scratch,
+                                        Visit&& visit) {
+  const std::uint64_t total = pair_count(n);
+  assert(minority.size() <= total);
+  const std::uint64_t count = total - minority.size();
+  if (count == 0 || p <= 0.0) return;
+  const std::uint64_t k = rng.binomial(count, p);
+  if (k == 0) return;
+  sample_distinct_positions(rng, k, count, rank_scratch);
+  std::size_t j = 0;
+  std::uint64_t next_minority_index =
+      j < minority.size() ? pair_index_from_key(n, minority[j]) : 0;
+  for (const std::uint64_t rank : rank_scratch) {
+    while (j < minority.size() && next_minority_index <= rank + j) {
+      ++j;
+      if (j < minority.size()) {
+        next_minority_index = pair_index_from_key(n, minority[j]);
+      }
+    }
+    visit(pair_key_from_index(n, rank + j));
+  }
+}
+
+// Applies one step's delta to a minority map (sorted `keys` with a
+// parallel `states` vector): drops the entries at `removed_positions`
+// (sorted, positions into the pre-delta map) and merges in the new
+// `inserted_keys` / `inserted_states` (sorted by key, disjoint from the
+// surviving keys).  In-place state changes are the caller's business (a
+// state overwrite does not move an entry).  One linear pass, reused
+// scratch capacity — the minority-map analogue of apply_on_set_delta.
+inline void apply_minority_delta(std::vector<std::uint64_t>& keys,
+                                 std::vector<std::uint8_t>& states,
+                                 const std::vector<std::uint64_t>& removed_positions,
+                                 const std::vector<std::uint64_t>& inserted_keys,
+                                 const std::vector<std::uint8_t>& inserted_states,
+                                 std::vector<std::uint64_t>& key_scratch,
+                                 std::vector<std::uint8_t>& state_scratch) {
+  assert(inserted_keys.size() == inserted_states.size());
+  if (removed_positions.empty() && inserted_keys.empty()) return;
+  key_scratch.clear();
+  state_scratch.clear();
+  const std::size_t final_size =
+      keys.size() - removed_positions.size() + inserted_keys.size();
+  key_scratch.reserve(final_size);
+  state_scratch.reserve(final_size);
+  std::size_t r = 0;
+  std::size_t ins = 0;
+  for (std::size_t pos = 0; pos < keys.size(); ++pos) {
+    if (r < removed_positions.size() && removed_positions[r] == pos) {
+      ++r;
+      continue;
+    }
+    const std::uint64_t key = keys[pos];
+    while (ins < inserted_keys.size() && inserted_keys[ins] < key) {
+      key_scratch.push_back(inserted_keys[ins]);
+      state_scratch.push_back(inserted_states[ins]);
+      ++ins;
+    }
+    key_scratch.push_back(key);
+    state_scratch.push_back(states[pos]);
+  }
+  for (; ins < inserted_keys.size(); ++ins) {
+    key_scratch.push_back(inserted_keys[ins]);
+    state_scratch.push_back(inserted_states[ins]);
+  }
+  assert(key_scratch.size() == final_size);
+  std::swap(keys, key_scratch);
+  std::swap(states, state_scratch);
 }
 
 }  // namespace megflood

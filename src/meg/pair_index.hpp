@@ -79,4 +79,20 @@ inline std::pair<std::uint32_t, std::uint32_t> pair_from_index(
   return {static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j)};
 }
 
+// Converters between the two interchangeable pair representations.  Both
+// orders agree (keys sort like indices), so any sorted vector can hold
+// either; the packed key is the storage format of the on-sets and
+// minority maps, the linear index the sampling format of the implicit
+// (complement) populations.
+inline std::uint64_t pair_key_from_index(std::uint64_t n,
+                                         std::uint64_t index) noexcept {
+  const auto [i, j] = pair_from_index(n, index);
+  return pack_pair(i, j);
+}
+
+inline std::uint64_t pair_index_from_key(std::uint64_t n,
+                                         std::uint64_t key) noexcept {
+  return pair_index_of(n, pair_key_i(key), pair_key_j(key));
+}
+
 }  // namespace megflood

@@ -1,0 +1,50 @@
+#pragma once
+
+// Storage-mode selection for the edge-MEG family.  The dense engines
+// materialize per-pair state (one state byte plus one bucket key per
+// pair), which caps them near n = 4096 on commodity memory; the sparse
+// engines keep only the minority-state map plus the on-set and represent
+// the stationary-mode majority implicitly, so memory is
+// O(#minority + #on) and the paper's sparse regimes run at n >= 32768.
+//
+// kAuto picks sparse exactly when the dense footprint would cross
+// kMegSparseAutoThresholdBytes *and* the model qualifies for the sparse
+// representation (a dominant stationary state whose chi maps to "off" —
+// see each engine); dense stays the reference implementation and the
+// default below the threshold, so small-n behavior (including RNG
+// streams) is unchanged.
+
+#include <cstdint>
+
+namespace megflood {
+
+enum class MegStorage {
+  kDense,   // per-pair arrays (the historical reference engine)
+  kSparse,  // minority-state map + implicit majority population
+  kAuto,    // sparse above the memory threshold when the model qualifies
+};
+
+// Dense-footprint threshold for kAuto: 256 MiB keeps every historical
+// call site (n <= 4096) on the dense engine bit-for-bit, and flips the
+// general edge-MEG to sparse from n ~ 7700 up.
+inline constexpr std::uint64_t kMegSparseAutoThresholdBytes =
+    std::uint64_t{256} << 20;
+
+inline constexpr bool meg_auto_prefers_sparse(
+    std::uint64_t dense_footprint_bytes) noexcept {
+  return dense_footprint_bytes > kMegSparseAutoThresholdBytes;
+}
+
+inline constexpr const char* meg_storage_name(MegStorage storage) noexcept {
+  switch (storage) {
+    case MegStorage::kDense:
+      return "dense";
+    case MegStorage::kSparse:
+      return "sparse";
+    case MegStorage::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+}  // namespace megflood

@@ -220,6 +220,41 @@ TEST(ScenarioValidation, VariantInapplicableOverridesAreRejected) {
   EXPECT_NO_THROW((void)make_model_factory(spec));
 }
 
+TEST(ScenarioValidation, StorageParameterSelectsAndRejects) {
+  // storage=sparse|dense|auto on the edge-MEG family; bogus values and
+  // sparse on a non-qualifying chain are build-time hard errors.
+  ScenarioSpec spec;
+  spec.model = "general_edge_meg";
+  spec.params["n"] = "24";
+  spec.params["storage"] = "sideways";
+  EXPECT_THROW((void)make_model_factory(spec), std::invalid_argument);
+  // The default bursty link has a quiescent off majority: sparse builds
+  // and runs end to end even at tiny n.
+  spec.params["storage"] = "sparse";
+  spec.trial.trials = 2;
+  spec.trial.seed = 3;
+  spec.trial.max_rounds = 5'000;
+  const ScenarioResult sparse_run = run_scenario(spec);
+  EXPECT_EQ(sparse_run.num_nodes, 24u);
+  // The duty-cycle link's stationary law is uniform: explicit sparse is
+  // rejected at factory-build time, before any trial runs.
+  spec.params["link"] = "duty_cycle";
+  EXPECT_THROW((void)make_model_factory(spec), std::invalid_argument);
+  spec.params["storage"] = "auto";  // auto falls back to dense instead
+  EXPECT_NO_THROW((void)make_model_factory(spec));
+
+  ScenarioSpec het;
+  het.model = "het_edge_meg";
+  het.params["n"] = "24";
+  het.params["storage"] = "sparse";
+  het.trial.trials = 2;
+  het.trial.seed = 3;
+  het.trial.max_rounds = 5'000;
+  EXPECT_EQ(run_scenario(het).num_nodes, 24u);
+  het.params["storage"] = "bogus";
+  EXPECT_THROW((void)make_model_factory(het), std::invalid_argument);
+}
+
 TEST(ScenarioValidation, ProcessSpecsParseAndReject) {
   for (const char* good :
        {"flooding", "gossip", "gossip:push", "gossip:pull", "gossip:pushpull",
