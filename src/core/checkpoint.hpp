@@ -1,0 +1,93 @@
+#pragma once
+
+// Durable campaign progress: a compact append-only binary journal of
+// completed trial outcomes, implementing the CheckpointSink interface of
+// core/trial.hpp.
+//
+// File layout (native-endian, fixed-width little fields; journals are a
+// crash-recovery artifact for one host, not a portable interchange
+// format):
+//
+//   header:  u64 magic "MEGFCKP1" | u32 version | u64 seed | u64 trials
+//            | u64 threads | u32 cli_len | cli bytes
+//   record:  u32 kind (1 = outcome, 2 = error) | u64 trial
+//            | u32 payload_len | payload | u64 FNV-1a(payload)
+//   outcome payload: u8 completed | f64 rounds | f64 spreading
+//            | f64 saturation | u32 n_metrics | { u32 len | name | f64 }*
+//   error payload:   u64 graph_seed | u64 process_seed | u32 len | what
+//
+// The header binds the campaign identity — the canonical scenario CLI
+// (scenario_to_cli), the seed, the trial count and the thread count — so
+// a journal can never silently resume a different experiment.  Doubles
+// are stored as raw bit patterns: a replayed outcome is bit-identical to
+// the outcome the interrupted run computed, which is what makes
+// interrupted-then-resumed campaigns byte-identical to uninterrupted
+// ones.  Every record is flushed to the kernel before the runner counts
+// the trial as done, so a SIGKILL loses at most the in-flight trial; a
+// torn final record (killed mid-write) is detected by the length/checksum
+// frame and truncated away on reopen.
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/trial.hpp"
+
+namespace megflood {
+
+// The campaign identity a journal binds (ISSUE 6: canonical scenario CLI
+// + seed + trials + thread count).
+struct CheckpointKey {
+  std::string scenario_cli;
+  std::uint64_t seed = 0;
+  std::uint64_t trials = 0;
+  std::uint64_t threads = 0;
+};
+
+class CheckpointJournal final : public CheckpointSink {
+ public:
+  // Opens or creates the journal at `path`.  A new (or empty) file gets
+  // the header for `key`; an existing file must carry a matching header
+  // (mismatch = std::invalid_argument — the config-error path) and has
+  // its complete records replayed into memory.  A torn tail is truncated
+  // so the file ends on a record boundary before appends resume.
+  // Throws std::runtime_error on I/O failure.
+  CheckpointJournal(std::string path, const CheckpointKey& key);
+  ~CheckpointJournal() override;
+
+  CheckpointJournal(const CheckpointJournal&) = delete;
+  CheckpointJournal& operator=(const CheckpointJournal&) = delete;
+
+  // CheckpointSink: find() serves the replayed outcomes; record()
+  // appends one framed record and flushes it to the kernel before
+  // returning (record/record_error are serialized internally, safe from
+  // concurrent workers).
+  const TrialOutcome* find(std::size_t trial) const override;
+  void record(std::size_t trial, const TrialOutcome& outcome) override;
+  void record_error(const TrialError& error) override;
+
+  // Outcomes replayed from disk at open (before any new record()).
+  std::size_t replayed_trials() const noexcept { return replayed_; }
+  // Error records found at open — informational only: errored trials are
+  // *retried* on resume, never skipped.
+  const std::vector<TrialError>& replayed_errors() const noexcept {
+    return replayed_errors_;
+  }
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  void append_record(std::uint32_t kind, std::uint64_t trial,
+                     const std::string& payload);
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::mutex mutex_;
+  std::map<std::size_t, TrialOutcome> done_;
+  std::vector<TrialError> replayed_errors_;
+  std::size_t replayed_ = 0;
+};
+
+}  // namespace megflood

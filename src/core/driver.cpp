@@ -1,0 +1,541 @@
+#include "core/driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/scenario.hpp"
+#include "util/fault_injection.hpp"
+#include "util/resource.hpp"
+#include "util/table.hpp"
+
+namespace megflood {
+
+namespace {
+
+std::string fmt(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  return buffer;
+}
+
+// Local equivalents of bench/bench_util.hpp's table helpers: the driver
+// lives in the library and must not depend on the bench tree.
+std::string fmt_rounds(const Measurement& m, double value,
+                       int precision = 1) {
+  return m.all_incomplete() ? "n/a (0 done)" : Table::num(value, precision);
+}
+
+void print_usage(std::ostream& os) {
+  os << "usage: megflood_run --model=<name> [--<param>=<value> ...]\n"
+        "                    [--process=<spec>] [--trials=N] [--seed=S]\n"
+        "                    [--max_rounds=M] [--warmup=W|auto] [--threads=T]\n"
+        "                    [--rotate_sources=0|1] [--format=table|csv|json]\n"
+        "                    [--sweep=key=a:b:step] [--checkpoint=FILE]\n"
+        "                    [--inject=SPEC] [--contain=0|1]\n"
+        "                    [--deadline=SECONDS] [--rss_budget_mb=N]\n"
+        "       megflood_run --list\n"
+        "\n"
+        "process spec: flooding | gossip[:push|pull|pushpull] | kpush[:<k>]\n"
+        "              | radio[:<tau>] | ttl[:<ttl>]\n"
+        "--warmup=auto uses the model's suggested warmup (Theta(L/v) for\n"
+        "the geometric mobility models; models without one fail hard).\n"
+        "--sweep runs one scenario per point key = a, a+step, .., b and\n"
+        "emits one CSV row per point (requires --format=csv; the swept key\n"
+        "must be a declared model parameter — unknown key = hard error).\n"
+        "--checkpoint journals each completed trial; re-running the same\n"
+        "campaign (same scenario CLI, seed, trials, threads) resumes and\n"
+        "reproduces the uninterrupted output byte for byte.\n"
+        "--inject arms deterministic fault sites, e.g.\n"
+        "  throw:trial=K | throw:prob=P | slow:trial=K,ms=M |\n"
+        "  alloc:trial=K,mb=M | kill:after=K   (join sites with '+')\n"
+        "exit codes:   0 ok, 2 invalid scenario/usage, 3 no trial completed\n"
+        "              (sweep: 3 if any point completed no trial),\n"
+        "              4 partial (trial errors, interruption, or an\n"
+        "              uncontained runtime failure)\n";
+}
+
+void print_list(std::ostream& os) {
+  os << "registered models:\n";
+  for (const ScenarioModelInfo& info : scenario_models()) {
+    os << "\n  " << info.name << " — " << info.summary << "\n";
+    for (const ScenarioParam& param : info.params) {
+      char line[256];
+      std::snprintf(line, sizeof(line), "    --%-16s default %-12s %s\n",
+                    param.name.c_str(), param.default_value.c_str(),
+                    param.description.c_str());
+      os << line;
+    }
+  }
+  os << "\nprocesses: flooding | gossip[:push|pull|pushpull] | "
+        "kpush[:<k>] | radio[:<tau>] | ttl[:<ttl>]\n";
+}
+
+// Flat (column, value) row shared by the csv and json emitters; round
+// statistics are empty when no trial completed (all_incomplete), never 0.
+std::vector<std::pair<std::string, std::string>> result_fields(
+    const ScenarioSpec& spec, const ScenarioResult& result) {
+  const Measurement& m = result.measurement;
+  const std::size_t completed = m.rounds.count;
+  std::vector<std::pair<std::string, std::string>> fields = {
+      {"model", spec.model},
+      {"process", spec.process},
+      {"n", std::to_string(result.num_nodes)},
+      {"trials", std::to_string(spec.trial.trials)},
+      {"completed", std::to_string(completed)},
+      {"incomplete", std::to_string(m.incomplete)},
+      {"errors", std::to_string(m.errors.size())},
+  };
+  const auto stat = [&](const std::string& name, double value) {
+    fields.emplace_back(name, m.all_incomplete() ? "" : fmt(value));
+  };
+  stat("rounds_mean", m.rounds.mean);
+  stat("rounds_median", m.rounds.median);
+  stat("rounds_p90", m.rounds.p90);
+  stat("rounds_p99", m.rounds.p99);
+  stat("rounds_max", m.rounds.max);
+  stat("spreading_median", m.spreading_rounds.median);
+  stat("saturation_median", m.saturation_rounds.median);
+  for (const auto& [name, summary] : m.metrics) {
+    stat(name + "_mean", summary.mean);
+    stat(name + "_median", summary.median);
+  }
+  return fields;
+}
+
+// The warning channel collapses to one CSV cell, so individual warnings
+// must stay comma-free (enforced at the sources) and are ';'-joined here.
+std::string join_warnings(const std::vector<std::string>& warnings) {
+  std::string joined;
+  for (const std::string& w : warnings) {
+    joined += (joined.empty() ? "" : "; ") + w;
+  }
+  return joined;
+}
+
+void emit_csv_header(
+    std::ostream& out,
+    const std::vector<std::pair<std::string, std::string>>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    out << fields[i].first << (i + 1 < fields.size() ? "," : "\n");
+  }
+}
+
+void emit_csv_row(
+    std::ostream& out,
+    const std::vector<std::pair<std::string, std::string>>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    out << fields[i].second << (i + 1 < fields.size() ? "," : "\n");
+  }
+}
+
+void emit_csv(std::ostream& out, const ScenarioSpec& spec,
+              const ScenarioResult& result,
+              const std::vector<std::string>& warnings) {
+  auto fields = result_fields(spec, result);
+  fields.emplace_back("warnings", join_warnings(warnings));
+  emit_csv_header(out, fields);
+  emit_csv_row(out, fields);
+}
+
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out + "\"";
+}
+
+void emit_json(std::ostream& out, const ScenarioSpec& spec,
+               const ScenarioResult& result,
+               const std::vector<std::string>& warnings) {
+  const auto fields = result_fields(spec, result);
+  out << "{";
+  bool first = true;
+  for (const auto& [name, value] : fields) {
+    if (!first) out << ", ";
+    first = false;
+    out << json_quote(name) << ": ";
+    const bool numeric = name != "model" && name != "process";
+    if (value.empty()) {
+      out << "null";
+    } else if (numeric) {
+      out << value;
+    } else {
+      out << json_quote(value);
+    }
+  }
+  out << ", \"warnings\": [";
+  for (std::size_t i = 0; i < warnings.size(); ++i) {
+    out << (i ? ", " : "") << json_quote(warnings[i]);
+  }
+  out << "]}\n";
+}
+
+void emit_table(std::ostream& out, const ScenarioSpec& spec,
+                const ScenarioResult& result) {
+  const Measurement& m = result.measurement;
+  out << "scenario: " << scenario_to_cli(spec) << "\n";
+  out << "n = " << result.num_nodes << ", completed " << m.rounds.count << "/"
+      << spec.trial.trials << " trials\n\n";
+  Table table({"statistic", "value"});
+  table.add_row({"rounds mean", fmt_rounds(m, m.rounds.mean)});
+  table.add_row({"rounds median", fmt_rounds(m, m.rounds.median)});
+  table.add_row({"rounds p90", fmt_rounds(m, m.rounds.p90)});
+  table.add_row({"rounds p99", fmt_rounds(m, m.rounds.p99)});
+  table.add_row({"rounds max", fmt_rounds(m, m.rounds.max, 0)});
+  table.add_row(
+      {"spreading median", fmt_rounds(m, m.spreading_rounds.median)});
+  table.add_row(
+      {"saturation median", fmt_rounds(m, m.saturation_rounds.median)});
+  for (const auto& [name, summary] : m.metrics) {
+    table.add_row({name + " median", fmt_rounds(m, summary.median, 0)});
+  }
+  table.print(out);
+  if (m.all_incomplete()) {
+    out << "WARNING: no completed trials — round statistics are not "
+           "meaningful\n";
+  } else if (m.incomplete > 0) {
+    out << "WARNING: " << m.incomplete << " incomplete trials\n";
+  }
+}
+
+double parse_sweep_number(const std::string& what, const std::string& text) {
+  std::size_t pos = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  if (pos != text.size() || !std::isfinite(parsed)) {
+    throw std::invalid_argument("sweep " + what + ": '" + text +
+                                "' is not a finite number");
+  }
+  return parsed;
+}
+
+// Sweep values print like CLI literals: integral points stay integral
+// (an n sweep must produce "128", not "128.0", to round-trip through
+// the u64 parameter parser).
+std::string fmt_sweep_value(double v) {
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.0f", v);
+    return buffer;
+  }
+  return fmt(v);
+}
+
+// Per-trial diagnostics shared by every non-table format path; the
+// machine-readable stream on `out` stays clean.
+void report_trouble(std::ostream& err, const ScenarioSpec& spec,
+                    const Measurement& m, const std::string& where) {
+  const std::string at = where.empty() ? "" : " at " + where;
+  if (m.incomplete > 0) {
+    err << "megflood_run: " << m.incomplete << "/" << spec.trial.trials
+        << " trials incomplete" << at << "\n";
+  }
+  for (const TrialError& e : m.errors) {
+    err << "megflood_run: trial " << e.trial << " failed" << at << ": "
+        << e.what << " (graph_seed=" << e.graph_seed
+        << " process_seed=" << e.process_seed << ")\n";
+  }
+  if (m.interrupted) {
+    err << "megflood_run: interrupted" << at << " — " << m.not_run << "/"
+        << spec.trial.trials
+        << " trials never ran (completed trials are recorded)\n";
+  }
+}
+
+// Folds one measurement into the campaign exit code; partial (4)
+// dominates stalled (3).
+int worse_exit(int current, const Measurement& m) {
+  if (!m.errors.empty() || m.interrupted) return kExitPartial;
+  if (m.all_incomplete()) return std::max(current, kExitStalled);
+  return current;
+}
+
+// One scenario run per point, one CSV row per point with the swept value
+// as the first column.  A stalled point must not hide in a green sweep
+// (exit 3); a point with trial errors or an interruption is partial
+// (exit 4).
+int run_sweep(std::ostream& out, std::ostream& err, const ScenarioSpec& base,
+              const SweepSpec& sweep, const MeasureHooks& hooks) {
+  bool header_emitted = false;
+  int code = kExitOk;
+  for (std::size_t i = 0;; ++i) {
+    const double value = sweep.lo + static_cast<double>(i) * sweep.step;
+    // Slack on the inclusive upper bound so accumulated fp error cannot
+    // drop the final point of e.g. 0.03:0.06:0.03.
+    if (value > sweep.hi + sweep.step * 1e-9) break;
+    if (hooks.cancel && hooks.cancel->load(std::memory_order_relaxed)) {
+      err << "megflood_run: interrupted — sweep stopped before " << sweep.key
+          << "=" << fmt_sweep_value(value) << "\n";
+      return kExitPartial;
+    }
+    ScenarioSpec spec = base;
+    spec.params[sweep.key] = fmt_sweep_value(value);
+    const ScenarioResult result = run_scenario(spec, hooks);
+    auto fields = result_fields(spec, result);
+    fields.emplace_back("warnings", join_warnings(result.warnings));
+    // Prepend the swept value — unless a result column already carries
+    // the key (sweeping n: the built-in n column holds exactly the swept
+    // value, and a duplicate header name breaks by-name CSV consumers).
+    const bool already_a_column =
+        std::any_of(fields.begin(), fields.end(),
+                    [&](const auto& field) { return field.first == sweep.key; });
+    if (!already_a_column) {
+      fields.insert(fields.begin(), {sweep.key, spec.params[sweep.key]});
+    }
+    if (!header_emitted) {
+      emit_csv_header(out, fields);
+      header_emitted = true;
+    }
+    emit_csv_row(out, fields);
+    code = worse_exit(code, result.measurement);
+    report_trouble(err, spec, result.measurement,
+                   sweep.key + "=" + spec.params[sweep.key]);
+  }
+  return code;
+}
+
+std::uint64_t parse_flag_u64(const std::string& flag,
+                             const std::string& value) {
+  std::size_t pos = 0;
+  unsigned long long parsed = 0;
+  try {
+    parsed = std::stoull(value, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  if (pos != value.size() || value.empty() || value[0] == '-') {
+    throw std::invalid_argument(flag + " must be a non-negative integer, "
+                                "got '" + value + "'");
+  }
+  return parsed;
+}
+
+double parse_flag_seconds(const std::string& flag, const std::string& value) {
+  std::size_t pos = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(value, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  if (pos != value.size() || !std::isfinite(parsed) || parsed < 0.0) {
+    throw std::invalid_argument(flag + " must be a non-negative number of "
+                                "seconds, got '" + value + "'");
+  }
+  return parsed;
+}
+
+bool parse_flag_bool(const std::string& flag, const std::string& value) {
+  if (value == "1" || value == "true") return true;
+  if (value == "0" || value == "false") return false;
+  throw std::invalid_argument(flag + " must be 0|1, got '" + value + "'");
+}
+
+}  // namespace
+
+SweepSpec parse_sweep(const std::string& value) {
+  SweepSpec sweep;
+  const std::size_t eq = value.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    throw std::invalid_argument(
+        "sweep: expected key=a:b:step, got '" + value + "'");
+  }
+  sweep.key = value.substr(0, eq);
+  const std::string range = value.substr(eq + 1);
+  const std::size_t c1 = range.find(':');
+  const std::size_t c2 = c1 == std::string::npos
+                             ? std::string::npos
+                             : range.find(':', c1 + 1);
+  if (c1 == std::string::npos || c2 == std::string::npos ||
+      range.find(':', c2 + 1) != std::string::npos) {
+    throw std::invalid_argument(
+        "sweep: expected key=a:b:step, got '" + value + "'");
+  }
+  sweep.lo = parse_sweep_number("start", range.substr(0, c1));
+  sweep.hi = parse_sweep_number("stop", range.substr(c1 + 1, c2 - c1 - 1));
+  sweep.step = parse_sweep_number("step", range.substr(c2 + 1));
+  if (sweep.step <= 0.0) {
+    throw std::invalid_argument("sweep: step must be > 0");
+  }
+  if (sweep.lo > sweep.hi) {
+    throw std::invalid_argument("sweep: start must be <= stop");
+  }
+  if ((sweep.hi - sweep.lo) / sweep.step > 10000.0) {
+    throw std::invalid_argument("sweep: more than 10000 points");
+  }
+  return sweep;
+}
+
+std::atomic<bool>& driver_cancel_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+int run_driver(const std::vector<std::string>& raw_args, std::ostream& out,
+               std::ostream& err) {
+  std::vector<std::string> args;
+  std::string format = "table";
+  std::string sweep_arg;
+  std::string checkpoint_path;
+  std::string inject_spec;
+  std::string contain_arg = "1";
+  std::string deadline_arg = "0";
+  std::string rss_budget_arg = "0";
+  bool list = false;
+  for (const std::string& arg : raw_args) {
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(out);
+      return kExitOk;
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+    } else if (arg.rfind("--sweep=", 0) == 0) {
+      if (!sweep_arg.empty()) {
+        err << "megflood_run: --sweep given twice\n";
+        return kExitConfigError;
+      }
+      sweep_arg = arg.substr(8);
+    } else if (arg.rfind("--checkpoint=", 0) == 0) {
+      checkpoint_path = arg.substr(13);
+    } else if (arg.rfind("--inject=", 0) == 0) {
+      inject_spec = arg.substr(9);
+    } else if (arg.rfind("--contain=", 0) == 0) {
+      contain_arg = arg.substr(10);
+    } else if (arg.rfind("--deadline=", 0) == 0) {
+      deadline_arg = arg.substr(11);
+    } else if (arg.rfind("--rss_budget_mb=", 0) == 0) {
+      rss_budget_arg = arg.substr(16);
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (list) {
+    print_list(out);
+    return kExitOk;
+  }
+  if (format != "table" && format != "csv" && format != "json") {
+    err << "megflood_run: format must be table|csv|json, got '" << format
+        << "'\n";
+    return kExitConfigError;
+  }
+  if (!sweep_arg.empty() && format != "csv") {
+    err << "megflood_run: --sweep emits one row per point and "
+           "requires --format=csv\n";
+    return kExitConfigError;
+  }
+  if (!sweep_arg.empty() && !checkpoint_path.empty()) {
+    // The journal header binds ONE campaign identity; a sweep is many.
+    err << "megflood_run: --checkpoint and --sweep cannot be combined "
+           "(the journal binds a single campaign)\n";
+    return kExitConfigError;
+  }
+  if (checkpoint_path.empty() && !inject_spec.empty() &&
+      inject_spec.find("kill:") != std::string::npos) {
+    err << "megflood_run: inject site 'kill' needs --checkpoint "
+           "(it fires after durable records)\n";
+    return kExitConfigError;
+  }
+  if (args.empty()) {
+    print_usage(err);
+    return kExitConfigError;
+  }
+
+  try {
+    ScenarioSpec spec = parse_scenario_args(args);
+    spec.trial.contain_errors = parse_flag_bool("contain", contain_arg);
+    spec.trial.trial_deadline_s =
+        parse_flag_seconds("deadline", deadline_arg);
+    const std::uint64_t rss_budget_bytes =
+        parse_flag_u64("rss_budget_mb", rss_budget_arg) << 20;
+
+    FaultPlan plan;
+    if (!inject_spec.empty()) {
+      plan = FaultPlan::parse(inject_spec, spec.trial.seed);
+    }
+    MeasureHooks hooks;
+    hooks.cancel = &driver_cancel_flag();
+    if (!plan.empty()) {
+      hooks.on_trial_start = [&plan](std::size_t trial) {
+        plan.fire_trial_start(trial);
+      };
+      hooks.on_trial_recorded = [&plan](std::size_t trial) {
+        plan.fire_trial_recorded(trial);
+      };
+    }
+
+    if (!sweep_arg.empty()) {
+      const SweepSpec sweep = parse_sweep(sweep_arg);
+      if (spec.params.count(sweep.key)) {
+        err << "megflood_run: --" << sweep.key
+            << " is both fixed and swept\n";
+        return kExitConfigError;
+      }
+      return run_sweep(out, err, spec, sweep, hooks);
+    }
+
+    std::unique_ptr<CheckpointJournal> journal;
+    if (!checkpoint_path.empty()) {
+      // The canonical CLI (driver flags excluded) + seed + trials +
+      // threads is the campaign identity the journal binds.
+      const CheckpointKey key{scenario_to_cli(spec), spec.trial.seed,
+                              spec.trial.trials, spec.trial.threads};
+      journal = std::make_unique<CheckpointJournal>(checkpoint_path, key);
+      hooks.checkpoint = journal.get();
+      if (journal->replayed_trials() > 0) {
+        // stderr only: resumption must not perturb the byte-identical
+        // stdout contract.
+        err << "megflood_run: resumed " << journal->replayed_trials() << "/"
+            << spec.trial.trials << " trials from " << journal->path()
+            << "\n";
+      }
+      for (const TrialError& e : journal->replayed_errors()) {
+        err << "megflood_run: previous run recorded trial " << e.trial
+            << " error (will retry): " << e.what << "\n";
+      }
+    }
+
+    const ScenarioResult result = run_scenario(spec, hooks);
+    std::vector<std::string> warnings = result.warnings;
+    if (const auto rss = check_soft_rss_budget(rss_budget_bytes)) {
+      warnings.push_back(*rss);
+    }
+    if (format == "csv") {
+      emit_csv(out, spec, result, warnings);
+    } else if (format == "json") {
+      emit_json(out, spec, result, warnings);
+    } else {
+      emit_table(out, spec, result);
+    }
+    if (format == "table") {
+      for (const std::string& w : warnings) {
+        err << "megflood_run: warning: " << w << "\n";
+      }
+    }
+    report_trouble(err, spec, result.measurement, "");
+    return worse_exit(kExitOk, result.measurement);
+  } catch (const std::invalid_argument& error) {
+    err << "megflood_run: " << error.what() << "\n";
+    return kExitConfigError;
+  } catch (const std::exception& error) {
+    // Not a configuration problem: the campaign started and died
+    // (uncontained trial error with --contain=0, checkpoint I/O failure).
+    err << "megflood_run: run failed: " << error.what() << "\n";
+    return kExitPartial;
+  }
+}
+
+}  // namespace megflood

@@ -1,0 +1,71 @@
+#pragma once
+
+// The megflood_run CLI body, extracted into the library so its exit codes
+// and emitted bytes are testable in-process (tests/test_driver_cli.cpp)
+// instead of only through a subprocess.  tools/megflood_run.cpp is a thin
+// main that installs SIGINT/SIGTERM handlers over driver_cancel_flag()
+// and forwards argv.
+//
+// Driver flags on top of the scenario grammar (core/scenario.hpp):
+//   --format=table|csv|json   output format (default table)
+//   --sweep=key=a:b:step      one run per point, one CSV row per point
+//   --checkpoint=FILE         durable trial journal; re-running with the
+//                             same campaign resumes (core/checkpoint.hpp)
+//   --inject=SPEC             deterministic fault injection
+//                             (util/fault_injection.hpp grammar)
+//   --contain=0|1             contain per-trial errors as TrialError rows
+//                             (default 1; 0 = first error aborts the run)
+//   --deadline=SECONDS        per-trial watchdog deadline (0 = off)
+//   --rss_budget_mb=N         soft peak-RSS budget -> warning channel
+//
+// None of these driver flags enter the canonical scenario CLI
+// (scenario_to_cli), so the checkpoint header binds the experiment, not
+// the operational wrapping.
+//
+// Exit-code taxonomy (docs/operations.md):
+//   0  every trial ran and at least one completed
+//   2  configuration error: bad flag, unknown model/parameter/process,
+//      malformed --sweep, checkpoint header mismatch, --checkpoint+--sweep
+//   3  stalled: the campaign ran but no trial completed within max_rounds
+//      (sweep: some point completed no trial)
+//   4  partial: contained trial errors, an interrupted (cancelled) run, or
+//      an uncontained runtime failure mid-campaign
+
+#include <atomic>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace megflood {
+
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitConfigError = 2;
+inline constexpr int kExitStalled = 3;
+inline constexpr int kExitPartial = 4;
+
+// --sweep=key=a:b:step, e.g. --sweep=alpha=0.01:0.05:0.01.  Exposed for
+// direct negative-path testing; parse_sweep throws std::invalid_argument
+// on a malformed spec (missing key, non-numeric bounds, step <= 0,
+// reversed bounds, > 10000 points).
+struct SweepSpec {
+  std::string key;
+  double lo = 0.0;
+  double hi = 0.0;
+  double step = 0.0;
+};
+
+SweepSpec parse_sweep(const std::string& value);
+
+// Cooperative cancellation: the runner stops claiming new trials once
+// this flag is true (completed trials are already durable when a
+// checkpoint is armed).  The tool main's signal handlers set it; tests
+// set it directly.
+std::atomic<bool>& driver_cancel_flag();
+
+// Runs the CLI with `args` (argv[1..]); human/machine output goes to
+// `out`, diagnostics and warnings to `err`.  Never throws; returns an
+// exit code from the taxonomy above.
+int run_driver(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err);
+
+}  // namespace megflood

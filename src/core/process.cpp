@@ -32,6 +32,7 @@ ProcessResult SpreadingProcess::run(DynamicGraph& graph, NodeId source,
 
   std::vector<NodeId> newly;
   for (std::uint64_t t = 0; t < max_rounds; ++t) {
+    check_deadline();
     newly.clear();
     process.round(graph.snapshot(), informed, newly, rng);
     for (NodeId v : newly) informed[v] = 1;

@@ -20,9 +20,12 @@
 // All randomness comes from the driver-owned Rng, seeded per trial from
 // derive_seeds — no protocol rolls its own seed arithmetic.
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -40,6 +43,15 @@ using MetricsBag = std::map<std::string, double>;
 struct ProcessResult {
   FloodResult flood;
   MetricsBag metrics;
+};
+
+// Thrown by the cooperative per-trial watchdog (TrialConfig::
+// trial_deadline_s) when a trial's wall clock runs past its deadline.
+// The containing runner (core/trial) converts it into a TrialError
+// record; without containment it propagates like any trial failure.
+class TrialDeadlineExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
 };
 
 class SpreadingProcess {
@@ -74,6 +86,29 @@ class SpreadingProcess {
   // override must produce bit-identical results to the default.
   virtual ProcessResult run(DynamicGraph& graph, NodeId source,
                             std::uint64_t max_rounds, std::uint64_t seed);
+
+  // Cooperative watchdog: the trial runner arms a wall-clock deadline
+  // before run(); the generic round engine checks it once per round and
+  // throws TrialDeadlineExceeded past it.  Whole-kernel overrides (the
+  // flooding word-parallel kernel) need no mid-kernel check — their round
+  // count is hard-bounded by max_rounds and the runner re-checks the
+  // deadline when the trial returns.  Checking the clock never perturbs
+  // results: a trial either finishes identically or becomes an error.
+  using WatchdogClock = std::chrono::steady_clock;
+  void arm_deadline(std::optional<WatchdogClock::time_point> deadline) {
+    deadline_ = deadline;
+  }
+
+ protected:
+  void check_deadline() const {
+    if (deadline_ && WatchdogClock::now() > *deadline_) {
+      throw TrialDeadlineExceeded(
+          "trial exceeded its watchdog deadline (mid-trial check)");
+    }
+  }
+
+ private:
+  std::optional<WatchdogClock::time_point> deadline_;
 };
 
 // Runs `process` from `source` on `graph` starting at the graph's current

@@ -202,12 +202,33 @@ ScenarioModel build_general_edge_meg(const ParamReader& p) {
   // quiescent majority must fail at validation time, not on trial 1
   // (sparse qualification depends only on the chain, not on n).
   (void)GeneralEdgeMEG(2, built.chain, built.chi, 0, storage);
-  return {[n, built, storage](std::uint64_t seed)
-              -> std::unique_ptr<DynamicGraph> {
-            return std::make_unique<GeneralEdgeMEG>(n, built.chain, built.chi,
-                                                    seed, storage);
-          },
-          n};
+  ScenarioModel model{[n, built, storage](std::uint64_t seed)
+                          -> std::unique_ptr<DynamicGraph> {
+                        return std::make_unique<GeneralEdgeMEG>(
+                            n, built.chain, built.chi, seed, storage);
+                      },
+                      n};
+  // Predict what the real-n constructor will resolve to (qualification
+  // depends only on the chain: probe sparse at n = 2) so the decision can
+  // travel the warning channel before trial 1 allocates anything.
+  MegStorage resolved = storage;
+  if (storage == MegStorage::kAuto) {
+    bool qualifies = true;
+    try {
+      (void)GeneralEdgeMEG(2, built.chain, built.chi, 0, MegStorage::kSparse);
+    } catch (const std::exception&) {
+      qualifies = false;
+    }
+    resolved = qualifies && meg_auto_prefers_sparse(
+                                GeneralEdgeMEG::dense_footprint_bytes(n))
+                   ? MegStorage::kSparse
+                   : MegStorage::kDense;
+  }
+  const std::string note =
+      meg_storage_note("general_edge_meg", n, storage, resolved,
+                       GeneralEdgeMEG::dense_footprint_bytes(n));
+  if (!note.empty()) model.warnings.push_back(note);
+  return model;
 }
 
 ScenarioModel build_het_edge_meg(const ParamReader& p) {
@@ -246,12 +267,26 @@ ScenarioModel build_het_edge_meg(const ParamReader& p) {
           ? MegStorage::kSparse
           : storage;
   (void)HeterogeneousEdgeMEG(2, sampler, 0, probe_storage, bounds);
-  return {[n, sampler, storage, bounds](std::uint64_t seed)
-              -> std::unique_ptr<DynamicGraph> {
-            return std::make_unique<HeterogeneousEdgeMEG>(n, sampler, seed,
-                                                          storage, bounds);
-          },
-          n};
+  ScenarioModel model{[n, sampler, storage, bounds](std::uint64_t seed)
+                          -> std::unique_ptr<DynamicGraph> {
+                        return std::make_unique<HeterogeneousEdgeMEG>(
+                            n, sampler, seed, storage, bounds);
+                      },
+                      n};
+  // het_edge_meg sparse qualification is the bounds soundness the probe
+  // above already enforced, so kAuto resolution at the real n is purely
+  // the footprint threshold.
+  const std::uint64_t footprint =
+      HeterogeneousEdgeMEG::dense_footprint_bytes(n);
+  const MegStorage resolved =
+      storage == MegStorage::kAuto
+          ? (meg_auto_prefers_sparse(footprint) ? MegStorage::kSparse
+                                                : MegStorage::kDense)
+          : storage;
+  const std::string note =
+      meg_storage_note("het_edge_meg", n, storage, resolved, footprint);
+  if (!note.empty()) model.warnings.push_back(note);
+  return model;
 }
 
 ScenarioModel build_node_meg(const ParamReader& p) {
@@ -608,6 +643,11 @@ ProcessFactory make_process_factory(const std::string& process_spec) {
 }
 
 ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  return run_scenario(spec, MeasureHooks{});
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec,
+                            const MeasureHooks& hooks) {
   const ScenarioModel model = make_model_factory(spec);
   const ProcessFactory process = make_process_factory(spec.process);
   TrialConfig trial = spec.trial;
@@ -622,7 +662,8 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   }
   ScenarioResult result;
   result.num_nodes = model.num_nodes;
-  result.measurement = measure(model.factory, process, trial);
+  result.warnings = model.warnings;
+  result.measurement = measure(model.factory, process, trial, hooks);
   return result;
 }
 

@@ -79,6 +79,12 @@ struct ScenarioModel {
   GraphFactory factory;
   std::size_t num_nodes = 0;
   std::optional<std::uint64_t> suggested_warmup;
+  // Operator-facing advisories from parameter resolution (e.g. what a
+  // storage=auto request resolved to, or an explicit dense engine whose
+  // footprint crosses the auto threshold).  Warnings never change results
+  // — they surface the decisions graceful degradation made.  No commas in
+  // the text: warnings travel inside one CSV cell.
+  std::vector<std::string> warnings;
 };
 
 // Builds the trial graph factory for spec.model / spec.params.  Throws
@@ -94,11 +100,18 @@ ProcessFactory make_process_factory(const std::string& process_spec);
 struct ScenarioResult {
   Measurement measurement;
   std::size_t num_nodes = 0;
+  // Model-building advisories (ScenarioModel::warnings), passed through
+  // for the driver's warning channel.
+  std::vector<std::string> warnings;
 };
 
 // Validates and runs the scenario end to end: build model factory, build
-// process factory, measure().
+// process factory, measure().  The hooks overload threads checkpointing,
+// cancellation and fault-injection callbacks into measure() (see
+// MeasureHooks); the plain overload is an uninstrumented run.
 ScenarioResult run_scenario(const ScenarioSpec& spec);
+ScenarioResult run_scenario(const ScenarioSpec& spec,
+                            const MeasureHooks& hooks);
 
 // ---------------------------------------------------------------------------
 // CLI round-trip

@@ -14,6 +14,7 @@
 // measure_flooding() is the historical entry point, now a thin wrapper
 // over measure() with a FloodingProcess.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -48,6 +49,81 @@ struct TrialConfig {
   // hardware thread.  measure_reusing shares one graph and always runs
   // sequentially.
   std::size_t threads = 1;
+  // Error containment: when true, a trial that throws (model construction,
+  // the process, a fault-injection site, the watchdog) is recorded as a
+  // TrialError in the measurement instead of aborting the campaign — the
+  // remaining trials still run.  When false (the historical behavior) the
+  // first trial exception propagates out of measure().
+  bool contain_errors = false;
+  // Cooperative per-trial watchdog: a trial whose wall clock (hooks +
+  // model construction + warmup + rounds) exceeds this many seconds is
+  // reported as a TrialError ("watchdog deadline") rather than being
+  // waited on forever.  Checked between warmup batches, once per round in
+  // the generic process engine, and when the trial returns; 0 disables.
+  // A deadline makes *error* outcomes wall-clock dependent — leave it 0
+  // for bit-reproducibility experiments.
+  double trial_deadline_s = 0.0;
+};
+
+// Everything one completed-or-incomplete trial contributes to the
+// measurement; computed independently per trial so workers never share
+// mutable state, and exactly what a CheckpointSink journals.
+struct TrialOutcome {
+  bool completed = false;  // process informed all nodes within max_rounds
+  double rounds = 0.0;
+  double spreading = 0.0;
+  double saturation = 0.0;
+  MetricsBag metrics;
+};
+
+// A contained trial failure: which trial, the seeds it was dealt (enough
+// to replay it in isolation), and the exception text.
+struct TrialError {
+  std::size_t trial = 0;
+  std::uint64_t graph_seed = 0;
+  std::uint64_t process_seed = 0;
+  std::string what;
+};
+
+// Durable-progress interface for measure(): find() returns the journaled
+// outcome of a trial completed by an earlier (interrupted) run, record()
+// appends a trial's outcome durably *before* the runner counts it as
+// done, record_error() journals a contained failure for the post-mortem.
+// Implementations must make record()/record_error() safe to call from
+// concurrent workers; core/checkpoint.hpp provides the file-backed
+// journal, tests use in-memory fakes.
+class CheckpointSink {
+ public:
+  virtual ~CheckpointSink() = default;
+  // Outcome of `trial` if durably recorded, nullptr otherwise.  Only read
+  // before the workers start, so it need not be thread-safe.
+  virtual const TrialOutcome* find(std::size_t trial) const = 0;
+  virtual void record(std::size_t trial, const TrialOutcome& outcome) = 0;
+  virtual void record_error(const TrialError& error) {}
+};
+
+// Optional wiring for measure(): durable checkpointing, cooperative
+// cancellation, and test/fault-injection hooks.  All members are
+// optional; a default-constructed MeasureHooks reproduces plain measure().
+struct MeasureHooks {
+  // Journal of completed trials: trials found in it are replayed (their
+  // recorded outcome is merged bit-for-bit, nothing re-runs), all others
+  // are recorded as they finish.  Because every trial is a pure function
+  // of config.seed and its index and outcomes merge in trial order, an
+  // interrupted-then-resumed campaign is bit-identical to an
+  // uninterrupted one.
+  CheckpointSink* checkpoint = nullptr;
+  // Graceful shutdown: when the pointee becomes true, workers stop
+  // claiming new trials; trials already running finish and are recorded.
+  // The returned measurement has interrupted = true and counts the
+  // never-started trials in not_run.
+  const std::atomic<bool>* cancel = nullptr;
+  // Called at the start of every freshly-run trial (not for checkpoint
+  // replays) and after a trial's outcome is durably recorded.  Both must
+  // be safe to call concurrently; on_trial_start may throw to inject a
+  // trial failure (util/fault_injection.hpp).
+  std::function<void(std::size_t trial)> on_trial_start;
+  std::function<void(std::size_t trial)> on_trial_recorded;
 };
 
 struct Measurement {
@@ -59,6 +135,17 @@ struct Measurement {
   // name the process exports (e.g. gossip "contacts", k-push
   // "transmissions", radio "collisions").
   std::map<std::string, Summary> metrics;
+  // Contained trial failures (TrialConfig::contain_errors), in trial
+  // order.  Errored trials contribute to no Summary — they are neither
+  // completed nor "incomplete" (which means "ran to max_rounds").
+  std::vector<TrialError> errors;
+  // Trials never attempted because cancellation was requested
+  // (MeasureHooks::cancel) before they were claimed.
+  std::size_t not_run = 0;
+  bool interrupted = false;
+  // Trials whose outcome was replayed from the checkpoint journal
+  // instead of re-run.
+  std::size_t resumed = 0;
   // True when not a single trial completed within max_rounds.  Every
   // Summary above is then over zero samples — all fields read 0.0 — and
   // must not be mistaken for "completion takes 0 rounds"; harness output
@@ -79,9 +166,12 @@ using ProcessFactory = std::function<std::unique_ptr<SpreadingProcess>()>;
 // both factories are called once per trial (concurrently when
 // config.threads != 1).  Trial t's graph seed and process-RNG seed are
 // derived from config.seed via two decorrelated derive_seeds streams.
+// `hooks` wires in checkpointing, cancellation and fault injection (see
+// MeasureHooks); the default is a plain uninstrumented run.
 Measurement measure(const GraphFactory& graph_factory,
                     const ProcessFactory& process_factory,
-                    const TrialConfig& config);
+                    const TrialConfig& config,
+                    const MeasureHooks& hooks = {});
 
 // Same but reusing one graph instance via reset() — cheaper when model
 // construction is expensive (e.g. precomputed hop balls).  Always

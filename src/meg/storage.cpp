@@ -1,0 +1,34 @@
+#include "meg/storage.hpp"
+
+namespace megflood {
+
+std::string meg_storage_note(const char* model, std::size_t num_nodes,
+                             MegStorage requested, MegStorage resolved,
+                             std::uint64_t dense_footprint_bytes) {
+  const std::string prefix =
+      std::string(model) + " n=" + std::to_string(num_nodes) + ": ";
+  if (requested == MegStorage::kAuto && resolved == MegStorage::kSparse) {
+    return prefix + "storage=auto resolved to sparse (dense footprint " +
+           format_bytes(dense_footprint_bytes) + " exceeds the " +
+           format_bytes(kMegSparseAutoThresholdBytes) + " threshold)";
+  }
+  if (meg_auto_prefers_sparse(dense_footprint_bytes)) {
+    if (requested == MegStorage::kAuto) {
+      // kAuto stayed dense above the threshold only because the model does
+      // not qualify for the sparse representation.
+      return prefix + "storage=auto stayed dense (model does not qualify " +
+             "for sparse storage); expect ~" +
+             format_bytes(dense_footprint_bytes) + " resident per trial";
+    }
+    if (requested == MegStorage::kDense) {
+      return prefix + "explicit storage=dense needs ~" +
+             format_bytes(dense_footprint_bytes) +
+             " resident per trial (above the " +
+             format_bytes(kMegSparseAutoThresholdBytes) +
+             " auto threshold); consider storage=auto";
+    }
+  }
+  return {};
+}
+
+}  // namespace megflood

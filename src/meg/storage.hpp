@@ -15,6 +15,9 @@
 // streams) is unchanged.
 
 #include <cstdint>
+#include <string>
+
+#include "util/resource.hpp"
 
 namespace megflood {
 
@@ -34,6 +37,16 @@ inline constexpr bool meg_auto_prefers_sparse(
     std::uint64_t dense_footprint_bytes) noexcept {
   return dense_footprint_bytes > kMegSparseAutoThresholdBytes;
 }
+
+// Operator-facing note about a storage decision, for the runner's warning
+// channel: says what kAuto resolved to when the choice is consequential,
+// and flags an explicit or forced dense engine whose footprint is above
+// the auto threshold.  Empty string = nothing worth surfacing (the common
+// small-n case).  No commas in the text — notes travel inside one CSV
+// cell.
+std::string meg_storage_note(const char* model, std::size_t num_nodes,
+                             MegStorage requested, MegStorage resolved,
+                             std::uint64_t dense_footprint_bytes);
 
 inline constexpr const char* meg_storage_name(MegStorage storage) noexcept {
   switch (storage) {

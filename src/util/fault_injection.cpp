@@ -1,0 +1,227 @@
+#include "util/fault_injection.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#else
+#include <cstdlib>
+#endif
+
+#include "util/rng.hpp"
+
+namespace megflood {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::invalid_argument("inject: " + message);
+}
+
+std::uint64_t parse_count(const std::string& key, const std::string& value) {
+  std::size_t pos = 0;
+  unsigned long long parsed = 0;
+  try {
+    parsed = std::stoull(value, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  if (pos != value.size() || value.empty() || value[0] == '-') {
+    fail(key + ": '" + value + "' is not a non-negative integer");
+  }
+  return parsed;
+}
+
+double parse_probability(const std::string& value) {
+  std::size_t pos = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(value, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  if (pos != value.size() || !std::isfinite(parsed) || parsed < 0.0 ||
+      parsed > 1.0) {
+    fail("prob: '" + value + "' is not a probability in [0,1]");
+  }
+  return parsed;
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t end = text.find(sep, start);
+    parts.push_back(text.substr(start, end - start));
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return parts;
+}
+
+// Deterministic uniform in [0,1) keyed by (seed, trial): the same pair
+// maps to the same draw on every run, so prob sites are replayable.
+double keyed_uniform(std::uint64_t seed, std::size_t trial) {
+  SplitMix64 mix(seed ^ (static_cast<std::uint64_t>(trial) *
+                         0x9e3779b97f4a7c15ULL));
+  return static_cast<double>(mix.next() >> 11) * 0x1.0p-53;
+}
+
+FaultSite parse_site(const std::string& text) {
+  const std::size_t colon = text.find(':');
+  const std::string name = text.substr(0, colon);
+  FaultSite site;
+  bool saw_trial = false, saw_prob = false, saw_ms = false, saw_mb = false,
+       saw_after = false;
+  if (colon != std::string::npos) {
+    for (const std::string& kv : split(text.substr(colon + 1), ',')) {
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        fail("expected key=value, got '" + kv + "' in site '" + text + "'");
+      }
+      const std::string key = kv.substr(0, eq);
+      const std::string value = kv.substr(eq + 1);
+      if (key == "trial") {
+        site.trial = static_cast<std::size_t>(parse_count(key, value));
+        saw_trial = true;
+      } else if (key == "prob") {
+        site.probability = parse_probability(value);
+        saw_prob = true;
+      } else if (key == "ms") {
+        site.sleep_ms = parse_count(key, value);
+        saw_ms = true;
+      } else if (key == "mb") {
+        site.alloc_mb = parse_count(key, value);
+        saw_mb = true;
+      } else if (key == "after") {
+        site.after_records = static_cast<std::size_t>(parse_count(key, value));
+        saw_after = true;
+      } else {
+        fail("unknown key '" + key + "' in site '" + text + "'");
+      }
+    }
+  }
+  const auto require = [&](bool seen, const char* key) {
+    if (!seen) fail("site '" + name + "' requires " + std::string(key));
+  };
+  const auto forbid = [&](bool seen, const char* key) {
+    if (seen) {
+      fail("site '" + name + "' does not take " + std::string(key));
+    }
+  };
+  if (name == "throw") {
+    if (saw_trial == saw_prob) {
+      fail("throw takes exactly one of trial= or prob=");
+    }
+    site.kind = saw_prob ? FaultSite::Kind::kThrowProb : FaultSite::Kind::kThrow;
+    forbid(saw_ms, "ms=");
+    forbid(saw_mb, "mb=");
+    forbid(saw_after, "after=");
+  } else if (name == "slow") {
+    site.kind = FaultSite::Kind::kSlow;
+    require(saw_trial, "trial=");
+    require(saw_ms, "ms=");
+    forbid(saw_prob, "prob=");
+    forbid(saw_mb, "mb=");
+    forbid(saw_after, "after=");
+  } else if (name == "alloc") {
+    site.kind = FaultSite::Kind::kAlloc;
+    require(saw_trial, "trial=");
+    require(saw_mb, "mb=");
+    if (site.alloc_mb == 0 || site.alloc_mb > 4096) {
+      fail("alloc: mb must be in [1,4096]");
+    }
+    forbid(saw_prob, "prob=");
+    forbid(saw_ms, "ms=");
+    forbid(saw_after, "after=");
+  } else if (name == "kill") {
+    site.kind = FaultSite::Kind::kKill;
+    require(saw_after, "after=");
+    if (site.after_records == 0) fail("kill: after must be >= 1");
+    forbid(saw_trial, "trial=");
+    forbid(saw_prob, "prob=");
+    forbid(saw_ms, "ms=");
+    forbid(saw_mb, "mb=");
+  } else {
+    fail("unknown site '" + name +
+         "' (known: throw, slow, alloc, kill)");
+  }
+  return site;
+}
+
+[[noreturn]] void kill_self() {
+#if defined(__unix__) || defined(__APPLE__)
+  std::raise(SIGKILL);
+  // SIGKILL cannot be handled; control never returns, but keep the
+  // noreturn contract honest for exotic platforms.
+  std::_Exit(137);
+#else
+  std::_Exit(137);
+#endif
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed_ = seed;
+  if (spec.empty()) fail("empty spec");
+  for (const std::string& part : split(spec, '+')) {
+    if (part.empty()) fail("empty site in '" + spec + "'");
+    plan.sites_.push_back(parse_site(part));
+  }
+  return plan;
+}
+
+void FaultPlan::fire_trial_start(std::size_t trial) const {
+  for (const FaultSite& site : sites_) {
+    switch (site.kind) {
+      case FaultSite::Kind::kThrow:
+        if (site.trial == trial) {
+          throw std::runtime_error("injected fault: throw at trial " +
+                                   std::to_string(trial));
+        }
+        break;
+      case FaultSite::Kind::kThrowProb:
+        if (keyed_uniform(seed_, trial) < site.probability) {
+          throw std::runtime_error(
+              "injected fault: seed-keyed throw at trial " +
+              std::to_string(trial));
+        }
+        break;
+      case FaultSite::Kind::kSlow:
+        if (site.trial == trial) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(site.sleep_ms));
+        }
+        break;
+      case FaultSite::Kind::kAlloc:
+        if (site.trial == trial) {
+          // Touch one byte per page so the pressure is resident, then
+          // release immediately — transient, not a leak.
+          std::vector<char> pressure(site.alloc_mb << 20);
+          volatile char* data = pressure.data();
+          for (std::size_t i = 0; i < pressure.size(); i += 4096) {
+            data[i] = 1;
+          }
+        }
+        break;
+      case FaultSite::Kind::kKill:
+        break;  // fires on record, not on start
+    }
+  }
+}
+
+void FaultPlan::fire_trial_recorded(std::size_t /*trial*/) {
+  const std::size_t count = records_.fetch_add(1) + 1;
+  for (const FaultSite& site : sites_) {
+    if (site.kind == FaultSite::Kind::kKill && count == site.after_records) {
+      kill_self();
+    }
+  }
+}
+
+}  // namespace megflood

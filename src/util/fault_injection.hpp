@@ -1,0 +1,83 @@
+#pragma once
+
+// Deterministic fault injection for the trial runner.  A FaultPlan is
+// parsed once from a spec string (the CLI's --inject= value) and armed
+// into MeasureHooks; every fault site is keyed by the trial index and the
+// campaign seed, so a given (spec, seed) pair injects the exact same
+// faults on every run — which is what makes the kill-and-resume
+// equivalence suite and the CI smoke reproducible.
+//
+// Spec grammar: one or more sites joined by '+'.  Each site is
+// name:key=value[,key=value...]:
+//
+//   throw:trial=K        throw std::runtime_error at the start of trial K
+//   throw:prob=P         seed-keyed: trial t throws iff u(seed, t) < P,
+//                        where u is a SplitMix64 hash of (seed, t) — the
+//                        same trials fail on every run with this seed
+//   slow:trial=K,ms=M    sleep M milliseconds at the start of trial K
+//                        (drives the watchdog deadline tests)
+//   alloc:trial=K,mb=M   allocate and touch M MiB at the start of trial K,
+//                        then release it (transient allocator pressure)
+//   kill:after=K         deliver SIGKILL to this process immediately after
+//                        the K-th durable checkpoint record is written —
+//                        the crash half of the kill-and-resume suite
+//
+// Unknown site names, unknown keys, malformed numbers and out-of-range
+// values are std::invalid_argument (the driver's config-error exit).
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace megflood {
+
+struct FaultSite {
+  enum class Kind { kThrow, kThrowProb, kSlow, kAlloc, kKill };
+  Kind kind = Kind::kThrow;
+  std::size_t trial = 0;       // kThrow / kSlow / kAlloc
+  double probability = 0.0;    // kThrowProb
+  std::uint64_t sleep_ms = 0;  // kSlow
+  std::uint64_t alloc_mb = 0;  // kAlloc
+  std::size_t after_records = 0;  // kKill
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  // Movable despite the atomic record counter (moves happen only while
+  // arming the plan, before any hook fires).
+  FaultPlan(FaultPlan&& other) noexcept
+      : sites_(std::move(other.sites_)),
+        seed_(other.seed_),
+        records_(other.records_.load(std::memory_order_relaxed)) {}
+  FaultPlan& operator=(FaultPlan&& other) noexcept {
+    sites_ = std::move(other.sites_);
+    seed_ = other.seed_;
+    records_.store(other.records_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    return *this;
+  }
+
+  // Parses the spec grammar above; `seed` keys the probabilistic sites.
+  // Throws std::invalid_argument on any malformed spec.
+  static FaultPlan parse(const std::string& spec, std::uint64_t seed);
+
+  bool empty() const noexcept { return sites_.empty(); }
+  const std::vector<FaultSite>& sites() const noexcept { return sites_; }
+
+  // Hook for MeasureHooks::on_trial_start: fires throw/slow/alloc sites
+  // matching `trial`.  Thread-safe (reads immutable state only).
+  void fire_trial_start(std::size_t trial) const;
+
+  // Hook for MeasureHooks::on_trial_recorded: counts durable records and
+  // fires any kill site whose threshold the count reaches.  Thread-safe.
+  void fire_trial_recorded(std::size_t trial);
+
+ private:
+  std::vector<FaultSite> sites_;
+  std::uint64_t seed_ = 0;
+  std::atomic<std::size_t> records_{0};
+};
+
+}  // namespace megflood

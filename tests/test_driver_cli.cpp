@@ -1,0 +1,245 @@
+// In-process tests for the extracted CLI body (core/driver.hpp): the
+// exit-code taxonomy, --sweep negative paths, fault injection through the
+// flag surface, checkpoint rerun byte-identity, and the warning channel.
+// Subprocess-level kill/resume lives in tests/test_resume_equivalence.cpp.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/driver.hpp"
+
+namespace megflood {
+namespace {
+
+struct DriverRun {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+DriverRun run(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  DriverRun result;
+  driver_cancel_flag().store(false);  // isolate tests from each other
+  result.code = run_driver(args, out, err);
+  result.out = out.str();
+  result.err = err.str();
+  return result;
+}
+
+std::string temp_path(const std::string& name) {
+  const std::string path = testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+// ---------------------------------------------------------------------------
+// Exit-code taxonomy
+// ---------------------------------------------------------------------------
+
+TEST(DriverCli, OkRunExitsZero) {
+  const auto r = run({"--model=edge_meg", "--n=48", "--trials=4",
+                      "--format=csv"});
+  EXPECT_EQ(r.code, kExitOk);
+  EXPECT_NE(r.out.find("rounds_mean"), std::string::npos);
+}
+
+TEST(DriverCli, ListAndHelpExitZero) {
+  EXPECT_EQ(run({"--list"}).code, kExitOk);
+  EXPECT_EQ(run({"--help"}).code, kExitOk);
+}
+
+TEST(DriverCli, ConfigErrorsExitTwo) {
+  // Each of these must be a clean exit-2 diagnostic, never a crash or a
+  // silent fallback to a default.
+  const std::vector<std::vector<std::string>> bad = {
+      {},                                         // no scenario at all
+      {"--model=no_such_model"},                  // unknown model
+      {"--model=edge_meg", "--bogus=1"},          // unknown parameter
+      {"--model=edge_meg", "--q=zebra"},          // malformed value
+      {"--model=edge_meg", "--process=warp"},     // unknown process
+      {"--model=edge_meg", "--format=yaml"},      // unknown format
+      {"--model=edge_meg", "--trials=0"},         // invalid trial count
+      {"--model=edge_meg", "--contain=2"},        // bad driver flag
+      {"--model=edge_meg", "--deadline=-1"},      // negative deadline
+      {"--model=edge_meg", "--deadline=soon"},    // non-numeric deadline
+      {"--model=edge_meg", "--rss_budget_mb=x"},  // non-numeric budget
+      {"--model=edge_meg", "--inject=nuke:now"},  // malformed fault spec
+      {"--model=edge_meg", "--inject=kill:after=1"},  // kill w/o checkpoint
+  };
+  for (const auto& args : bad) {
+    const auto r = run(args);
+    EXPECT_EQ(r.code, kExitConfigError)
+        << "args[1]: " << (args.size() > 1 ? args[1] : "(none)");
+    EXPECT_FALSE(r.err.empty());
+  }
+}
+
+TEST(DriverCli, StalledCampaignExitsThree) {
+  const auto r = run({"--model=fixed", "--topology=path", "--n=4",
+                      "--max_rounds=1", "--trials=4", "--format=csv"});
+  EXPECT_EQ(r.code, kExitStalled);
+  // The row is emitted with empty round statistics, not zeros.
+  EXPECT_NE(r.out.find(",,"), std::string::npos);
+}
+
+TEST(DriverCli, InjectedTrialErrorExitsFour) {
+  const auto r = run({"--model=edge_meg", "--n=48", "--trials=6",
+                      "--format=csv", "--inject=throw:trial=2"});
+  EXPECT_EQ(r.code, kExitPartial);
+  // errors column sits right after incomplete.
+  EXPECT_NE(r.out.find("incomplete,errors"), std::string::npos);
+  EXPECT_NE(r.err.find("trial 2 failed"), std::string::npos);
+  EXPECT_NE(r.err.find("injected fault"), std::string::npos);
+}
+
+TEST(DriverCli, UncontainedInjectedErrorStillExitsFour) {
+  const auto r = run({"--model=edge_meg", "--n=48", "--trials=6",
+                      "--format=csv", "--inject=throw:trial=2",
+                      "--contain=0"});
+  EXPECT_EQ(r.code, kExitPartial);
+  EXPECT_NE(r.err.find("run failed"), std::string::npos);
+  EXPECT_TRUE(r.out.empty());  // the campaign died before emitting
+}
+
+TEST(DriverCli, DeadlineExceededTrialExitsFour) {
+  const auto r = run({"--model=edge_meg", "--n=48", "--trials=4",
+                      "--format=csv", "--inject=slow:trial=1,ms=80",
+                      "--deadline=0.02"});
+  EXPECT_EQ(r.code, kExitPartial);
+  EXPECT_NE(r.err.find("watchdog deadline"), std::string::npos);
+}
+
+TEST(DriverCli, CancelledRunExitsFourWithPartialStats) {
+  driver_cancel_flag().store(true);
+  std::ostringstream out, err;
+  const int code = run_driver({"--model=edge_meg", "--n=48", "--trials=6",
+                               "--format=csv"},
+                              out, err);
+  driver_cancel_flag().store(false);
+  EXPECT_EQ(code, kExitPartial);
+  EXPECT_NE(out.str().find("rounds_mean"), std::string::npos);  // row emitted
+  EXPECT_NE(err.str().find("interrupted"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep negative paths
+// ---------------------------------------------------------------------------
+
+TEST(DriverCli, SweepNegativePathsExitTwo) {
+  const std::vector<std::string> bad_sweeps = {
+      "--sweep=alpha=0.01:0.05:0",     // zero step
+      "--sweep=alpha=0.05:0.01:0.01",  // reversed bounds
+      "--sweep=alpha=a:b:c",           // non-numeric
+      "--sweep==0.01:0.05:0.01",       // empty key
+      "--sweep=alpha=0.01:0.05",       // missing step
+      "--sweep=alpha=0.01:0.05:0.01:2",  // too many fields
+      "--sweep=alpha=0:1:1e-9",        // > 10000 points
+  };
+  for (const std::string& sweep : bad_sweeps) {
+    const auto r = run({"--model=edge_meg", "--format=csv", sweep});
+    EXPECT_EQ(r.code, kExitConfigError) << sweep;
+    EXPECT_FALSE(r.err.empty()) << sweep;
+  }
+  // ... and the same shapes through parse_sweep directly.
+  EXPECT_THROW((void)parse_sweep("alpha=0.01:0.05:0"), std::invalid_argument);
+  EXPECT_THROW((void)parse_sweep("alpha=0.05:0.01:0.01"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_sweep("alpha=a:b:c"), std::invalid_argument);
+  EXPECT_THROW((void)parse_sweep("=0.01:0.05:0.01"), std::invalid_argument);
+  EXPECT_THROW((void)parse_sweep("justakey"), std::invalid_argument);
+  const SweepSpec ok = parse_sweep("alpha=0.01:0.05:0.02");
+  EXPECT_EQ(ok.key, "alpha");
+  EXPECT_DOUBLE_EQ(ok.lo, 0.01);
+  EXPECT_DOUBLE_EQ(ok.hi, 0.05);
+  EXPECT_DOUBLE_EQ(ok.step, 0.02);
+}
+
+TEST(DriverCli, SweepRequiresCsvAndRejectsCheckpoint) {
+  EXPECT_EQ(run({"--model=edge_meg", "--sweep=alpha=0.01:0.05:0.02"}).code,
+            kExitConfigError);
+  EXPECT_EQ(run({"--model=edge_meg", "--format=csv",
+                 "--sweep=alpha=0.01:0.05:0.02", "--checkpoint=x.ckpt"})
+                .code,
+            kExitConfigError);
+  EXPECT_EQ(run({"--model=edge_meg", "--format=csv", "--alpha=0.02",
+                 "--sweep=alpha=0.01:0.05:0.02"})
+                .code,
+            kExitConfigError);  // fixed and swept
+}
+
+TEST(DriverCli, SweepEmitsOneRowPerPoint) {
+  const auto r = run({"--model=edge_meg", "--n=48", "--trials=4",
+                      "--format=csv", "--sweep=alpha=0.02:0.06:0.02"});
+  EXPECT_EQ(r.code, kExitOk);
+  std::size_t rows = 0;
+  for (char c : r.out) rows += c == '\n';
+  EXPECT_EQ(rows, 4u);  // header + 3 points
+  EXPECT_EQ(r.out.rfind("alpha,", 0), 0u);  // swept key is first column
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint + warning channel
+// ---------------------------------------------------------------------------
+
+TEST(DriverCli, CheckpointedRerunIsByteIdenticalOnStdout) {
+  const std::string ckpt = temp_path("driver_rerun.ckpt");
+  const std::vector<std::string> args = {
+      "--model=edge_meg", "--n=48",      "--trials=6",
+      "--seed=5",         "--format=csv", "--checkpoint=" + ckpt};
+  const auto first = run(args);
+  ASSERT_EQ(first.code, kExitOk);
+  const auto second = run(args);
+  EXPECT_EQ(second.code, kExitOk);
+  EXPECT_EQ(first.out, second.out);  // replay = byte-identical stdout
+  EXPECT_NE(second.err.find("resumed 6/6"), std::string::npos);
+  std::remove(ckpt.c_str());
+}
+
+TEST(DriverCli, CheckpointHeaderMismatchIsConfigError) {
+  const std::string ckpt = temp_path("driver_mismatch.ckpt");
+  ASSERT_EQ(run({"--model=edge_meg", "--n=48", "--trials=4", "--format=csv",
+                 "--checkpoint=" + ckpt})
+                .code,
+            kExitOk);
+  const auto r = run({"--model=edge_meg", "--n=48", "--trials=4", "--seed=9",
+                      "--format=csv", "--checkpoint=" + ckpt});
+  EXPECT_EQ(r.code, kExitConfigError);
+  EXPECT_NE(r.err.find("does not match"), std::string::npos);
+  std::remove(ckpt.c_str());
+}
+
+TEST(DriverCli, RssBudgetWarningReachesCsvAndJson) {
+  // A 1 MiB soft budget is far below any real process peak, so the
+  // warning must fire — in the CSV warnings column and the JSON array —
+  // while the run itself stays exit 0 (soft = degrade gracefully).
+  const auto csv = run({"--model=edge_meg", "--n=48", "--trials=2",
+                        "--format=csv", "--rss_budget_mb=1"});
+  EXPECT_EQ(csv.code, kExitOk);
+  EXPECT_NE(csv.out.find("exceeded the soft budget"), std::string::npos);
+  const auto json = run({"--model=edge_meg", "--n=48", "--trials=2",
+                         "--format=json", "--rss_budget_mb=1"});
+  EXPECT_EQ(json.code, kExitOk);
+  EXPECT_NE(json.out.find("\"warnings\": [\""), std::string::npos);
+  // Table mode routes warnings to stderr, keeping stdout human-shaped.
+  const auto table = run({"--model=edge_meg", "--n=48", "--trials=2",
+                          "--rss_budget_mb=1"});
+  EXPECT_EQ(table.code, kExitOk);
+  EXPECT_NE(table.err.find("warning:"), std::string::npos);
+}
+
+TEST(DriverCli, CsvAlwaysCarriesTheWarningsColumn) {
+  const auto r = run({"--model=edge_meg", "--n=48", "--trials=2",
+                      "--format=csv"});
+  EXPECT_EQ(r.code, kExitOk);
+  const std::string header = r.out.substr(0, r.out.find('\n'));
+  EXPECT_EQ(header.rfind(",warnings"), header.size() - 9);
+}
+
+}  // namespace
+}  // namespace megflood

@@ -1,0 +1,242 @@
+// Tests for trial error containment, the cooperative watchdog, graceful
+// cancellation, and the deterministic fault-injection harness
+// (util/fault_injection.hpp): a poisoned trial must become a structured
+// TrialError while the rest of the campaign completes, identically at
+// every thread count.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/fixed_graphs.hpp"
+#include "core/process.hpp"
+#include "core/trial.hpp"
+#include "graph/builders.hpp"
+#include "meg/edge_meg.hpp"
+#include "protocols/gossip.hpp"
+#include "util/fault_injection.hpp"
+
+namespace megflood {
+namespace {
+
+GraphFactory meg_factory() {
+  return [](std::uint64_t seed) {
+    return std::make_unique<TwoStateEdgeMEG>(32, TwoStateParams{0.08, 0.25},
+                                             seed);
+  };
+}
+
+ProcessFactory flooding_factory() {
+  return [] { return std::make_unique<FloodingProcess>(); };
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan parsing
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, ParsesCompositeSpecs) {
+  const FaultPlan plan =
+      FaultPlan::parse("throw:trial=3+slow:trial=1,ms=5+kill:after=2", 1);
+  ASSERT_EQ(plan.sites().size(), 3u);
+  EXPECT_EQ(plan.sites()[0].kind, FaultSite::Kind::kThrow);
+  EXPECT_EQ(plan.sites()[0].trial, 3u);
+  EXPECT_EQ(plan.sites()[1].kind, FaultSite::Kind::kSlow);
+  EXPECT_EQ(plan.sites()[1].sleep_ms, 5u);
+  EXPECT_EQ(plan.sites()[2].kind, FaultSite::Kind::kKill);
+  EXPECT_EQ(plan.sites()[2].after_records, 2u);
+  const FaultPlan prob = FaultPlan::parse("throw:prob=0.25", 9);
+  ASSERT_EQ(prob.sites().size(), 1u);
+  EXPECT_EQ(prob.sites()[0].kind, FaultSite::Kind::kThrowProb);
+  EXPECT_DOUBLE_EQ(prob.sites()[0].probability, 0.25);
+  const FaultPlan alloc = FaultPlan::parse("alloc:trial=0,mb=2", 1);
+  EXPECT_EQ(alloc.sites()[0].kind, FaultSite::Kind::kAlloc);
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  const std::vector<std::string> bad = {
+      "",                        // empty spec
+      "nuke:trial=1",            // unknown site
+      "throw",                   // throw needs trial= or prob=
+      "throw:trial=1,prob=0.5",  // ... exactly one of them
+      "throw:prob=1.5",          // probability out of range
+      "throw:prob=x",            // non-numeric
+      "throw:trial=-1",          // negative count
+      "slow:trial=1",            // slow needs ms=
+      "slow:ms=5",               // ... and trial=
+      "alloc:trial=1,mb=0",      // mb out of range
+      "alloc:trial=1,mb=99999",  // mb out of range
+      "kill:after=0",            // after must be >= 1
+      "kill:trial=1",            // kill takes after=, not trial=
+      "throw:trial=1+",          // trailing empty site
+      "throw:bogus=1",           // unknown key
+  };
+  for (const std::string& spec : bad) {
+    EXPECT_THROW((void)FaultPlan::parse(spec, 1), std::invalid_argument)
+        << "spec '" << spec << "' should have been rejected";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Error containment
+// ---------------------------------------------------------------------------
+
+void run_containment(std::size_t threads) {
+  const FaultPlan plan = FaultPlan::parse("throw:trial=3", 7);
+  TrialConfig cfg;
+  cfg.trials = 8;
+  cfg.seed = 7;
+  cfg.threads = threads;
+  cfg.contain_errors = true;
+  MeasureHooks hooks;
+  hooks.on_trial_start = [&plan](std::size_t t) { plan.fire_trial_start(t); };
+  const Measurement m = measure(meg_factory(), flooding_factory(), cfg, hooks);
+  ASSERT_EQ(m.errors.size(), 1u);
+  EXPECT_EQ(m.errors[0].trial, 3u);
+  EXPECT_NE(m.errors[0].what.find("injected fault"), std::string::npos);
+  EXPECT_NE(m.errors[0].graph_seed, 0u);  // seeds captured for replay
+  EXPECT_EQ(m.rounds.count, 7u);          // the other trials completed
+  EXPECT_EQ(m.incomplete, 0u);            // errored != incomplete
+  EXPECT_FALSE(m.interrupted);
+}
+
+TEST(ErrorContainment, PoisonedTrialBecomesTrialErrorSequential) {
+  run_containment(1);
+}
+
+TEST(ErrorContainment, PoisonedTrialBecomesTrialErrorThreaded) {
+  run_containment(4);
+}
+
+TEST(ErrorContainment, UncontainedErrorsStillPropagate) {
+  // contain_errors=false is the historical contract: the first trial
+  // exception aborts measure().
+  const FaultPlan plan = FaultPlan::parse("throw:trial=2", 7);
+  TrialConfig cfg;
+  cfg.trials = 6;
+  cfg.contain_errors = false;
+  MeasureHooks hooks;
+  hooks.on_trial_start = [&plan](std::size_t t) { plan.fire_trial_start(t); };
+  EXPECT_THROW(
+      (void)measure(meg_factory(), flooding_factory(), cfg, hooks),
+      std::runtime_error);
+}
+
+TEST(ErrorContainment, SeedKeyedProbabilisticFaultsAreDeterministic) {
+  TrialConfig cfg;
+  cfg.trials = 16;
+  cfg.seed = 11;
+  cfg.contain_errors = true;
+  const auto failed_trials = [&](std::uint64_t fault_seed) {
+    const FaultPlan plan = FaultPlan::parse("throw:prob=0.5", fault_seed);
+    MeasureHooks hooks;
+    hooks.on_trial_start = [&plan](std::size_t t) {
+      plan.fire_trial_start(t);
+    };
+    const Measurement m =
+        measure(meg_factory(), flooding_factory(), cfg, hooks);
+    std::vector<std::size_t> trials;
+    for (const TrialError& e : m.errors) trials.push_back(e.trial);
+    return trials;
+  };
+  const auto first = failed_trials(123);
+  EXPECT_EQ(first, failed_trials(123));  // same (spec, seed) = same faults
+  EXPECT_FALSE(first.empty());           // p=0.5 over 16 trials
+  EXPECT_LT(first.size(), 16u);
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog deadline
+// ---------------------------------------------------------------------------
+
+TEST(Watchdog, SlowTrialExceedsDeadlineAndIsContained) {
+  const FaultPlan plan = FaultPlan::parse("slow:trial=1,ms=80", 7);
+  TrialConfig cfg;
+  cfg.trials = 4;
+  cfg.seed = 7;
+  cfg.contain_errors = true;
+  cfg.trial_deadline_s = 0.02;  // 20 ms << the injected 80 ms stall
+  MeasureHooks hooks;
+  hooks.on_trial_start = [&plan](std::size_t t) { plan.fire_trial_start(t); };
+  const Measurement m = measure(meg_factory(), flooding_factory(), cfg, hooks);
+  ASSERT_EQ(m.errors.size(), 1u);
+  EXPECT_EQ(m.errors[0].trial, 1u);
+  EXPECT_NE(m.errors[0].what.find("watchdog deadline"), std::string::npos);
+  EXPECT_EQ(m.rounds.count, 3u);
+}
+
+TEST(Watchdog, GenericEngineChecksDeadlineMidTrial) {
+  // An unreachable component means the generic engine spins to max_rounds;
+  // the per-round check must cut that off long before 10^8 rounds.
+  Graph g(4);
+  g.add_edge(0, 1);
+  TrialConfig cfg;
+  cfg.trials = 1;
+  cfg.rotate_sources = false;
+  cfg.max_rounds = 100'000'000;
+  cfg.contain_errors = true;
+  cfg.trial_deadline_s = 0.05;
+  const Measurement m = measure(
+      [&](std::uint64_t) { return std::make_unique<FixedDynamicGraph>(g); },
+      [] { return std::make_unique<GossipProcess>(GossipMode::kPushPull); },
+      cfg);
+  ASSERT_EQ(m.errors.size(), 1u);
+  EXPECT_NE(m.errors[0].what.find("watchdog deadline"), std::string::npos);
+}
+
+TEST(Watchdog, ZeroDeadlineDisablesTheWatchdog) {
+  const FaultPlan plan = FaultPlan::parse("slow:trial=0,ms=30", 7);
+  TrialConfig cfg;
+  cfg.trials = 2;
+  cfg.contain_errors = true;
+  cfg.trial_deadline_s = 0.0;
+  MeasureHooks hooks;
+  hooks.on_trial_start = [&plan](std::size_t t) { plan.fire_trial_start(t); };
+  const Measurement m = measure(meg_factory(), flooding_factory(), cfg, hooks);
+  EXPECT_TRUE(m.errors.empty());
+  EXPECT_EQ(m.rounds.count, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful cancellation
+// ---------------------------------------------------------------------------
+
+void run_cancel(std::size_t threads) {
+  TrialConfig cfg;
+  cfg.trials = 12;
+  cfg.seed = 7;
+  cfg.threads = threads;
+  std::atomic<bool> cancel{false};
+  std::atomic<std::size_t> recorded{0};
+  MeasureHooks hooks;
+  hooks.cancel = &cancel;
+  hooks.on_trial_recorded = [&](std::size_t) {
+    if (recorded.fetch_add(1) + 1 >= 3) cancel.store(true);
+  };
+  const Measurement m = measure(meg_factory(), flooding_factory(), cfg, hooks);
+  EXPECT_TRUE(m.interrupted);
+  EXPECT_GT(m.not_run, 0u);
+  EXPECT_GE(m.rounds.count, 3u);  // in-flight trials still finish
+  EXPECT_EQ(m.rounds.count + m.incomplete + m.not_run, cfg.trials);
+}
+
+TEST(GracefulCancel, StopsClaimingTrialsSequential) { run_cancel(1); }
+
+TEST(GracefulCancel, StopsClaimingTrialsThreaded) { run_cancel(4); }
+
+TEST(GracefulCancel, PreSetFlagRunsNothing) {
+  TrialConfig cfg;
+  cfg.trials = 5;
+  std::atomic<bool> cancel{true};
+  MeasureHooks hooks;
+  hooks.cancel = &cancel;
+  const Measurement m = measure(meg_factory(), flooding_factory(), cfg, hooks);
+  EXPECT_TRUE(m.interrupted);
+  EXPECT_EQ(m.not_run, 5u);
+  EXPECT_EQ(m.rounds.count, 0u);
+}
+
+}  // namespace
+}  // namespace megflood

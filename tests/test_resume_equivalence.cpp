@@ -1,0 +1,122 @@
+// End-to-end kill-and-resume equivalence (the ISSUE 6 acceptance
+// criterion): a checkpointed campaign SIGKILLed mid-run via the
+// deterministic kill:after=K fault site, then resumed, must emit CSV
+// byte-identical to the uninterrupted run — for a gossip edge-MEG
+// campaign and a sparse general edge-MEG campaign, at threads=1 and
+// threads=4.  Runs the real megflood_run binary (path injected by CMake
+// as MEGFLOOD_RUN_PATH); SIGKILL cannot be simulated in-process.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#endif
+
+namespace megflood {
+namespace {
+
+#if !defined(MEGFLOOD_RUN_PATH) || !(defined(__unix__) || defined(__APPLE__))
+
+TEST(ResumeEquivalence, DISABLED_NeedsDriverBinaryAndPosix) {}
+
+#else
+
+struct CommandResult {
+  int raw_status = -1;
+  std::string out;
+  bool killed_by_sigkill() const {
+    // popen runs through the shell: a SIGKILLed child surfaces either as
+    // the shell's 128+9 exit or, if the shell itself was the child, as a
+    // signal status.
+    if (WIFSIGNALED(raw_status)) return WTERMSIG(raw_status) == SIGKILL;
+    return WIFEXITED(raw_status) && WEXITSTATUS(raw_status) == 128 + SIGKILL;
+  }
+  int exit_code() const {
+    return WIFEXITED(raw_status) ? WEXITSTATUS(raw_status) : -1;
+  }
+};
+
+CommandResult run_cmd(const std::string& args) {
+  const std::string cmd =
+      std::string(MEGFLOOD_RUN_PATH) + " " + args + " 2>/dev/null";
+  CommandResult result;
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  if (!pipe) return result;
+  std::array<char, 4096> buffer;
+  std::size_t got;
+  while ((got = std::fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.out.append(buffer.data(), got);
+  }
+  result.raw_status = pclose(pipe);
+  return result;
+}
+
+std::string temp_path(const std::string& name) {
+  const std::string path = testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+void run_kill_resume(const std::string& scenario, const std::string& tag,
+                     std::size_t threads) {
+  if (std::FILE* f = std::fopen(MEGFLOOD_RUN_PATH, "rb")) {
+    std::fclose(f);
+  } else {
+    GTEST_SKIP() << "megflood_run binary not built at " << MEGFLOOD_RUN_PATH;
+  }
+  const std::string campaign =
+      scenario + " --threads=" + std::to_string(threads) + " --format=csv";
+  const std::string ckpt =
+      temp_path("resume_" + tag + "_t" + std::to_string(threads) + ".ckpt");
+
+  const CommandResult baseline = run_cmd(campaign);
+  ASSERT_EQ(baseline.exit_code(), 0) << campaign;
+  ASSERT_FALSE(baseline.out.empty());
+
+  // Kill the campaign after 4 durable records — genuinely SIGKILLed, no
+  // destructors, no atexit flushing.
+  const CommandResult killed = run_cmd(campaign + " --checkpoint=" + ckpt +
+                                       " --inject=kill:after=4");
+  ASSERT_TRUE(killed.killed_by_sigkill())
+      << "raw status " << killed.raw_status;
+
+  // Resume and finish; stdout must be byte-identical to the baseline.
+  const CommandResult resumed = run_cmd(campaign + " --checkpoint=" + ckpt);
+  EXPECT_EQ(resumed.exit_code(), 0);
+  EXPECT_EQ(resumed.out, baseline.out)
+      << "resumed CSV differs from the uninterrupted run (" << tag
+      << ", threads=" << threads << ")";
+  std::remove(ckpt.c_str());
+}
+
+constexpr const char* kGossipCampaign =
+    "--model=edge_meg --n=48 --alpha=0.05 --process=gossip:pushpull "
+    "--trials=12 --seed=5";
+constexpr const char* kSparseCampaign =
+    "--model=general_edge_meg --n=64 --storage=sparse --trials=10 --seed=9";
+
+TEST(ResumeEquivalence, GossipEdgeMegSequential) {
+  run_kill_resume(kGossipCampaign, "gossip", 1);
+}
+
+TEST(ResumeEquivalence, GossipEdgeMegThreaded) {
+  run_kill_resume(kGossipCampaign, "gossip", 4);
+}
+
+TEST(ResumeEquivalence, SparseGeneralEdgeMegSequential) {
+  run_kill_resume(kSparseCampaign, "sparse", 1);
+}
+
+TEST(ResumeEquivalence, SparseGeneralEdgeMegThreaded) {
+  run_kill_resume(kSparseCampaign, "sparse", 4);
+}
+
+#endif  // MEGFLOOD_RUN_PATH && POSIX
+
+}  // namespace
+}  // namespace megflood

@@ -4,362 +4,35 @@
 //   $ megflood_run --list
 //   $ megflood_run --model=edge_meg --n=4096 --alpha=0.002 \
 //         --process=gossip:pushpull --trials=64 --threads=0 --format=csv
+//   $ megflood_run --model=edge_meg --trials=64 --format=csv \
+//         --checkpoint=campaign.ckpt        # interrupt + re-run to resume
 //
-// Driver flags: --model, --process, --trials, --seed, --max_rounds,
-// --warmup, --threads, --rotate_sources, --format=table|csv|json,
-// --sweep=key=a:b:step, --list, --help.  Every other --key=value is a
-// model parameter validated against the registry (unknown key or model =
-// hard error).  csv/json go to stdout (one header + one data row for
-// csv); warnings go to stderr so the machine-readable stream stays clean.
-//
-// Sweep mode runs the scenario once per point key = a, a+step, .., b
-// (inclusive, one CSV data row per point with the swept value as the
-// first column).  The swept key must be a declared *model* parameter —
-// the per-point spec goes through the exact same registry validation as
-// a single run, so an unknown key is the same hard error a typo'd
-// --key=value is.
+// The whole CLI body lives in the library (core/driver.hpp) so exit codes
+// and output are testable in-process; this main only installs the signal
+// handlers.  SIGINT/SIGTERM request a *graceful* stop: workers finish the
+// trials they are on (each is journaled if --checkpoint is armed), the
+// partial statistics are emitted, and the process exits 4.  See
+// docs/operations.md for the exit-code taxonomy and checkpoint format.
 
-#include <algorithm>
-#include <cmath>
-#include <cstdio>
+#include <csignal>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "bench_util.hpp"
-#include "core/scenario.hpp"
-#include "util/table.hpp"
+#include "core/driver.hpp"
 
 namespace {
 
-using namespace megflood;
-
-std::string fmt(double value) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
-  return buffer;
-}
-
-void print_usage(std::ostream& os) {
-  os << "usage: megflood_run --model=<name> [--<param>=<value> ...]\n"
-        "                    [--process=<spec>] [--trials=N] [--seed=S]\n"
-        "                    [--max_rounds=M] [--warmup=W|auto] [--threads=T]\n"
-        "                    [--rotate_sources=0|1] [--format=table|csv|json]\n"
-        "                    [--sweep=key=a:b:step]\n"
-        "       megflood_run --list\n"
-        "\n"
-        "process spec: flooding | gossip[:push|pull|pushpull] | kpush[:<k>]\n"
-        "              | radio[:<tau>] | ttl[:<ttl>]\n"
-        "--warmup=auto uses the model's suggested warmup (Theta(L/v) for\n"
-        "the geometric mobility models; models without one fail hard).\n"
-        "--sweep runs one scenario per point key = a, a+step, .., b and\n"
-        "emits one CSV row per point (requires --format=csv; the swept key\n"
-        "must be a declared model parameter — unknown key = hard error).\n"
-        "exit codes:   0 ok, 2 invalid scenario/usage, 3 no trial completed\n"
-        "              (sweep: 3 if any point completed no trial)\n";
-}
-
-void print_list() {
-  std::cout << "registered models:\n";
-  for (const ScenarioModelInfo& info : scenario_models()) {
-    std::cout << "\n  " << info.name << " — " << info.summary << "\n";
-    for (const ScenarioParam& param : info.params) {
-      std::printf("    --%-16s default %-12s %s\n", param.name.c_str(),
-                  param.default_value.c_str(), param.description.c_str());
-    }
-  }
-  std::cout << "\nprocesses: flooding | gossip[:push|pull|pushpull] | "
-               "kpush[:<k>] | radio[:<tau>] | ttl[:<ttl>]\n";
-}
-
-// Flat (column, value) row shared by the csv and json emitters; round
-// statistics are empty when no trial completed (all_incomplete), never 0.
-std::vector<std::pair<std::string, std::string>> result_fields(
-    const ScenarioSpec& spec, const ScenarioResult& result) {
-  const Measurement& m = result.measurement;
-  const std::size_t completed = m.rounds.count;
-  std::vector<std::pair<std::string, std::string>> fields = {
-      {"model", spec.model},
-      {"process", spec.process},
-      {"n", std::to_string(result.num_nodes)},
-      {"trials", std::to_string(spec.trial.trials)},
-      {"completed", std::to_string(completed)},
-      {"incomplete", std::to_string(m.incomplete)},
-  };
-  const auto stat = [&](const std::string& name, double value) {
-    fields.emplace_back(name, m.all_incomplete() ? "" : fmt(value));
-  };
-  stat("rounds_mean", m.rounds.mean);
-  stat("rounds_median", m.rounds.median);
-  stat("rounds_p90", m.rounds.p90);
-  stat("rounds_p99", m.rounds.p99);
-  stat("rounds_max", m.rounds.max);
-  stat("spreading_median", m.spreading_rounds.median);
-  stat("saturation_median", m.saturation_rounds.median);
-  for (const auto& [name, summary] : m.metrics) {
-    stat(name + "_mean", summary.mean);
-    stat(name + "_median", summary.median);
-  }
-  return fields;
-}
-
-void emit_csv_header(
-    const std::vector<std::pair<std::string, std::string>>& fields) {
-  for (std::size_t i = 0; i < fields.size(); ++i) {
-    std::cout << fields[i].first << (i + 1 < fields.size() ? "," : "\n");
-  }
-}
-
-void emit_csv_row(
-    const std::vector<std::pair<std::string, std::string>>& fields) {
-  for (std::size_t i = 0; i < fields.size(); ++i) {
-    std::cout << fields[i].second << (i + 1 < fields.size() ? "," : "\n");
-  }
-}
-
-void emit_csv(const ScenarioSpec& spec, const ScenarioResult& result) {
-  const auto fields = result_fields(spec, result);
-  emit_csv_header(fields);
-  emit_csv_row(fields);
-}
-
-// --sweep=key=a:b:step, e.g. --sweep=alpha=0.01:0.05:0.01.
-struct SweepSpec {
-  std::string key;
-  double lo = 0.0;
-  double hi = 0.0;
-  double step = 0.0;
-};
-
-double parse_sweep_number(const std::string& what, const std::string& text) {
-  std::size_t pos = 0;
-  double parsed = 0.0;
-  try {
-    parsed = std::stod(text, &pos);
-  } catch (const std::exception&) {
-    pos = std::string::npos;
-  }
-  if (pos != text.size() || !std::isfinite(parsed)) {
-    throw std::invalid_argument("sweep " + what + ": '" + text +
-                                "' is not a finite number");
-  }
-  return parsed;
-}
-
-SweepSpec parse_sweep(const std::string& value) {
-  SweepSpec sweep;
-  const std::size_t eq = value.find('=');
-  if (eq == std::string::npos || eq == 0) {
-    throw std::invalid_argument(
-        "sweep: expected key=a:b:step, got '" + value + "'");
-  }
-  sweep.key = value.substr(0, eq);
-  const std::string range = value.substr(eq + 1);
-  const std::size_t c1 = range.find(':');
-  const std::size_t c2 = c1 == std::string::npos
-                             ? std::string::npos
-                             : range.find(':', c1 + 1);
-  if (c1 == std::string::npos || c2 == std::string::npos ||
-      range.find(':', c2 + 1) != std::string::npos) {
-    throw std::invalid_argument(
-        "sweep: expected key=a:b:step, got '" + value + "'");
-  }
-  sweep.lo = parse_sweep_number("start", range.substr(0, c1));
-  sweep.hi = parse_sweep_number("stop", range.substr(c1 + 1, c2 - c1 - 1));
-  sweep.step = parse_sweep_number("step", range.substr(c2 + 1));
-  if (sweep.step <= 0.0) {
-    throw std::invalid_argument("sweep: step must be > 0");
-  }
-  if (sweep.lo > sweep.hi) {
-    throw std::invalid_argument("sweep: start must be <= stop");
-  }
-  if ((sweep.hi - sweep.lo) / sweep.step > 10000.0) {
-    throw std::invalid_argument("sweep: more than 10000 points");
-  }
-  return sweep;
-}
-
-// Sweep values print like CLI literals: integral points stay integral
-// (an n sweep must produce "128", not "128.0", to round-trip through
-// the u64 parameter parser).
-std::string fmt_sweep_value(double v) {
-  if (v == std::floor(v) && std::abs(v) < 1e15) {
-    char buffer[32];
-    std::snprintf(buffer, sizeof(buffer), "%.0f", v);
-    return buffer;
-  }
-  return fmt(v);
-}
-
-// One scenario run per point, one CSV row per point with the swept value
-// as the first column.  Returns the process exit code (3 when any point
-// completed no trial at all — a stalled point must not hide in a green
-// sweep).
-int run_sweep(const ScenarioSpec& base, const SweepSpec& sweep) {
-  bool header_emitted = false;
-  bool any_stalled = false;
-  for (std::size_t i = 0;; ++i) {
-    const double value = sweep.lo + static_cast<double>(i) * sweep.step;
-    // Slack on the inclusive upper bound so accumulated fp error cannot
-    // drop the final point of e.g. 0.03:0.06:0.03.
-    if (value > sweep.hi + sweep.step * 1e-9) break;
-    ScenarioSpec spec = base;
-    spec.params[sweep.key] = fmt_sweep_value(value);
-    const ScenarioResult result = run_scenario(spec);
-    auto fields = result_fields(spec, result);
-    // Prepend the swept value — unless a result column already carries
-    // the key (sweeping n: the built-in n column holds exactly the swept
-    // value, and a duplicate header name breaks by-name CSV consumers).
-    const bool already_a_column =
-        std::any_of(fields.begin(), fields.end(),
-                    [&](const auto& field) { return field.first == sweep.key; });
-    if (!already_a_column) {
-      fields.insert(fields.begin(), {sweep.key, spec.params[sweep.key]});
-    }
-    if (!header_emitted) {
-      emit_csv_header(fields);
-      header_emitted = true;
-    }
-    emit_csv_row(fields);
-    if (result.measurement.all_incomplete()) any_stalled = true;
-    if (result.measurement.incomplete > 0) {
-      std::cerr << "megflood_run: " << sweep.key << "="
-                << spec.params[sweep.key] << ": "
-                << result.measurement.incomplete << "/" << spec.trial.trials
-                << " trials incomplete\n";
-    }
-  }
-  return any_stalled ? 3 : 0;
-}
-
-std::string json_quote(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  return out + "\"";
-}
-
-void emit_json(const ScenarioSpec& spec, const ScenarioResult& result) {
-  const auto fields = result_fields(spec, result);
-  std::cout << "{";
-  bool first = true;
-  for (const auto& [name, value] : fields) {
-    if (!first) std::cout << ", ";
-    first = false;
-    std::cout << json_quote(name) << ": ";
-    const bool numeric = name != "model" && name != "process";
-    if (value.empty()) {
-      std::cout << "null";
-    } else if (numeric) {
-      std::cout << value;
-    } else {
-      std::cout << json_quote(value);
-    }
-  }
-  std::cout << "}\n";
-}
-
-void emit_table(const ScenarioSpec& spec, const ScenarioResult& result) {
-  const Measurement& m = result.measurement;
-  std::cout << "scenario: " << scenario_to_cli(spec) << "\n";
-  std::cout << "n = " << result.num_nodes << ", completed "
-            << m.rounds.count << "/" << spec.trial.trials << " trials\n\n";
-  Table table({"statistic", "value"});
-  table.add_row({"rounds mean", bench::fmt_rounds(m, m.rounds.mean)});
-  table.add_row({"rounds median", bench::fmt_rounds(m, m.rounds.median)});
-  table.add_row({"rounds p90", bench::fmt_rounds(m, m.rounds.p90)});
-  table.add_row({"rounds p99", bench::fmt_rounds(m, m.rounds.p99)});
-  table.add_row({"rounds max", bench::fmt_rounds(m, m.rounds.max, 0)});
-  table.add_row(
-      {"spreading median", bench::fmt_rounds(m, m.spreading_rounds.median)});
-  table.add_row(
-      {"saturation median", bench::fmt_rounds(m, m.saturation_rounds.median)});
-  for (const auto& [name, summary] : m.metrics) {
-    table.add_row({name + " median", bench::fmt_rounds(m, summary.median, 0)});
-  }
-  table.print(std::cout);
-  bench::warn_incomplete(m, "this scenario");
+extern "C" void request_graceful_stop(int /*signum*/) {
+  // Async-signal-safe: a lock-free atomic store, nothing else.
+  megflood::driver_cancel_flag().store(true, std::memory_order_relaxed);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace megflood;
-
-  std::vector<std::string> args;
-  std::string format = "table";
-  std::string sweep_arg;
-  bool list = false;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--list") {
-      list = true;
-    } else if (arg == "--help" || arg == "-h") {
-      print_usage(std::cout);
-      return 0;
-    } else if (arg.rfind("--format=", 0) == 0) {
-      format = arg.substr(9);
-    } else if (arg.rfind("--sweep=", 0) == 0) {
-      if (!sweep_arg.empty()) {
-        std::cerr << "megflood_run: --sweep given twice\n";
-        return 2;
-      }
-      sweep_arg = arg.substr(8);
-    } else {
-      args.push_back(arg);
-    }
-  }
-  if (list) {
-    print_list();
-    return 0;
-  }
-  if (format != "table" && format != "csv" && format != "json") {
-    std::cerr << "megflood_run: format must be table|csv|json, got '" << format
-              << "'\n";
-    return 2;
-  }
-  if (!sweep_arg.empty() && format != "csv") {
-    std::cerr << "megflood_run: --sweep emits one row per point and "
-                 "requires --format=csv\n";
-    return 2;
-  }
-  if (args.empty()) {
-    print_usage(std::cerr);
-    return 2;
-  }
-
-  try {
-    const ScenarioSpec spec = parse_scenario_args(args);
-    if (!sweep_arg.empty()) {
-      const SweepSpec sweep = parse_sweep(sweep_arg);
-      if (spec.params.count(sweep.key)) {
-        std::cerr << "megflood_run: --" << sweep.key
-                  << " is both fixed and swept\n";
-        return 2;
-      }
-      return run_sweep(spec, sweep);
-    }
-    const ScenarioResult result = run_scenario(spec);
-    if (format == "csv") {
-      emit_csv(spec, result);
-    } else if (format == "json") {
-      emit_json(spec, result);
-    } else {
-      emit_table(spec, result);
-    }
-    if (format != "table" && result.measurement.incomplete > 0) {
-      std::cerr << "megflood_run: " << result.measurement.incomplete << "/"
-                << spec.trial.trials << " trials incomplete\n";
-    }
-    // Exit 3 when not a single trial completed: the emitted row carries
-    // no round statistics, and machine consumers (including the CI smoke
-    // step) must not read a fully stalled scenario as success.
-    return result.measurement.all_incomplete() ? 3 : 0;
-  } catch (const std::exception& error) {
-    std::cerr << "megflood_run: " << error.what() << "\n";
-    return 2;
-  }
+  std::signal(SIGINT, request_graceful_stop);
+  std::signal(SIGTERM, request_graceful_stop);
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return megflood::run_driver(args, std::cout, std::cerr);
 }
