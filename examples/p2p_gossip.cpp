@@ -31,7 +31,8 @@ int main(int argc, char** argv) {
 
   const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 256;
   // Overlay churn: expected stationary degree ~4, link half-life ~2 rounds.
-  const double p = 4.0 / static_cast<double>(n) * 0.3 / (1.0 - 4.0 / n);
+  const double p = 4.0 / static_cast<double>(n) * 0.3 /
+                   (1.0 - 4.0 / static_cast<double>(n));
   const double q = 0.3;
 
   std::cout << "P2P overlay: " << n << " peers, link birth p = " << p

@@ -77,7 +77,7 @@ class SpreadingProcess {
   virtual bool exhausted() const { return false; }
 
   // Export this trial's metrics.
-  virtual void metrics(MetricsBag& out) const {}
+  virtual void metrics(MetricsBag& /*out*/) const {}
 
   // Runs one full trial (what run_process() dispatches to).  The default
   // drives round() against the live snapshot stream — the generic

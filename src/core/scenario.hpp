@@ -32,6 +32,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/trial.hpp"
@@ -76,6 +77,11 @@ const ScenarioModelInfo* find_scenario_model(const std::string& name);
 // models; empty for models whose stationary start needs none — see
 // --warmup=auto).
 struct ScenarioModel {
+  ScenarioModel() = default;
+  ScenarioModel(GraphFactory f, std::size_t n,
+                std::optional<std::uint64_t> warmup = std::nullopt)
+      : factory(std::move(f)), num_nodes(n), suggested_warmup(warmup) {}
+
   GraphFactory factory;
   std::size_t num_nodes = 0;
   std::optional<std::uint64_t> suggested_warmup;

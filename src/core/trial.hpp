@@ -99,7 +99,7 @@ class CheckpointSink {
   // before the workers start, so it need not be thread-safe.
   virtual const TrialOutcome* find(std::size_t trial) const = 0;
   virtual void record(std::size_t trial, const TrialOutcome& outcome) = 0;
-  virtual void record_error(const TrialError& error) {}
+  virtual void record_error(const TrialError& /*error*/) {}
 };
 
 // Optional wiring for measure(): durable checkpointing, cooperative

@@ -57,7 +57,8 @@ double slem(const DenseChain& chain, double tol, std::size_t max_iters) {
   // Deterministic non-constant start.
   std::vector<double> f(n);
   for (StateId i = 0; i < n; ++i) {
-    f[i] = (i % 2 == 0 ? 1.0 : -1.0) + static_cast<double>(i) / n;
+    f[i] = (i % 2 == 0 ? 1.0 : -1.0) +
+           static_cast<double>(i) / static_cast<double>(n);
   }
   deflate(f);
   double norm = pi_norm(f);

@@ -1,0 +1,461 @@
+#include "util/lint_rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <regex>
+#include <set>
+#include <utility>
+
+namespace megflood::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source preparation: split into lines twice — raw (for pragma parsing)
+// and "code" (comments, string and character literals blanked with
+// spaces, line structure preserved) so the rule regexes never match
+// inside text.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> split_lines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char c : content) {
+    if (c == '\n') {
+      lines.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) lines.push_back(std::move(current));
+  return lines;
+}
+
+// Blanks comments always; blanks string/char literals unless
+// keep_strings (the nondeterministic-seed /dev/urandom pattern must see
+// string contents, but never comment text).
+std::string blank_comments_and_literals(const std::string& content,
+                                        bool keep_strings = false) {
+  enum class Mode { kCode, kBlock, kLine, kString, kChar, kRaw };
+  Mode mode = Mode::kCode;
+  std::string raw_delim;  // raw-string close delimiter: ")delim\""
+  std::string out;
+  out.reserve(content.size());
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    switch (mode) {
+      case Mode::kCode:
+        if (c == '/' && next == '*') {
+          mode = Mode::kBlock;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '/') {
+          mode = Mode::kLine;
+          out += "  ";
+          ++i;
+        } else if (c == '"' &&
+                   (i == 0 || content[i - 1] != 'R')) {
+          mode = Mode::kString;
+          out += ' ';
+        } else if (c == '"' && i > 0 && content[i - 1] == 'R') {
+          // R"delim( ... )delim"
+          std::size_t j = i + 1;
+          std::string delim;
+          while (j < content.size() && content[j] != '(') {
+            delim += content[j++];
+          }
+          raw_delim = ")" + delim + "\"";
+          mode = Mode::kRaw;
+          out += ' ';
+        } else if (c == '\'') {
+          mode = Mode::kChar;
+          out += ' ';
+        } else {
+          out += c;
+        }
+        break;
+      case Mode::kBlock:
+        if (c == '*' && next == '/') {
+          mode = Mode::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case Mode::kLine:
+        if (c == '\n') {
+          mode = Mode::kCode;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case Mode::kString:
+        if (c == '\\' && next != '\0') {
+          out += keep_strings ? content.substr(i, 2) : "  ";
+          ++i;
+        } else if (c == '"') {
+          mode = Mode::kCode;
+          out += keep_strings ? '"' : ' ';
+        } else if (c == '\n') {
+          out += '\n';
+        } else {
+          out += keep_strings ? c : ' ';
+        }
+        break;
+      case Mode::kChar:
+        if (c == '\\' && next != '\0') {
+          out += "  ";
+          ++i;
+        } else if (c == '\'') {
+          mode = Mode::kCode;
+          out += ' ';
+        } else {
+          out += ' ';
+        }
+        break;
+      case Mode::kRaw:
+        if (content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 0; k < raw_delim.size(); ++k) {
+            out += keep_strings ? raw_delim[k] : ' ';
+          }
+          i += raw_delim.size() - 1;
+          mode = Mode::kCode;
+        } else if (c == '\n') {
+          out += '\n';
+        } else {
+          out += keep_strings ? c : ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+// Rules allowed on a given line via "// megflood-lint: allow(a, b)".
+std::map<std::size_t, std::set<std::string>> collect_pragmas(
+    const std::vector<std::string>& raw_lines) {
+  static const std::regex kPragma(
+      R"(megflood-lint:\s*allow\(([^)]*)\))");
+  std::map<std::size_t, std::set<std::string>> allowed;
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(raw_lines[i], m, kPragma)) continue;
+    std::set<std::string> rules;
+    std::string name;
+    for (const char c : m[1].str() + ",") {
+      if (c == ',' || c == ' ' || c == '\t') {
+        if (!name.empty()) rules.insert(name);
+        name.clear();
+      } else {
+        name.push_back(c);
+      }
+    }
+    allowed[i + 1] = std::move(rules);  // 1-based line numbers
+  }
+  return allowed;
+}
+
+bool suppressed(
+    const std::map<std::size_t, std::set<std::string>>& pragmas,
+    std::size_t line, const std::string& rule) {
+  for (const std::size_t at : {line, line - 1}) {
+    const auto it = pragmas.find(at);
+    if (it != pragmas.end() &&
+        (it->second.count(rule) > 0 || it->second.count("all") > 0)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool path_contains(const std::string& path, const char* needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Scope tracking for mutable-global: brace counting with each '{'
+// classified by the code since the previous '{', '}' or ';' — namespace,
+// type (class/struct/union/enum) or block (function body, initializer,
+// lambda).  Namespace scope = every open brace is a namespace.
+// ---------------------------------------------------------------------------
+
+class ScopeTracker {
+ public:
+  // Feeds one code line; call before inspecting the line's scope.
+  void feed(const std::string& line) {
+    for (const char c : line) {
+      if (c == '{') {
+        stack_.push_back(classify());
+        head_.clear();
+      } else if (c == '}') {
+        if (!stack_.empty()) stack_.pop_back();
+        head_.clear();
+      } else if (c == ';') {
+        head_.clear();
+      } else {
+        head_.push_back(c);
+      }
+    }
+  }
+
+  // True while *before* feeding the current line every enclosing brace is
+  // a namespace — callers snapshot this, then feed.
+  bool at_namespace_scope() const {
+    return std::all_of(stack_.begin(), stack_.end(),
+                       [](char kind) { return kind == 'n'; });
+  }
+
+ private:
+  char classify() const {
+    static const std::regex kNamespace(R"(\bnamespace\b)");
+    static const std::regex kType(R"(\b(class|struct|union|enum)\b)");
+    if (std::regex_search(head_, kNamespace)) return 'n';
+    if (std::regex_search(head_, kType)) return 't';
+    return 'b';
+  }
+
+  std::vector<char> stack_;
+  std::string head_;  // code since the last '{', '}' or ';'
+};
+
+// ---------------------------------------------------------------------------
+// The rules
+// ---------------------------------------------------------------------------
+
+struct LintContext {
+  const std::string& path;
+  const std::vector<std::string>& raw_lines;
+  const std::vector<std::string>& code_lines;
+  // Comments blanked, string literals kept.
+  const std::vector<std::string>& string_lines;
+  const std::map<std::size_t, std::set<std::string>>& pragmas;
+  std::vector<Finding>& findings;
+
+  void report(std::size_t line, const char* rule, std::string message) {
+    if (suppressed(pragmas, line, rule)) return;
+    findings.push_back(Finding{path, line, rule, std::move(message)});
+  }
+};
+
+void check_nondeterministic_seed(LintContext& ctx) {
+  // The RNG layer itself is the one sanctioned home for entropy plumbing.
+  if (path_contains(ctx.path, "util/rng")) return;
+  static const std::regex kBad[] = {
+      std::regex(R"((^|[^\w:.>])s?rand\s*\()"),
+      std::regex(R"(\brandom_device\b)"),
+      std::regex(R"((^|[^\w:.>])time\s*\(\s*(NULL|nullptr|0)\s*\))"),
+      std::regex(R"(\bstd::time\s*\()"),
+      std::regex(R"((^|[^\w:.>])(getpid|gettimeofday)\s*\()"),
+  };
+  static const char* kWhat[] = {
+      "rand()/srand()", "std::random_device", "time() wall-clock seed",
+      "std::time()", "pid/wall-clock entropy"};
+  for (std::size_t i = 0; i < ctx.code_lines.size(); ++i) {
+    for (std::size_t r = 0; r < std::size(kBad); ++r) {
+      if (std::regex_search(ctx.code_lines[i], kBad[r])) {
+        ctx.report(i + 1, "nondeterministic-seed",
+                   std::string(kWhat[r]) +
+                       " outside util/rng; derive every stream from an "
+                       "explicit 64-bit seed (util/rng.hpp)");
+      }
+    }
+    // Device-entropy paths live inside string literals, so this one
+    // pattern checks the string-bearing view (comments still blanked).
+    static const std::regex kDevRandom(R"(/dev/u?random)");
+    if (std::regex_search(ctx.string_lines[i], kDevRandom)) {
+      ctx.report(i + 1, "nondeterministic-seed",
+                 "/dev/[u]random entropy outside util/rng; derive every "
+                 "stream from an explicit 64-bit seed (util/rng.hpp)");
+    }
+  }
+}
+
+void check_unordered_iteration(LintContext& ctx) {
+  static const std::regex kDecl(
+      R"(\bunordered_(?:multi)?(?:map|set)\s*<[^;]*>\s*[&*]?\s*([A-Za-z_]\w*)\s*[;,()={])");
+  static const std::regex kRangeFor(R"(\bfor\s*\([^;)]*:\s*([A-Za-z_]\w*)\s*\))");
+  static const std::regex kBeginEnd(
+      // begin-family only: a lone `.end()` is the find-idiom
+      // (`find(x) != end()`), which does not walk the container.
+      R"(\b([A-Za-z_]\w*)\s*\.\s*c?r?begin\s*\()");
+  static const std::regex kRangeForTemp(
+      R"((^|[^:]):\s*(?:std::)?unordered_)");
+  std::set<std::string> tracked;
+  for (const std::string& line : ctx.code_lines) {
+    std::smatch m;
+    if (std::regex_search(line, m, kDecl)) tracked.insert(m[1].str());
+  }
+  const auto message = [](const std::string& name) {
+    return "iteration over unordered container '" + name +
+           "' — hash order is nondeterministic; iterate a sorted copy or "
+           "use an ordered container on output/seed-affecting paths";
+  };
+  for (std::size_t i = 0; i < ctx.code_lines.size(); ++i) {
+    const std::string& line = ctx.code_lines[i];
+    std::smatch m;
+    if (std::regex_search(line, m, kRangeFor) && tracked.count(m[1].str())) {
+      ctx.report(i + 1, "unordered-iteration", message(m[1].str()));
+      continue;
+    }
+    if (std::regex_search(line, m, kBeginEnd) && tracked.count(m[1].str())) {
+      ctx.report(i + 1, "unordered-iteration", message(m[1].str()));
+      continue;
+    }
+    if (std::regex_search(line, kRangeForTemp)) {
+      ctx.report(i + 1, "unordered-iteration",
+                 message("(unordered temporary)"));
+    }
+  }
+}
+
+void check_mutable_global(LintContext& ctx) {
+  // Never flag: constants, aliases, templates, declarations of functions
+  // (first of '(', '=', '{' is a '('), and pure synchronization
+  // primitives that hold no data.
+  static const std::regex kImmune(
+      R"(\b(const|constexpr|constinit|using|typedef|template|friend|extern|return|operator|class|struct|union|enum|namespace)\b)");
+  static const std::regex kSyncOnly(
+      R"(\b(mutex|shared_mutex|once_flag|condition_variable(_any)?)\b)");
+  static const std::regex kStaticish(R"(\b(static|thread_local)\b)");
+  static const std::regex kVarName(R"(([A-Za-z_]\w*)\s*(=|\{|;))");
+  ScopeTracker scope;
+  // Last significant character of the previous non-blank code line: a
+  // declaration can only *start* after ';', '{' or '}', so continuation
+  // lines of multi-line declarations and parameter lists never match.
+  char prev_end = ';';
+  for (std::size_t i = 0; i < ctx.code_lines.size(); ++i) {
+    const std::string& line = ctx.code_lines[i];
+    const bool ns_scope = scope.at_namespace_scope();
+    scope.feed(line);
+    const bool starts_decl =
+        prev_end == ';' || prev_end == '{' || prev_end == '}';
+    const std::size_t first = line.find_first_not_of(" \t");
+    const std::size_t last = line.find_last_not_of(" \t");
+    if (first != std::string::npos && line[first] != '#') {
+      prev_end = line[last];
+    }
+    const bool staticish = std::regex_search(line, kStaticish);
+    if (!ns_scope && !staticish) continue;
+    if (!starts_decl) continue;
+    // Trim + basic shape: a one-line declaration ending in ';'.
+    if (first == std::string::npos || line[first] == '#') continue;
+    if (line[last] != ';') continue;
+    if (std::regex_search(line, kImmune)) continue;
+    if (std::regex_search(line, kSyncOnly)) continue;
+    // Function declaration / paren-init: '(' before any '=' or '{'.
+    const std::size_t paren = line.find('(');
+    const std::size_t init = std::min(line.find('='), line.find('{'));
+    if (paren != std::string::npos && paren < init) continue;
+    // `... = 1);` / `...);` — the tail of a parameter list with default
+    // arguments, never a declaration.
+    const std::size_t before_semi = line.find_last_not_of(" \t", last - 1);
+    if (before_semi != std::string::npos && line[before_semi] == ')') {
+      continue;
+    }
+    // The declared name is the identifier right before '=', '{' or ';'.
+    std::smatch m;
+    if (!std::regex_search(line, m, kVarName)) continue;
+    // Need at least a type token before the name (filters `x = 5;`
+    // assignments and lone expressions).
+    const std::string before = m.prefix().str();
+    if (before.find_first_not_of(" \t") == std::string::npos) continue;
+    if (ns_scope || staticish) {
+      ctx.report(
+          i + 1, "mutable-global",
+          "mutable " +
+              std::string(staticish && !ns_scope ? "static local"
+                                                 : "namespace-scope") +
+              " state '" + m[1].str() +
+              "' is reachable from threaded code — pass state explicitly, "
+              "or annotate a deliberate singleton with an allow pragma");
+    }
+  }
+}
+
+void check_float_accumulation(LintContext& ctx) {
+  // Trial-merge territory only: everything under core/ merges or
+  // transports per-trial results.  The sanctioned aggregators (util/stats
+  // summarize(), util/histogram) live outside core/ by construction.
+  if (!path_contains(ctx.path, "core/")) return;
+  static const std::regex kFloatDecl(
+      R"(\b(?:double|float)\s+([A-Za-z_]\w*)\s*(=|;|\{|,|\)))");
+  static const std::regex kCompound(R"(([A-Za-z_]\w*)\s*[+\-]=)");
+  std::set<std::string> tracked;
+  for (const std::string& line : ctx.code_lines) {
+    auto begin =
+        std::sregex_iterator(line.begin(), line.end(), kFloatDecl);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      tracked.insert((*it)[1].str());
+    }
+  }
+  for (std::size_t i = 0; i < ctx.code_lines.size(); ++i) {
+    const std::string& line = ctx.code_lines[i];
+    auto begin = std::sregex_iterator(line.begin(), line.end(), kCompound);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      const std::string name = (*it)[1].str();
+      if (!tracked.count(name)) continue;
+      ctx.report(i + 1, "float-accumulation",
+                 "floating-point accumulation on '" + name +
+                     "' in a trial-merge path — accumulation order "
+                     "changes low bits; route samples through the "
+                     "util/stats aggregators (summarize())");
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> kCatalog = {
+      {"nondeterministic-seed",
+       "no rand()/random_device/wall-clock/pid seeding outside util/rng"},
+      {"unordered-iteration",
+       "no iteration over std::unordered_{map,set} on output- or "
+       "seed-affecting paths"},
+      {"mutable-global",
+       "no mutable globals/statics reachable from threaded code"},
+      {"float-accumulation",
+       "no float accumulation in trial-merge paths (core/) outside the "
+       "sanctioned util/stats aggregators"},
+  };
+  return kCatalog;
+}
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& content,
+                                 const std::vector<std::string>& enabled) {
+  const std::vector<std::string> raw_lines = split_lines(content);
+  const std::vector<std::string> code_lines =
+      split_lines(blank_comments_and_literals(content));
+  const std::vector<std::string> string_lines = split_lines(
+      blank_comments_and_literals(content, /*keep_strings=*/true));
+  const auto pragmas = collect_pragmas(raw_lines);
+  std::vector<Finding> findings;
+  LintContext ctx{path, raw_lines, code_lines, string_lines, pragmas,
+                  findings};
+  const auto on = [&enabled](const char* rule) {
+    return enabled.empty() ||
+           std::find(enabled.begin(), enabled.end(), rule) != enabled.end();
+  };
+  if (on("nondeterministic-seed")) check_nondeterministic_seed(ctx);
+  if (on("unordered-iteration")) check_unordered_iteration(ctx);
+  if (on("mutable-global")) check_mutable_global(ctx);
+  if (on("float-accumulation")) check_float_accumulation(ctx);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::string format_finding(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": [" +
+         finding.rule + "] " + finding.message;
+}
+
+}  // namespace megflood::lint

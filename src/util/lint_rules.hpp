@@ -1,0 +1,91 @@
+#pragma once
+
+// megflood_lint rule engine: project-specific determinism and concurrency
+// invariants no off-the-shelf tool knows about (ISSUE 7).  The engine is
+// deliberately a *library* — tools/megflood_lint.cpp is a thin driver and
+// tests/test_megflood_lint.cpp proves every rule live against fixture
+// sources — so the rules themselves are under test like any other code.
+//
+// Rule catalog (see docs/static-analysis.md for the rationale):
+//
+//   nondeterministic-seed  rand()/srand(), std::random_device,
+//                          time(NULL)-style wall-clock seeds, getpid(),
+//                          /dev/urandom — anywhere outside src/util/rng.
+//                          Every stream must derive from an explicit
+//                          64-bit seed or the bit-identical-replay
+//                          contract is gone.
+//
+//   unordered-iteration    Iterating a std::unordered_{map,set,multimap,
+//                          multiset} (range-for or begin()/end()).  Hash
+//                          order is implementation-defined, so any
+//                          output- or seed-affecting path that walks one
+//                          is nondeterministic across libstdc++ versions.
+//                          Membership operations (find/count/insert/
+//                          contains/erase) are fine.
+//
+//   mutable-global         Mutable namespace-scope variables and mutable
+//                          function-local / class statics.  The trial
+//                          runner and the flooding barrier pool may call
+//                          any library code from worker threads; hidden
+//                          shared state is either a data race or a
+//                          cross-trial determinism leak.  Pure
+//                          synchronization primitives (std::mutex,
+//                          std::once_flag, std::condition_variable) are
+//                          exempt; a deliberate singleton (e.g. the
+//                          driver's signal-cancel flag) documents itself
+//                          with an allow pragma.
+//
+//   float-accumulation     `x += ...` / `x -= ...` on a float/double
+//                          variable in a trial-merge path (files under
+//                          core/).  Accumulation order changes the last
+//                          bits, so merges must route samples through the
+//                          sanctioned util/stats aggregators, which fold
+//                          in trial-index order.
+//
+// Suppression grammar: a finding on line L is suppressed when line L, or
+// the line immediately above it, carries
+//
+//   // megflood-lint: allow(<rule>[, <rule>...])
+//
+// with the finding's rule name (or `all`).  The pragma is per-line by
+// design — there is no file-level opt-out.
+//
+// The engine is line-based and heuristic: comments, string and character
+// literals are blanked before matching, declarations are recognized on
+// single (clang-formatted) lines, and scope tracking is brace-counting.
+// That is exactly enough to keep this tree clean and the fixtures honest;
+// it is not a C++ parser and does not try to be one.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace megflood::lint {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string name;
+  std::string summary;
+};
+
+// All rules, in a stable order (what --list-rules prints).
+const std::vector<RuleInfo>& rule_catalog();
+
+// Lints one source.  `path` scopes the path-sensitive rules
+// (nondeterministic-seed exempts util/rng, float-accumulation applies
+// under core/); `enabled` restricts to a subset of rule names, empty =
+// every rule.  Findings come out in line order.
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& content,
+                                 const std::vector<std::string>& enabled = {});
+
+// "file:line: [rule] message" — the grep-able report line.
+std::string format_finding(const Finding& finding);
+
+}  // namespace megflood::lint

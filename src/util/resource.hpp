@@ -35,14 +35,16 @@ inline std::uint64_t peak_rss_bytes() noexcept {
 }
 
 // False when peak-RSS assertions would be meaningless: sanitizer runtimes
-// (ASan shadow memory, in particular) inflate RSS far past the budgets the
-// regression guards encode, so guarded tests skip the numeric bound there
-// while still exercising the construction/step paths.
+// (ASan shadow memory and TSan's shadow cells + per-thread state alike)
+// inflate RSS far past the budgets the regression guards encode, so
+// guarded tests skip the numeric bound there while still exercising the
+// construction/step paths, and the runner's soft-budget warning stays
+// quiet rather than crying wolf over shadow pages.
 inline constexpr bool rss_guard_reliable() noexcept {
-#if defined(__SANITIZE_ADDRESS__)
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
   return false;
 #elif defined(__has_feature)
-#if __has_feature(address_sanitizer)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
   return false;
 #else
   return true;

@@ -1,0 +1,34 @@
+// Fixture: the same violations as the *_bad fixtures, each carrying an
+// allow pragma — the linter must report NOTHING here.  Exercises the
+// same-line form, the previous-line form, the multi-rule list, and
+// allow(all).  Not compiled — scanned by test_megflood_lint.cpp.
+#include <cstdlib>
+#include <random>
+#include <unordered_set>
+
+namespace fixture {
+
+// A deliberate singleton, documented where it is declared.
+// megflood-lint: allow(mutable-global)
+int g_documented_singleton = 0;
+
+int g_multi_rule = 1;  // megflood-lint: allow(mutable-global, unordered-iteration)
+
+// megflood-lint: allow(all)
+int g_allow_all = 2;
+
+unsigned entropy_shim() {
+  std::random_device rd;  // megflood-lint: allow(nondeterministic-seed)
+  // megflood-lint: allow(nondeterministic-seed)
+  return rd() + static_cast<unsigned>(rand());
+}
+
+int walk(const std::unordered_set<int>& seen) {
+  int total = 0;
+  // Iteration feeds a commutative reduction, so hash order cannot leak.
+  // megflood-lint: allow(unordered-iteration)
+  for (const int v : seen) total += v;
+  return total + g_documented_singleton + g_multi_rule + g_allow_all;
+}
+
+}  // namespace fixture

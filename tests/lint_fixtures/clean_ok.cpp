@@ -1,0 +1,52 @@
+// Fixture: idiomatic megflood code that sails close to every rule
+// without violating any — the linter must report NOTHING.  Guards the
+// engine against false positives.  Not compiled — scanned by
+// test_megflood_lint.cpp.
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+// Constants and aliases at namespace scope are fine.
+constexpr std::uint64_t kSeedSalt = 0x9e3779b97f4a7c15ULL;
+const std::string kDefaultModel = "edge_meg";
+inline constexpr std::size_t kMaxTrials = 1 << 20;
+using TrialIndex = std::size_t;
+
+// Pure synchronization primitives are exempt from mutable-global.
+std::mutex g_report_mutex;
+
+class Clock {
+ public:
+  // A member named time() is not a wall-clock call.
+  std::uint64_t time() const noexcept { return time_; }
+  void advance() noexcept { ++time_; }
+
+ private:
+  std::uint64_t time_ = 0;
+};
+
+// Multi-line declarations and default arguments are not globals.
+std::vector<std::uint64_t> derive_many(std::uint64_t master,
+                                       std::size_t count,
+                                       std::size_t stride = 1);
+
+// Membership tests on unordered containers are fine; iteration happens
+// over the ordered std::map.
+double tally(const std::map<std::string, double>& ordered,
+             const std::unordered_set<std::string>& skip) {
+  double out = 0.0;
+  for (const auto& [name, value] : ordered) {
+    if (skip.find(name) != skip.end()) continue;
+    if (skip.count(name) > 0) continue;
+    if (skip.contains(name)) continue;
+    out += value;  // not under core/: float-accumulation out of scope
+  }
+  return out;
+}
+
+}  // namespace fixture

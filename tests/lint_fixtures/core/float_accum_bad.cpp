@@ -1,0 +1,15 @@
+// Fixture: float accumulation on a trial-merge path (the path carries
+// "core/", which scopes the rule).  Not compiled — scanned by
+// test_megflood_lint.cpp.
+#include <cstddef>
+#include <vector>
+
+double trigger(const std::vector<double>& samples) {
+  double mean = 0.0;
+  float running = 0.0f;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    mean += samples[i];
+    running -= static_cast<float>(samples[i]);
+  }
+  return mean / static_cast<double>(samples.size()) + running;
+}

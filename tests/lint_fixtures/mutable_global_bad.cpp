@@ -1,0 +1,20 @@
+// Fixture: mutable namespace-scope and static-local state must fire
+// mutable-global.  Not compiled — scanned by test_megflood_lint.cpp.
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+namespace fixture {
+
+std::size_t g_trials_run = 0;
+std::string g_last_model;
+std::atomic<int> g_pending{0};
+
+std::size_t bump() {
+  static std::size_t calls = 0;
+  thread_local std::size_t local_calls = 0;
+  ++local_calls;
+  return ++calls + g_trials_run;
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: every line in trigger() must fire nondeterministic-seed.
+// Not compiled — scanned by test_megflood_lint.cpp.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned trigger() {
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  std::random_device entropy;
+  const char* pool = "/dev/urandom";
+  (void)pool;
+  return static_cast<unsigned>(rand()) + entropy();
+}

@@ -1,0 +1,21 @@
+// Fixture: iteration over unordered containers must fire
+// unordered-iteration (membership ops in clean_ok.cpp must not).
+// Not compiled — scanned by test_megflood_lint.cpp.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+double trigger() {
+  std::unordered_map<std::string, double> weights;
+  std::unordered_set<int> seen;
+  weights["a"] = 1.0;
+  double total = 0.0;
+  for (const auto& [name, weight] : weights) {
+    total += weight;
+    (void)name;
+  }
+  for (auto it = seen.begin(); it != seen.end(); ++it) {
+    total += *it;
+  }
+  return total;
+}

@@ -45,7 +45,7 @@ TEST(CliqueFlicker, EdgeProbabilityMatchesFormula) {
     if (g.snapshot().has_edge(0, 1)) ++hits;
     g.step();
   }
-  EXPECT_NEAR(hits / static_cast<double>(kSamples), expected, 0.01);
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, expected, 0.01);
 }
 
 TEST(CliqueFlicker, IncidentBetaLarge) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/driver.hpp"
+#include "util/resource.hpp"
 
 namespace megflood {
 namespace {
@@ -221,15 +222,21 @@ TEST(DriverCli, RssBudgetWarningReachesCsvAndJson) {
   const auto csv = run({"--model=edge_meg", "--n=48", "--trials=2",
                         "--format=csv", "--rss_budget_mb=1"});
   EXPECT_EQ(csv.code, kExitOk);
-  EXPECT_NE(csv.out.find("exceeded the soft budget"), std::string::npos);
   const auto json = run({"--model=edge_meg", "--n=48", "--trials=2",
                          "--format=json", "--rss_budget_mb=1"});
   EXPECT_EQ(json.code, kExitOk);
-  EXPECT_NE(json.out.find("\"warnings\": [\""), std::string::npos);
   // Table mode routes warnings to stderr, keeping stdout human-shaped.
   const auto table = run({"--model=edge_meg", "--n=48", "--trials=2",
                           "--rss_budget_mb=1"});
   EXPECT_EQ(table.code, kExitOk);
+  if (!rss_guard_reliable()) {
+    // Sanitizer shadow memory owns the peak RSS, so the driver
+    // deliberately suppresses the soft-budget warning — exit codes and
+    // emit paths above are still exercised.
+    GTEST_SKIP() << "RSS warning suppressed under sanitizers by design";
+  }
+  EXPECT_NE(csv.out.find("exceeded the soft budget"), std::string::npos);
+  EXPECT_NE(json.out.find("\"warnings\": [\""), std::string::npos);
   EXPECT_NE(table.err.find("warning:"), std::string::npos);
 }
 

@@ -13,7 +13,7 @@ namespace {
 
 double density(const Snapshot& s, std::size_t n) {
   return static_cast<double>(s.num_edges()) /
-         (static_cast<double>(n) * (n - 1) / 2.0);
+         (static_cast<double>(n) * static_cast<double>(n - 1) / 2.0);
 }
 
 TEST(TwoStateEdgeMEG, RejectsTinyGraphs) {

@@ -147,7 +147,8 @@ TEST(FourStateLink, BurstierContactsThanTwoState) {
       prev = on;
       meg.step();
     }
-    return runs > 0 ? static_cast<double>(on_total) / runs : 0.0;
+    return runs > 0 ? static_cast<double>(on_total) / static_cast<double>(runs)
+                    : 0.0;
   };
   EXPECT_GT(mean_run(bursty), mean_run(plain));
 }

@@ -1,0 +1,201 @@
+// Fixture-driven proof that every megflood_lint rule is live and that the
+// suppression grammar works (ISSUE 7).  Each *_bad fixture must fire
+// exactly its rule; the *_ok fixtures must be silent; and re-linting a
+// bad fixture with its rule disabled must be silent too, which pins the
+// finding to the rule rather than to some accidental overlap.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/lint_rules.hpp"
+
+#ifndef MEGFLOOD_LINT_FIXTURE_DIR
+#error "MEGFLOOD_LINT_FIXTURE_DIR must point at tests/lint_fixtures"
+#endif
+
+namespace {
+
+using megflood::lint::Finding;
+using megflood::lint::format_finding;
+using megflood::lint::lint_source;
+using megflood::lint::rule_catalog;
+
+constexpr const char* kSeedRule = "nondeterministic-seed";
+constexpr const char* kUnorderedRule = "unordered-iteration";
+constexpr const char* kGlobalRule = "mutable-global";
+constexpr const char* kFloatRule = "float-accumulation";
+
+std::string fixture_path(const std::string& name) {
+  return std::string(MEGFLOOD_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string read_fixture(const std::string& name) {
+  std::ifstream in(fixture_path(name), std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << name;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::set<std::string> rules_of(const std::vector<Finding>& findings) {
+  std::set<std::string> out;
+  for (const Finding& f : findings) out.insert(f.rule);
+  return out;
+}
+
+std::set<std::size_t> lines_of(const std::vector<Finding>& findings) {
+  std::set<std::size_t> out;
+  for (const Finding& f : findings) out.insert(f.line);
+  return out;
+}
+
+std::string dump(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& f : findings) out += format_finding(f) + "\n";
+  return out;
+}
+
+// All catalog rules except `excluded` — for the rule-liveness checks.
+std::vector<std::string> all_rules_except(const std::string& excluded) {
+  std::vector<std::string> out;
+  for (const auto& info : rule_catalog()) {
+    if (info.name != excluded) out.push_back(info.name);
+  }
+  return out;
+}
+
+// Lints a fixture and asserts every finding carries `rule`, that the set
+// of flagged lines is exactly `lines`, and that disabling the rule (while
+// keeping every other rule on) silences the fixture completely.
+void expect_fires_exactly(const std::string& name, const std::string& rule,
+                          const std::set<std::size_t>& lines) {
+  const std::string path = fixture_path(name);
+  const std::string content = read_fixture(name);
+
+  const std::vector<Finding> findings = lint_source(path, content);
+  ASSERT_FALSE(findings.empty()) << name << " fired nothing";
+  EXPECT_EQ(rules_of(findings), std::set<std::string>{rule})
+      << dump(findings);
+  EXPECT_EQ(lines_of(findings), lines) << dump(findings);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.file, path);
+    EXPECT_FALSE(f.message.empty());
+  }
+
+  const std::vector<Finding> without =
+      lint_source(path, content, all_rules_except(rule));
+  EXPECT_TRUE(without.empty())
+      << name << " still fires with " << rule << " disabled:\n"
+      << dump(without);
+}
+
+TEST(MegfloodLint, CatalogListsTheFourRulesInStableOrder) {
+  const auto& catalog = rule_catalog();
+  ASSERT_EQ(catalog.size(), 4u);
+  EXPECT_EQ(catalog[0].name, kSeedRule);
+  EXPECT_EQ(catalog[1].name, kUnorderedRule);
+  EXPECT_EQ(catalog[2].name, kGlobalRule);
+  EXPECT_EQ(catalog[3].name, kFloatRule);
+  for (const auto& info : catalog) EXPECT_FALSE(info.summary.empty());
+}
+
+TEST(MegfloodLint, FormatFindingIsGrepable) {
+  Finding f;
+  f.file = "src/core/trial.cpp";
+  f.line = 42;
+  f.rule = kGlobalRule;
+  f.message = "mutable namespace-scope state";
+  EXPECT_EQ(format_finding(f),
+            "src/core/trial.cpp:42: [mutable-global] "
+            "mutable namespace-scope state");
+}
+
+TEST(MegfloodLint, SeedFixtureFiresOnEveryTriggerLine) {
+  expect_fires_exactly("seed_bad.cpp", kSeedRule, {8, 9, 10, 12});
+}
+
+TEST(MegfloodLint, SeedRuleExemptsTheSanctionedRngModule) {
+  // The identical content under src/util/rng is the one sanctioned home
+  // for entropy, so the path-scoped rule must stay quiet there.
+  const std::string content = read_fixture("seed_bad.cpp");
+  EXPECT_TRUE(lint_source("src/util/rng.hpp", content).empty());
+}
+
+TEST(MegfloodLint, UnorderedFixtureFiresOnBothIterationForms) {
+  expect_fires_exactly("unordered_bad.cpp", kUnorderedRule, {13, 17});
+}
+
+TEST(MegfloodLint, MutableGlobalFixtureFiresOnAllFiveDeclarations) {
+  expect_fires_exactly("mutable_global_bad.cpp", kGlobalRule,
+                       {9, 10, 11, 14, 15});
+}
+
+TEST(MegfloodLint, FloatAccumulationFixtureFiresUnderCore) {
+  expect_fires_exactly("core/float_accum_bad.cpp", kFloatRule, {11, 12});
+}
+
+TEST(MegfloodLint, FloatAccumulationIsScopedToCorePaths) {
+  // Same content, non-core path: the trial-merge rule is out of scope.
+  const std::string content = read_fixture("core/float_accum_bad.cpp");
+  EXPECT_TRUE(lint_source("src/markov/float_accum.cpp", content).empty());
+}
+
+TEST(MegfloodLint, CleanFixtureYieldsNoFindings) {
+  const std::string content = read_fixture("clean_ok.cpp");
+  const auto findings = lint_source(fixture_path("clean_ok.cpp"), content);
+  EXPECT_TRUE(findings.empty()) << dump(findings);
+}
+
+TEST(MegfloodLint, AllowPragmasSuppressEveryForm) {
+  const std::string content = read_fixture("allow_pragma_ok.cpp");
+  const auto findings =
+      lint_source(fixture_path("allow_pragma_ok.cpp"), content);
+  EXPECT_TRUE(findings.empty()) << dump(findings);
+}
+
+TEST(MegfloodLint, AllowPragmaSitesAreLiveOnceThePragmasAreGone) {
+  // Neutralize every pragma in place (line numbers preserved) and check
+  // that each suppressed site actually fires — i.e. the pragmas in
+  // allow_pragma_ok.cpp are doing real work, not decorating dead code.
+  std::string content = read_fixture("allow_pragma_ok.cpp");
+  const std::string pragma = "megflood-lint:";
+  const std::string neutral = "megflood-nope:";
+  std::size_t pos = 0;
+  std::size_t stripped = 0;
+  while ((pos = content.find(pragma, pos)) != std::string::npos) {
+    content.replace(pos, pragma.size(), neutral);
+    pos += neutral.size();
+    ++stripped;
+  }
+  ASSERT_GE(stripped, 6u);
+
+  const auto findings =
+      lint_source(fixture_path("allow_pragma_ok.cpp"), content);
+  EXPECT_EQ(lines_of(findings),
+            (std::set<std::size_t>{13, 15, 18, 21, 23, 30}))
+      << dump(findings);
+  EXPECT_EQ(rules_of(findings),
+            (std::set<std::string>{kSeedRule, kUnorderedRule, kGlobalRule}))
+      << dump(findings);
+}
+
+TEST(MegfloodLint, EnabledSubsetRestrictsToExactlyThatRule) {
+  const std::string content = read_fixture("seed_bad.cpp");
+  const std::string path = fixture_path("seed_bad.cpp");
+  // The seed fixture under the seed rule alone: same findings as default.
+  EXPECT_EQ(dump(lint_source(path, content, {kSeedRule})),
+            dump(lint_source(path, content)));
+  // Under any single other rule: silence.
+  for (const auto& info : rule_catalog()) {
+    if (info.name == kSeedRule) continue;
+    EXPECT_TRUE(lint_source(path, content, {info.name}).empty())
+        << "rule " << info.name << " leaked into seed_bad.cpp";
+  }
+}
+
+}  // namespace

@@ -115,7 +115,7 @@ TEST(ExplicitNodeMEG, EmpiricalPnmMatchesInvariant) {
     for (int t = 0; t < 3; ++t) meg.step();
     if (meg.snapshot().has_edge(0, 1)) ++hits;
   }
-  EXPECT_NEAR(hits / static_cast<double>(kSamples), inv.p_nm, 0.03);
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, inv.p_nm, 0.03);
 }
 
 TEST(ExplicitNodeMEG, SetAllStatesConnectsEveryone) {

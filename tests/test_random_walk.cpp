@@ -94,8 +94,8 @@ TEST(RandomWalkModel, StationaryInitMatchesDegreeBias) {
     }
   }
   // pi(hub) = 5/13 ≈ 0.385; each leaf 2/13.
-  EXPECT_NEAR(hub / 800.0, 5.0 / 13.0, 0.05);
-  EXPECT_NEAR(leaves / 800.0, 8.0 / 13.0, 0.05);
+  EXPECT_NEAR(static_cast<double>(hub) / 800.0, 5.0 / 13.0, 0.05);
+  EXPECT_NEAR(static_cast<double>(leaves) / 800.0, 8.0 / 13.0, 0.05);
 }
 
 TEST(RandomWalkModel, SetAllPositionsAndCompleteSnapshot) {

@@ -1,0 +1,137 @@
+// megflood_lint — the project's determinism/concurrency linter (ISSUE 7).
+// Enforces the invariants no off-the-shelf tool knows: seeding discipline,
+// unordered-iteration bans, mutable-global bans, float-accumulation bans
+// on trial-merge paths.  The rules live in src/util/lint_rules.cpp (under
+// test like any other library code); this is the thin file-walking driver.
+//
+//   $ megflood_lint src tools                 # lint two trees
+//   $ megflood_lint --rules=mutable-global src
+//   $ megflood_lint --list-rules
+//
+// Exit codes: 0 clean, 1 findings, 2 usage/IO error — so it slots into
+// ctest and CI as a pass/fail gate.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/lint_rules.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using megflood::lint::Finding;
+
+bool lintable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc" ||
+         ext == ".hh";
+}
+
+std::vector<std::string> collect_files(const std::string& root) {
+  std::vector<std::string> files;
+  const fs::path p(root);
+  if (fs::is_regular_file(p)) {
+    files.push_back(p.string());
+    return files;
+  }
+  if (!fs::is_directory(p)) return files;
+  for (const auto& entry : fs::recursive_directory_iterator(p)) {
+    if (entry.is_regular_file() && lintable(entry.path())) {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::vector<std::string> split_csv(const std::string& arg) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream in(arg);
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+int usage(std::ostream& out, int code) {
+  out << "usage: megflood_lint [--rules=r1,r2,...] [--list-rules] "
+         "<file-or-dir>...\n"
+         "Lints C++ sources against the megflood determinism rules.\n"
+         "Exit codes: 0 clean, 1 findings, 2 usage/IO error.\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::vector<std::string> rules;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& rule : megflood::lint::rule_catalog()) {
+        std::cout << rule.name << "  " << rule.summary << "\n";
+      }
+      return 0;
+    }
+    if (arg.rfind("--rules=", 0) == 0) {
+      rules = split_csv(arg.substr(8));
+      for (const std::string& r : rules) {
+        bool known = false;
+        for (const auto& rule : megflood::lint::rule_catalog()) {
+          known = known || rule.name == r;
+        }
+        if (!known) {
+          std::cerr << "megflood_lint: unknown rule '" << r
+                    << "' (--list-rules prints the catalog)\n";
+          return 2;
+        }
+      }
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
+    if (arg.rfind("--", 0) == 0) {
+      std::cerr << "megflood_lint: unknown option " << arg << "\n";
+      return usage(std::cerr, 2);
+    }
+    roots.push_back(arg);
+  }
+  if (roots.empty()) return usage(std::cerr, 2);
+
+  std::size_t checked = 0;
+  std::vector<Finding> all;
+  for (const std::string& root : roots) {
+    const std::vector<std::string> files = collect_files(root);
+    if (files.empty() && !fs::exists(root)) {
+      std::cerr << "megflood_lint: no such file or directory: " << root
+                << "\n";
+      return 2;
+    }
+    for (const std::string& file : files) {
+      std::ifstream in(file, std::ios::binary);
+      if (!in) {
+        std::cerr << "megflood_lint: cannot read " << file << "\n";
+        return 2;
+      }
+      std::ostringstream content;
+      content << in.rdbuf();
+      ++checked;
+      for (Finding& f :
+           megflood::lint::lint_source(file, content.str(), rules)) {
+        all.push_back(std::move(f));
+      }
+    }
+  }
+  for (const Finding& f : all) {
+    std::cout << megflood::lint::format_finding(f) << "\n";
+  }
+  std::cerr << "megflood_lint: " << checked << " files, " << all.size()
+            << " finding(s)\n";
+  return all.empty() ? 0 : 1;
+}

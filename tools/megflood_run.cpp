@@ -2,9 +2,9 @@
 // spreading scenarios without recompiling a bespoke main.
 //
 //   $ megflood_run --list
-//   $ megflood_run --model=edge_meg --n=4096 --alpha=0.002 \
+//   $ megflood_run --model=edge_meg --n=4096 --alpha=0.002
 //         --process=gossip:pushpull --trials=64 --threads=0 --format=csv
-//   $ megflood_run --model=edge_meg --trials=64 --format=csv \
+//   $ megflood_run --model=edge_meg --trials=64 --format=csv
 //         --checkpoint=campaign.ckpt        # interrupt + re-run to resume
 //
 // The whole CLI body lives in the library (core/driver.hpp) so exit codes
