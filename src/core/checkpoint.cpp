@@ -98,10 +98,10 @@ std::string header_bytes(const CheckpointKey& key) {
   std::string out;
   put_u64(out, kMagic);
   put_u32(out, kVersion);
-  put_u64(out, key.seed);
-  put_u64(out, key.trials);
+  put_u64(out, key.campaign.seed);
+  put_u64(out, key.campaign.trials);
   put_u64(out, key.threads);
-  put_str(out, key.scenario_cli);
+  put_str(out, key.campaign.scenario_cli);
   return out;
 }
 
@@ -229,7 +229,7 @@ CheckpointJournal::CheckpointJournal(std::string path,
     const std::string payload = cur.get_bytes(len);
     const std::uint64_t checksum = cur.get_u64();
     if (!cur.ok() || checksum != fnv1a(payload)) break;
-    if (kind == kKindOutcome && trial < key.trials) {
+    if (kind == kKindOutcome && trial < key.campaign.trials) {
       TrialOutcome outcome;
       if (!parse_outcome(payload, outcome)) break;
       done_[static_cast<std::size_t>(trial)] = std::move(outcome);

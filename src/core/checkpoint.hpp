@@ -34,16 +34,19 @@
 #include <string>
 #include <vector>
 
+#include "core/campaign.hpp"
 #include "core/trial.hpp"
 
 namespace megflood {
 
-// The campaign identity a journal binds (ISSUE 6: canonical scenario CLI
-// + seed + trials + thread count).
+// The identity a journal binds: the tree-wide canonical campaign key
+// (core/campaign.hpp — canonical scenario CLI + seed + trials, the same
+// key the serve cache uses) plus the thread count.  Threads do not change
+// results (the trial-order merge is bit-identical for any thread count),
+// but the journal binds them anyway so a resumed run reproduces the
+// interrupted run's execution shape exactly.
 struct CheckpointKey {
-  std::string scenario_cli;
-  std::uint64_t seed = 0;
-  std::uint64_t trials = 0;
+  CampaignKey campaign;
   std::uint64_t threads = 0;
 };
 

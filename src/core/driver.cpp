@@ -9,35 +9,24 @@
 #include <utility>
 #include <vector>
 
+#include "core/campaign.hpp"
 #include "core/checkpoint.hpp"
+#include "core/format.hpp"
 #include "core/scenario.hpp"
 #include "util/fault_injection.hpp"
 #include "util/resource.hpp"
-#include "util/table.hpp"
 
 namespace megflood {
 
 namespace {
-
-std::string fmt(double value) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
-  return buffer;
-}
-
-// Local equivalents of bench/bench_util.hpp's table helpers: the driver
-// lives in the library and must not depend on the bench tree.
-std::string fmt_rounds(const Measurement& m, double value,
-                       int precision = 1) {
-  return m.all_incomplete() ? "n/a (0 done)" : Table::num(value, precision);
-}
 
 void print_usage(std::ostream& os) {
   os << "usage: megflood_run --model=<name> [--<param>=<value> ...]\n"
         "                    [--process=<spec>] [--trials=N] [--seed=S]\n"
         "                    [--max_rounds=M] [--warmup=W|auto] [--threads=T]\n"
         "                    [--rotate_sources=0|1] [--format=table|csv|json]\n"
-        "                    [--sweep=key=a:b:step] [--checkpoint=FILE]\n"
+        "                    [--sweep=key=a:b:step[,key=a:b:step...]]\n"
+        "                    [--checkpoint=FILE]\n"
         "                    [--inject=SPEC] [--contain=0|1]\n"
         "                    [--deadline=SECONDS] [--rss_budget_mb=N]\n"
         "       megflood_run --list\n"
@@ -46,9 +35,11 @@ void print_usage(std::ostream& os) {
         "              | radio[:<tau>] | ttl[:<ttl>]\n"
         "--warmup=auto uses the model's suggested warmup (Theta(L/v) for\n"
         "the geometric mobility models; models without one fail hard).\n"
-        "--sweep runs one scenario per point key = a, a+step, .., b and\n"
-        "emits one CSV row per point (requires --format=csv; the swept key\n"
-        "must be a declared model parameter — unknown key = hard error).\n"
+        "--sweep runs one scenario per point of the Cartesian product of\n"
+        "the comma-joined axes (first key slowest) and emits one CSV row\n"
+        "per point (requires --format=csv; every swept key must be a\n"
+        "declared model parameter and appear once — duplicates are a hard\n"
+        "error).\n"
         "--checkpoint journals each completed trial; re-running the same\n"
         "campaign (same scenario CLI, seed, trials, threads) resumes and\n"
         "reproduces the uninterrupted output byte for byte.\n"
@@ -75,163 +66,6 @@ void print_list(std::ostream& os) {
   }
   os << "\nprocesses: flooding | gossip[:push|pull|pushpull] | "
         "kpush[:<k>] | radio[:<tau>] | ttl[:<ttl>]\n";
-}
-
-// Flat (column, value) row shared by the csv and json emitters; round
-// statistics are empty when no trial completed (all_incomplete), never 0.
-std::vector<std::pair<std::string, std::string>> result_fields(
-    const ScenarioSpec& spec, const ScenarioResult& result) {
-  const Measurement& m = result.measurement;
-  const std::size_t completed = m.rounds.count;
-  std::vector<std::pair<std::string, std::string>> fields = {
-      {"model", spec.model},
-      {"process", spec.process},
-      {"n", std::to_string(result.num_nodes)},
-      {"trials", std::to_string(spec.trial.trials)},
-      {"completed", std::to_string(completed)},
-      {"incomplete", std::to_string(m.incomplete)},
-      {"errors", std::to_string(m.errors.size())},
-  };
-  const auto stat = [&](const std::string& name, double value) {
-    fields.emplace_back(name, m.all_incomplete() ? "" : fmt(value));
-  };
-  stat("rounds_mean", m.rounds.mean);
-  stat("rounds_median", m.rounds.median);
-  stat("rounds_p90", m.rounds.p90);
-  stat("rounds_p99", m.rounds.p99);
-  stat("rounds_max", m.rounds.max);
-  stat("spreading_median", m.spreading_rounds.median);
-  stat("saturation_median", m.saturation_rounds.median);
-  for (const auto& [name, summary] : m.metrics) {
-    stat(name + "_mean", summary.mean);
-    stat(name + "_median", summary.median);
-  }
-  return fields;
-}
-
-// The warning channel collapses to one CSV cell, so individual warnings
-// must stay comma-free (enforced at the sources) and are ';'-joined here.
-std::string join_warnings(const std::vector<std::string>& warnings) {
-  std::string joined;
-  for (const std::string& w : warnings) {
-    joined += (joined.empty() ? "" : "; ") + w;
-  }
-  return joined;
-}
-
-void emit_csv_header(
-    std::ostream& out,
-    const std::vector<std::pair<std::string, std::string>>& fields) {
-  for (std::size_t i = 0; i < fields.size(); ++i) {
-    out << fields[i].first << (i + 1 < fields.size() ? "," : "\n");
-  }
-}
-
-void emit_csv_row(
-    std::ostream& out,
-    const std::vector<std::pair<std::string, std::string>>& fields) {
-  for (std::size_t i = 0; i < fields.size(); ++i) {
-    out << fields[i].second << (i + 1 < fields.size() ? "," : "\n");
-  }
-}
-
-void emit_csv(std::ostream& out, const ScenarioSpec& spec,
-              const ScenarioResult& result,
-              const std::vector<std::string>& warnings) {
-  auto fields = result_fields(spec, result);
-  fields.emplace_back("warnings", join_warnings(warnings));
-  emit_csv_header(out, fields);
-  emit_csv_row(out, fields);
-}
-
-std::string json_quote(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  return out + "\"";
-}
-
-void emit_json(std::ostream& out, const ScenarioSpec& spec,
-               const ScenarioResult& result,
-               const std::vector<std::string>& warnings) {
-  const auto fields = result_fields(spec, result);
-  out << "{";
-  bool first = true;
-  for (const auto& [name, value] : fields) {
-    if (!first) out << ", ";
-    first = false;
-    out << json_quote(name) << ": ";
-    const bool numeric = name != "model" && name != "process";
-    if (value.empty()) {
-      out << "null";
-    } else if (numeric) {
-      out << value;
-    } else {
-      out << json_quote(value);
-    }
-  }
-  out << ", \"warnings\": [";
-  for (std::size_t i = 0; i < warnings.size(); ++i) {
-    out << (i ? ", " : "") << json_quote(warnings[i]);
-  }
-  out << "]}\n";
-}
-
-void emit_table(std::ostream& out, const ScenarioSpec& spec,
-                const ScenarioResult& result) {
-  const Measurement& m = result.measurement;
-  out << "scenario: " << scenario_to_cli(spec) << "\n";
-  out << "n = " << result.num_nodes << ", completed " << m.rounds.count << "/"
-      << spec.trial.trials << " trials\n\n";
-  Table table({"statistic", "value"});
-  table.add_row({"rounds mean", fmt_rounds(m, m.rounds.mean)});
-  table.add_row({"rounds median", fmt_rounds(m, m.rounds.median)});
-  table.add_row({"rounds p90", fmt_rounds(m, m.rounds.p90)});
-  table.add_row({"rounds p99", fmt_rounds(m, m.rounds.p99)});
-  table.add_row({"rounds max", fmt_rounds(m, m.rounds.max, 0)});
-  table.add_row(
-      {"spreading median", fmt_rounds(m, m.spreading_rounds.median)});
-  table.add_row(
-      {"saturation median", fmt_rounds(m, m.saturation_rounds.median)});
-  for (const auto& [name, summary] : m.metrics) {
-    table.add_row({name + " median", fmt_rounds(m, summary.median, 0)});
-  }
-  table.print(out);
-  if (m.all_incomplete()) {
-    out << "WARNING: no completed trials — round statistics are not "
-           "meaningful\n";
-  } else if (m.incomplete > 0) {
-    out << "WARNING: " << m.incomplete << " incomplete trials\n";
-  }
-}
-
-double parse_sweep_number(const std::string& what, const std::string& text) {
-  std::size_t pos = 0;
-  double parsed = 0.0;
-  try {
-    parsed = std::stod(text, &pos);
-  } catch (const std::exception&) {
-    pos = std::string::npos;
-  }
-  if (pos != text.size() || !std::isfinite(parsed)) {
-    throw std::invalid_argument("sweep " + what + ": '" + text +
-                                "' is not a finite number");
-  }
-  return parsed;
-}
-
-// Sweep values print like CLI literals: integral points stay integral
-// (an n sweep must produce "128", not "128.0", to round-trip through
-// the u64 parameter parser).
-std::string fmt_sweep_value(double v) {
-  if (v == std::floor(v) && std::abs(v) < 1e15) {
-    char buffer[32];
-    std::snprintf(buffer, sizeof(buffer), "%.0f", v);
-    return buffer;
-  }
-  return fmt(v);
 }
 
 // Per-trial diagnostics shared by every non-table format path; the
@@ -263,46 +97,55 @@ int worse_exit(int current, const Measurement& m) {
   return current;
 }
 
-// One scenario run per point, one CSV row per point with the swept value
-// as the first column.  A stalled point must not hide in a green sweep
-// (exit 3); a point with trial errors or an interruption is partial
-// (exit 4).
+// A short "a=0.02 b=3" label for diagnostics about one sweep point.
+std::string point_label(const SweepPoint& point) {
+  std::string label;
+  for (const auto& [key, value] : point) {
+    label += (label.empty() ? "" : " ") + key + "=" + value;
+  }
+  return label;
+}
+
+// One scenario run per Cartesian point, one CSV row per point with the
+// swept values as the leading columns (axes in input order).  A stalled
+// point must not hide in a green sweep (exit 3); a point with trial
+// errors or an interruption is partial (exit 4).
 int run_sweep(std::ostream& out, std::ostream& err, const ScenarioSpec& base,
-              const SweepSpec& sweep, const MeasureHooks& hooks) {
+              const std::vector<SweepSpec>& axes, const MeasureHooks& hooks) {
+  const std::vector<SweepPoint> points = expand_sweep_points(axes);
   bool header_emitted = false;
   int code = kExitOk;
-  for (std::size_t i = 0;; ++i) {
-    const double value = sweep.lo + static_cast<double>(i) * sweep.step;
-    // Slack on the inclusive upper bound so accumulated fp error cannot
-    // drop the final point of e.g. 0.03:0.06:0.03.
-    if (value > sweep.hi + sweep.step * 1e-9) break;
+  for (const SweepPoint& point : points) {
     if (hooks.cancel && hooks.cancel->load(std::memory_order_relaxed)) {
-      err << "megflood_run: interrupted — sweep stopped before " << sweep.key
-          << "=" << fmt_sweep_value(value) << "\n";
+      err << "megflood_run: interrupted — sweep stopped before "
+          << point_label(point) << "\n";
       return kExitPartial;
     }
     ScenarioSpec spec = base;
-    spec.params[sweep.key] = fmt_sweep_value(value);
+    for (const auto& [key, value] : point) {
+      spec.params[key] = value;
+    }
     const ScenarioResult result = run_scenario(spec, hooks);
     auto fields = result_fields(spec, result);
     fields.emplace_back("warnings", join_warnings(result.warnings));
-    // Prepend the swept value — unless a result column already carries
+    // Prepend the swept values — unless a result column already carries
     // the key (sweeping n: the built-in n column holds exactly the swept
     // value, and a duplicate header name breaks by-name CSV consumers).
-    const bool already_a_column =
-        std::any_of(fields.begin(), fields.end(),
-                    [&](const auto& field) { return field.first == sweep.key; });
-    if (!already_a_column) {
-      fields.insert(fields.begin(), {sweep.key, spec.params[sweep.key]});
+    ResultFields prefix;
+    for (const auto& [key, value] : point) {
+      const bool already_a_column = std::any_of(
+          fields.begin(), fields.end(),
+          [&, k = key](const auto& field) { return field.first == k; });
+      if (!already_a_column) prefix.emplace_back(key, value);
     }
+    fields.insert(fields.begin(), prefix.begin(), prefix.end());
     if (!header_emitted) {
       emit_csv_header(out, fields);
       header_emitted = true;
     }
     emit_csv_row(out, fields);
     code = worse_exit(code, result.measurement);
-    report_trouble(err, spec, result.measurement,
-                   sweep.key + "=" + spec.params[sweep.key]);
+    report_trouble(err, spec, result.measurement, point_label(point));
   }
   return code;
 }
@@ -345,39 +188,6 @@ bool parse_flag_bool(const std::string& flag, const std::string& value) {
 }
 
 }  // namespace
-
-SweepSpec parse_sweep(const std::string& value) {
-  SweepSpec sweep;
-  const std::size_t eq = value.find('=');
-  if (eq == std::string::npos || eq == 0) {
-    throw std::invalid_argument(
-        "sweep: expected key=a:b:step, got '" + value + "'");
-  }
-  sweep.key = value.substr(0, eq);
-  const std::string range = value.substr(eq + 1);
-  const std::size_t c1 = range.find(':');
-  const std::size_t c2 = c1 == std::string::npos
-                             ? std::string::npos
-                             : range.find(':', c1 + 1);
-  if (c1 == std::string::npos || c2 == std::string::npos ||
-      range.find(':', c2 + 1) != std::string::npos) {
-    throw std::invalid_argument(
-        "sweep: expected key=a:b:step, got '" + value + "'");
-  }
-  sweep.lo = parse_sweep_number("start", range.substr(0, c1));
-  sweep.hi = parse_sweep_number("stop", range.substr(c1 + 1, c2 - c1 - 1));
-  sweep.step = parse_sweep_number("step", range.substr(c2 + 1));
-  if (sweep.step <= 0.0) {
-    throw std::invalid_argument("sweep: step must be > 0");
-  }
-  if (sweep.lo > sweep.hi) {
-    throw std::invalid_argument("sweep: start must be <= stop");
-  }
-  if ((sweep.hi - sweep.lo) / sweep.step > 10000.0) {
-    throw std::invalid_argument("sweep: more than 10000 points");
-  }
-  return sweep;
-}
 
 std::atomic<bool>& driver_cancel_flag() {
   // The one sanctioned mutable singleton: POSIX signal handlers can only
@@ -484,21 +294,22 @@ int run_driver(const std::vector<std::string>& raw_args, std::ostream& out,
     }
 
     if (!sweep_arg.empty()) {
-      const SweepSpec sweep = parse_sweep(sweep_arg);
-      if (spec.params.count(sweep.key)) {
-        err << "megflood_run: --" << sweep.key
-            << " is both fixed and swept\n";
-        return kExitConfigError;
+      const std::vector<SweepSpec> axes = parse_multi_sweep(sweep_arg);
+      for (const SweepSpec& axis : axes) {
+        if (spec.params.count(axis.key)) {
+          err << "megflood_run: --" << axis.key
+              << " is both fixed and swept\n";
+          return kExitConfigError;
+        }
       }
-      return run_sweep(out, err, spec, sweep, hooks);
+      return run_sweep(out, err, spec, axes, hooks);
     }
 
     std::unique_ptr<CheckpointJournal> journal;
     if (!checkpoint_path.empty()) {
-      // The canonical CLI (driver flags excluded) + seed + trials +
-      // threads is the campaign identity the journal binds.
-      const CheckpointKey key{scenario_to_cli(spec), spec.trial.seed,
-                              spec.trial.trials, spec.trial.threads};
+      // The canonical campaign identity (driver flags excluded) plus the
+      // thread count is what the journal binds.
+      const CheckpointKey key{campaign_key(spec), spec.trial.threads};
       journal = std::make_unique<CheckpointJournal>(checkpoint_path, key);
       hooks.checkpoint = journal.get();
       if (journal->replayed_trials() > 0) {

@@ -8,7 +8,9 @@
 //
 // Driver flags on top of the scenario grammar (core/scenario.hpp):
 //   --format=table|csv|json   output format (default table)
-//   --sweep=key=a:b:step      one run per point, one CSV row per point
+//   --sweep=key=a:b:step[,key=a:b:step...]
+//                             Cartesian sweep: one run per point, one CSV
+//                             row per point (first key slowest)
 //   --checkpoint=FILE         durable trial journal; re-running with the
 //                             same campaign resumes (core/checkpoint.hpp)
 //   --inject=SPEC             deterministic fault injection
@@ -36,25 +38,18 @@
 #include <string>
 #include <vector>
 
+// SweepSpec / parse_sweep / parse_multi_sweep live in core/sweep.hpp; the
+// driver accepts --sweep=key=a:b:step[,key=a:b:step...] (Cartesian
+// multi-key, one CSV row per point, duplicate keys = exit 2) and shares
+// the expansion code with the serve layer.
+#include "core/sweep.hpp"
+
 namespace megflood {
 
 inline constexpr int kExitOk = 0;
 inline constexpr int kExitConfigError = 2;
 inline constexpr int kExitStalled = 3;
 inline constexpr int kExitPartial = 4;
-
-// --sweep=key=a:b:step, e.g. --sweep=alpha=0.01:0.05:0.01.  Exposed for
-// direct negative-path testing; parse_sweep throws std::invalid_argument
-// on a malformed spec (missing key, non-numeric bounds, step <= 0,
-// reversed bounds, > 10000 points).
-struct SweepSpec {
-  std::string key;
-  double lo = 0.0;
-  double hi = 0.0;
-  double step = 0.0;
-};
-
-SweepSpec parse_sweep(const std::string& value);
 
 // Cooperative cancellation: the runner stops claiming new trials once
 // this flag is true (completed trials are already durable when a

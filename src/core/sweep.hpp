@@ -1,0 +1,49 @@
+#pragma once
+
+// Parameter sweeps: one axis is `key=lo:hi:step`, a multi-key sweep is a
+// comma-joined list of axes whose Cartesian product defines the points
+// (ISSUE 8, generalizing the PR 5 single-key --sweep).  The expansion is
+// shared by megflood_run (--sweep=a=..:..:..,b=..:..:.. emits one CSV row
+// per point) and the serve layer (a job with a "sweep" field expands
+// server-side into one cache-keyed sub-job per point), so "the same sweep"
+// means the same point list everywhere.
+//
+// Point ordering is row-major with the FIRST axis slowest: for
+// a=1:2:1,b=10:30:10 the points are (1,10) (1,20) (1,30) (2,10) (2,20)
+// (2,30).  Values are formatted as CLI literals (integral points print
+// integral) so a point round-trips through the scenario parameter parsers.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace megflood {
+
+struct SweepSpec {
+  std::string key;
+  double lo = 0.0;
+  double hi = 0.0;
+  double step = 0.0;
+};
+
+// One axis, "key=lo:hi:step".  Throws std::invalid_argument on a malformed
+// spec (missing key, non-numeric bounds, step <= 0, reversed bounds,
+// > 10000 points per axis).
+SweepSpec parse_sweep(const std::string& value);
+
+// Comma-joined axes; duplicate keys are rejected (std::invalid_argument).
+std::vector<SweepSpec> parse_multi_sweep(const std::string& value);
+
+// The formatted point values of one axis: lo, lo+step, .., hi (inclusive
+// upper bound with step*1e-9 slack so accumulated fp error cannot drop the
+// final point of e.g. 0.03:0.06:0.03).
+std::vector<std::string> sweep_axis_values(const SweepSpec& axis);
+
+// One entry per Cartesian point; each point is the ordered (key, value)
+// assignment list, axes in input order.  Throws std::invalid_argument when
+// the product exceeds 100000 points.
+using SweepPoint = std::vector<std::pair<std::string, std::string>>;
+std::vector<SweepPoint> expand_sweep_points(
+    const std::vector<SweepSpec>& axes);
+
+}  // namespace megflood

@@ -1,0 +1,150 @@
+#include "serve/cache.hpp"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace megflood::serve {
+
+namespace {
+
+// Hash collisions are survivable (the stored key is verified), so a tiny
+// probe window is enough: three same-hash distinct keys in one cache
+// directory is beyond astronomically unlikely, and the fourth simply
+// stays memory-only.
+constexpr int kMaxProbes = 4;
+
+std::string hex64(std::uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+// Reads a whole file; nullopt when absent or unreadable.
+std::optional<std::string> slurp(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (!file) return std::nullopt;
+  std::string data;
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    data.append(buffer, got);
+  }
+  const bool ok = std::ferror(file) == 0;
+  std::fclose(file);
+  if (!ok) return std::nullopt;
+  return data;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::string disk_dir) : dir_(std::move(disk_dir)) {
+  if (dir_.empty()) return;
+  if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw std::runtime_error("cache: cannot create directory '" + dir_ +
+                             "': " + std::strerror(errno));
+  }
+}
+
+std::string ResultCache::entry_path(std::uint64_t hash, int probe) const {
+  std::string path = dir_ + "/" + hex64(hash);
+  if (probe > 0) path += "-" + std::to_string(probe);
+  return path + ".mfc";
+}
+
+std::optional<std::string> ResultCache::lookup(const CampaignKey& key) {
+  const std::string key_string = campaign_key_string(key);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key_string);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  if (!dir_.empty()) {
+    if (auto from_disk = disk_lookup(key_string)) {
+      ++stats_.hits;
+      ++stats_.disk_hits;
+      entries_.emplace(key_string, *from_disk);
+      return from_disk;
+    }
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void ResultCache::store(const CampaignKey& key,
+                        const std::string& result_json) {
+  const std::string key_string = campaign_key_string(key);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!entries_.emplace(key_string, result_json).second) return;
+  if (!dir_.empty()) disk_store(key_string, result_json);
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats out = stats_;
+  out.entries = entries_.size();
+  return out;
+}
+
+// Disk entry layout: the full key string, '\n', the result object bytes,
+// '\n'.  Neither part can contain a newline (campaign_key_string rejects
+// them at parse time; result_json_object escapes control characters), so
+// the first newline splits the file unambiguously.
+std::optional<std::string> ResultCache::disk_lookup(
+    const std::string& key_string) {
+  const std::uint64_t hash = campaign_key_hash(key_string);
+  for (int probe = 0; probe < kMaxProbes; ++probe) {
+    const auto data = slurp(entry_path(hash, probe));
+    if (!data) return std::nullopt;  // first absent probe ends the chain
+    const std::size_t newline = data->find('\n');
+    if (newline == std::string::npos) continue;  // torn or foreign file
+    if (data->compare(0, newline, key_string) != 0) continue;  // collision
+    std::string result = data->substr(newline + 1);
+    if (result.empty() || result.back() != '\n') continue;  // torn tail
+    result.pop_back();
+    return result;
+  }
+  return std::nullopt;
+}
+
+void ResultCache::disk_store(const std::string& key_string,
+                             const std::string& result_json) {
+  const std::uint64_t hash = campaign_key_hash(key_string);
+  int probe = 0;
+  for (; probe < kMaxProbes; ++probe) {
+    const auto data = slurp(entry_path(hash, probe));
+    if (!data) break;  // free slot
+    const std::size_t newline = data->find('\n');
+    if (newline != std::string::npos &&
+        data->compare(0, newline, key_string) == 0) {
+      return;  // already on disk
+    }
+  }
+  if (probe == kMaxProbes) return;  // probe window full: stay memory-only
+
+  // Write-to-temp + rename so a concurrent reader (or a crash) can never
+  // observe a half-written entry.  The temp name embeds the probe slot so
+  // two servers sharing a directory do not clobber each other's temp.
+  const std::string path = entry_path(hash, probe);
+  const std::string temp = path + ".tmp";
+  std::FILE* file = std::fopen(temp.c_str(), "wb");
+  if (!file) return;  // disk tier is best-effort; memory tier already has it
+  bool ok = std::fwrite(key_string.data(), 1, key_string.size(), file) ==
+            key_string.size();
+  ok = ok && std::fputc('\n', file) != EOF;
+  ok = ok && std::fwrite(result_json.data(), 1, result_json.size(), file) ==
+                 result_json.size();
+  ok = ok && std::fputc('\n', file) != EOF;
+  ok = std::fclose(file) == 0 && ok;
+  if (!ok || std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+  }
+}
+
+}  // namespace megflood::serve

@@ -1,0 +1,122 @@
+#include "serve/client.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace megflood::serve {
+
+LineClient::~LineClient() { close(); }
+
+LineClient::LineClient(LineClient&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+LineClient& LineClient::operator=(LineClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void LineClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+LineClient LineClient::connect_unix(const std::string& path) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(address.sun_path)) {
+    throw std::runtime_error("client: unix socket path too long: " + path);
+  }
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("client: socket: ") +
+                             std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("client: cannot connect to '" + path +
+                             "': " + why);
+  }
+  return LineClient(fd);
+}
+
+LineClient LineClient::connect_tcp(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("client: socket: ") +
+                             std::strerror(errno));
+  }
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("client: cannot connect to port " +
+                             std::to_string(port) + ": " + why);
+  }
+  return LineClient(fd);
+}
+
+bool LineClient::send_line(const std::string& line) {
+  if (fd_ < 0) return false;
+  std::string framed = line;
+  framed += '\n';
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    // MSG_NOSIGNAL: a vanished server is a false return, not SIGPIPE.
+    const ssize_t got = ::send(fd_, framed.data() + sent,
+                               framed.size() - sent, MSG_NOSIGNAL);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+std::optional<std::string> LineClient::recv_line(int timeout_ms) {
+  if (fd_ < 0) return std::nullopt;
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    pollfd poller{};
+    poller.fd = fd_;
+    poller.events = POLLIN;
+    const int ready = ::poll(&poller, 1, timeout_ms);
+    if (ready <= 0) return std::nullopt;  // timeout or poll error
+    char chunk[4096];
+    const ssize_t got = ::read(fd_, chunk, sizeof(chunk));
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) return std::nullopt;  // EOF or error
+    buffer_.append(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+}  // namespace megflood::serve

@@ -1,0 +1,46 @@
+#pragma once
+
+// A minimal blocking line client for the serve protocol, shared by the
+// server tests and tools/megflood_load.  One connection, newline-framed
+// sends, timeout-bounded line receives — just enough to drive the daemon
+// without duplicating socket boilerplate in every consumer.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace megflood::serve {
+
+class LineClient {
+ public:
+  LineClient() = default;
+  ~LineClient();
+
+  LineClient(LineClient&& other) noexcept;
+  LineClient& operator=(LineClient&& other) noexcept;
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  // Both throw std::runtime_error when the connection cannot be made.
+  static LineClient connect_unix(const std::string& path);
+  static LineClient connect_tcp(std::uint16_t port);  // localhost
+
+  bool connected() const noexcept { return fd_ >= 0; }
+
+  // Sends `line` + '\n'.  Returns false when the connection broke.
+  bool send_line(const std::string& line);
+
+  // The next received line (newline stripped), or nullopt on timeout /
+  // EOF / error.  Buffers partial reads across calls.
+  std::optional<std::string> recv_line(int timeout_ms);
+
+  void close();
+
+ private:
+  explicit LineClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace megflood::serve

@@ -1,0 +1,299 @@
+#include "serve/json.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace megflood::serve {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> run(std::string& error) {
+    JsonValue value;
+    if (!parse_value(value, 0)) {
+      error = error_ + " at byte " + std::to_string(pos_);
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error = "trailing bytes after JSON value at byte " +
+              std::to_string(pos_);
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  bool fail(const std::string& why) {
+    if (error_.empty()) error_ = why;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return fail(std::string("expected '") + expected + "'");
+  }
+
+  bool literal(const char* word, std::size_t len) {
+    if (text_.compare(pos_, len, word) != 0) {
+      return fail(std::string("invalid literal"));
+    }
+    pos_ += len;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting deeper than 64");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return parse_object(out, depth);
+      case '[':
+        return parse_array(out, depth);
+      case '"':
+        out.type = JsonValue::Type::kString;
+        return parse_string(out.string);
+      case 't':
+        out.type = JsonValue::Type::kBool;
+        out.boolean = true;
+        return literal("true", 4);
+      case 'f':
+        out.type = JsonValue::Type::kBool;
+        out.boolean = false;
+        return literal("false", 5);
+      case 'n':
+        out.type = JsonValue::Type::kNull;
+        return literal("null", 4);
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out, int depth) {
+    out.type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected object key string");
+      }
+      if (!parse_string(key)) return false;
+      for (const auto& [existing, value] : out.object) {
+        if (existing == key) {
+          return fail("duplicate object key '" + key + "'");
+        }
+      }
+      skip_ws();
+      if (!consume(':')) return false;
+      JsonValue member;
+      if (!parse_value(member, depth + 1)) return false;
+      out.object.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume('}');
+    }
+  }
+
+  bool parse_array(JsonValue& out, int depth) {
+    out.type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      if (!parse_value(element, depth + 1)) return false;
+      out.array.push_back(std::move(element));
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume(']');
+    }
+  }
+
+  bool hex4(std::uint32_t& out) {
+    if (text_.size() - pos_ < 4) return fail("truncated \\u escape");
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return fail("bad hex digit in \\u escape");
+      }
+    }
+    return true;
+  }
+
+  void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xc0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xe0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening '"'
+    out.clear();
+    while (true) {
+      if (pos_ >= text_.size()) return fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return fail("raw control character in string");
+      if (c != '\\') {
+        out += static_cast<char>(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      if (pos_ >= text_.size()) return fail("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!hex4(cp)) return false;
+          if (cp >= 0xd800 && cp <= 0xdbff) {
+            // High surrogate: a low surrogate must follow.
+            if (text_.compare(pos_, 2, "\\u") != 0) {
+              return fail("high surrogate without low surrogate");
+            }
+            pos_ += 2;
+            std::uint32_t low = 0;
+            if (!hex4(low)) return false;
+            if (low < 0xdc00 || low > 0xdfff) {
+              return fail("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (low - 0xdc00);
+          } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+            return fail("unpaired low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    // Integer part: one zero, or a nonzero digit run (JSON forbids 007).
+    if (pos_ >= text_.size()) return fail("invalid number");
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else if (text_[pos_] >= '1' && text_[pos_] <= '9') {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    } else {
+      return fail("invalid number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return fail("invalid number fraction");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return fail("invalid number exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    out.type = JsonValue::Type::kNumber;
+    out.number = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(out.number)) return fail("number overflows double");
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [name, value] : object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+std::optional<JsonValue> parse_json(std::string_view text,
+                                    std::string& error) {
+  return Parser(text).run(error);
+}
+
+}  // namespace megflood::serve

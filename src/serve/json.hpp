@@ -1,0 +1,52 @@
+#pragma once
+
+// A minimal, strict JSON reader for the serve protocol (ISSUE 8).  The
+// daemon accepts newline-delimited JSON from untrusted clients, so the
+// parser is deliberately paranoid: it accepts exactly one value spanning
+// the whole input, bounds recursion depth, validates UTF-16 escapes
+// (including surrogate pairs), and rejects everything else with a
+// message instead of guessing.  No dependency beyond the standard
+// library — the container bakes in no JSON library and the protocol
+// needs only this much.
+//
+// Numbers are stored as double.  The protocol never puts 64-bit values
+// in JSON numbers (seeds and trial counts travel inside CLI argument
+// strings), so double precision is sufficient by construction.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace megflood::serve {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  // Insertion order preserved (duplicate keys are a parse error).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const noexcept { return type == Type::kNull; }
+  bool is_string() const noexcept { return type == Type::kString; }
+  bool is_array() const noexcept { return type == Type::kArray; }
+  bool is_object() const noexcept { return type == Type::kObject; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+};
+
+// Parses exactly one JSON value covering all of `text` (surrounding
+// whitespace allowed).  Returns std::nullopt and fills `error` with a
+// position-bearing message on any violation: trailing bytes, duplicate
+// object keys, bad escapes, depth > 64, non-JSON numbers.
+std::optional<JsonValue> parse_json(std::string_view text,
+                                    std::string& error);
+
+}  // namespace megflood::serve

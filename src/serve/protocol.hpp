@@ -1,0 +1,99 @@
+#pragma once
+
+// The megflood_serve wire protocol (ISSUE 8; full grammar in
+// docs/serving.md): newline-delimited JSON in both directions.  Each
+// request line is one strict JSON object; each reply line is one event
+// object.  Request parsing is closed-world — an unknown op or an unknown
+// field for a known op is a ProtocolError, never silently ignored, the
+// same hard-error discipline the scenario registry applies to model
+// parameters.
+//
+// Requests:
+//   {"op":"submit","id":<string>,"args":[<scenario arg>...]
+//                 [,"sweep":"key=a:b:step[,key=a:b:step...]"]}
+//   {"op":"cancel","id":<string>}
+//   {"op":"ping"} | {"op":"stats"} | {"op":"shutdown"}
+//
+// Events (all carry "event"; job events carry "id"):
+//   error | queued | running | trial_done | done | cancelled | pong |
+//   stats | draining
+//
+// Submit args use exactly the scenario CLI grammar (core/scenario.hpp),
+// so everything the registry validates for megflood_run is validated for
+// a served job the same way, by the same code.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace megflood::serve {
+
+// A malformed or inadmissible request line; the server answers with an
+// error event and keeps the connection open.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class RequestOp { kSubmit, kCancel, kPing, kStats, kShutdown };
+
+struct Request {
+  RequestOp op = RequestOp::kPing;
+  std::string id;                 // submit / cancel
+  std::vector<std::string> args;  // submit: scenario CLI args
+  std::string sweep;              // submit: optional multi-key sweep spec
+};
+
+// Parses one request line.  Throws ProtocolError on malformed JSON, a
+// non-object line, an unknown op, a missing/empty/oversized id, unknown
+// fields, or wrong field types.
+Request parse_request(const std::string& line);
+
+// -------------------------------------------------------------------------
+// Event lines (no trailing newline; json_quote guarantees no raw newline
+// can appear inside one).
+// -------------------------------------------------------------------------
+
+// One resolved sub-job inside a done event: exactly one of result_json
+// (the cached-or-fresh result object bytes), error, or cancelled.
+struct SubJobReply {
+  std::string key;          // campaign_key_string of the sub-job
+  bool cached = false;      // answered from the result cache
+  bool cancelled = false;
+  std::string result_json;  // "{...}" from result_json_object
+  std::string error;
+};
+
+std::string event_error(const std::string& id, const std::string& message);
+std::string event_pong();
+std::string event_draining();
+std::string event_queued(const std::string& id, std::size_t subjobs,
+                         std::size_t total_trials, std::size_t cache_hits);
+std::string event_running(const std::string& id);
+std::string event_trial_done(const std::string& id, std::size_t completed,
+                             std::size_t total);
+std::string event_done(const std::string& id,
+                       const std::vector<SubJobReply>& replies,
+                       std::size_t cache_hits, std::size_t completed,
+                       std::size_t total);
+std::string event_cancelled(const std::string& id, std::size_t completed,
+                            std::size_t total);
+
+struct StatsSnapshot {
+  std::uint64_t clients = 0;
+  std::uint64_t jobs_active = 0;
+  std::uint64_t jobs_done = 0;
+  std::uint64_t jobs_cancelled = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t subjobs_run = 0;
+  std::uint64_t trials_done = 0;
+  std::uint64_t queued_subjobs = 0;
+  std::uint64_t cache_entries = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+std::string event_stats(const StatsSnapshot& stats);
+
+}  // namespace megflood::serve

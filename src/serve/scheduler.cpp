@@ -1,0 +1,378 @@
+#include "serve/scheduler.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/format.hpp"
+#include "core/sweep.hpp"
+
+namespace megflood::serve {
+
+namespace {
+
+// A sweep submitted to the server expands into one sub-job per point;
+// this caps what one request line can put on the queue.  (megflood_run
+// has its own, larger expansion cap — a CLI user pays for their own
+// sweep, a served client shares the pool with everyone else.)
+constexpr std::size_t kMaxSubJobs = 4096;
+
+}  // namespace
+
+Scheduler::Scheduler(std::size_t workers, ResultCache* cache)
+    : cache_(cache) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Scheduler::~Scheduler() { drain(); }
+
+std::uint64_t Scheduler::register_client(EventFn emit) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t id = next_client_++;
+  clients_[id].emit = std::move(emit);
+  return id;
+}
+
+void Scheduler::unregister_client(std::uint64_t client) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = clients_.find(client);
+  if (it == clients_.end()) return;
+  // Cancel in-flight work so a running campaign stops promptly; queued
+  // sub-jobs and the jobs map die with the client entry.  finalize() and
+  // resolve() tolerate the missing client (events are dropped).
+  for (auto& [id, job] : it->second.jobs) {
+    job->cancel.store(true, std::memory_order_relaxed);
+    job->cancelled = true;
+  }
+  clients_.erase(it);
+}
+
+void Scheduler::emit_to(std::uint64_t client, const std::string& line) {
+  const auto it = clients_.find(client);
+  if (it != clients_.end() && it->second.emit) it->second.emit(line);
+}
+
+void Scheduler::submit(std::uint64_t client, const Request& request) {
+  // Validation runs outside the lock — registry building is pure.
+  std::string error;
+  ScenarioSpec base;
+  std::vector<SubJob> subjobs;
+  try {
+    base = parse_scenario_args(request.args);
+    if (base.trial.trials == 0) {
+      throw std::invalid_argument("trials must be >= 1");
+    }
+    // The pool owns parallelism: every sub-job runs single-threaded on a
+    // worker, which also makes the cache key independent of whatever
+    // --threads the client happened to pass.
+    base.trial.threads = 1;
+
+    std::vector<SweepPoint> points;
+    if (!request.sweep.empty()) {
+      points = expand_sweep_points(parse_multi_sweep(request.sweep));
+    } else {
+      points.push_back({});
+    }
+    if (points.size() > kMaxSubJobs) {
+      throw std::invalid_argument(
+          "sweep expands to " + std::to_string(points.size()) +
+          " sub-jobs (server limit " + std::to_string(kMaxSubJobs) + ")");
+    }
+    subjobs.reserve(points.size());
+    for (const SweepPoint& point : points) {
+      SubJob sub;
+      sub.spec = base;
+      for (const auto& [key, value] : point) {
+        if (base.params.find(key) != base.params.end()) {
+          throw std::invalid_argument("parameter '" + key +
+                                      "' is both fixed in args and swept");
+        }
+        sub.spec.params[key] = value;
+      }
+      // Validate the concrete point exactly as megflood_run would; a bad
+      // point rejects the whole submission before anything is queued.
+      (void)make_model_factory(sub.spec);
+      (void)make_process_factory(sub.spec.process);
+      sub.key = campaign_key(sub.spec);
+      sub.index = subjobs.size();
+      subjobs.push_back(std::move(sub));
+    }
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (clients_.find(client) == clients_.end()) return;
+  if (!error.empty()) {
+    emit_to(client, event_error(request.id, error));
+    return;
+  }
+  if (draining_) {
+    emit_to(client, event_error(request.id, "server is draining"));
+    return;
+  }
+  Client& owner = clients_[client];
+  if (owner.jobs.find(request.id) != owner.jobs.end()) {
+    emit_to(client,
+            event_error(request.id, "job id already active: " + request.id));
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->client = client;
+  job->id = request.id;
+  job->replies.resize(subjobs.size());
+  job->total_trials = subjobs.size() * base.trial.trials;
+  owner.jobs[request.id] = job;
+
+  // Answer what the cache already knows; queue only the misses.
+  std::size_t queued = 0;
+  for (SubJob& sub : subjobs) {
+    job->replies[sub.index].key = campaign_key_string(sub.key);
+    if (auto hit = cache_->lookup(sub.key)) {
+      SubJobReply& reply = job->replies[sub.index];
+      reply.cached = true;
+      reply.result_json = std::move(*hit);
+      ++job->resolved;
+      ++job->cache_hits;
+      job->completed += sub.spec.trial.trials;
+    } else {
+      owner.queue.push_back(QueuedSubJob{job, std::move(sub)});
+      ++queued;
+    }
+  }
+
+  emit_to(client, event_queued(request.id, job->replies.size(),
+                               job->total_trials, job->cache_hits));
+  if (job->resolved == job->replies.size()) {
+    finalize(job);
+  } else if (queued > 0) {
+    work_cv_.notify_all();
+  }
+}
+
+void Scheduler::cancel(std::uint64_t client, const std::string& job_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = clients_.find(client);
+  if (it == clients_.end()) return;
+  const auto job_it = it->second.jobs.find(job_id);
+  if (job_it == it->second.jobs.end()) {
+    emit_to(client,
+            event_error(job_id, "no active job with id: " + job_id));
+    return;
+  }
+  const std::shared_ptr<Job> job = job_it->second;
+  job->cancelled = true;
+  job->cancel.store(true, std::memory_order_relaxed);
+  cancel_queued(job);
+}
+
+// Resolves every still-queued sub-job of `job` as cancelled.  A sub-job a
+// worker already picked resolves when the worker finishes (the cancel
+// flag stops it between trials).
+void Scheduler::cancel_queued(const std::shared_ptr<Job>& job) {
+  const auto it = clients_.find(job->client);
+  if (it == clients_.end()) return;
+  auto& queue = it->second.queue;
+  for (auto entry = queue.begin(); entry != queue.end();) {
+    if (entry->job == job) {
+      SubJobReply reply;
+      reply.key = campaign_key_string(entry->work.key);
+      reply.cancelled = true;
+      const std::size_t index = entry->work.index;
+      entry = queue.erase(entry);
+      resolve(job, index, std::move(reply));
+    } else {
+      ++entry;
+    }
+  }
+}
+
+void Scheduler::resolve(const std::shared_ptr<Job>& job, std::size_t index,
+                        SubJobReply reply) {
+  job->replies[index] = std::move(reply);
+  ++job->resolved;
+  if (job->resolved == job->replies.size()) finalize(job);
+}
+
+void Scheduler::finalize(const std::shared_ptr<Job>& job) {
+  const auto it = clients_.find(job->client);
+  if (it != clients_.end()) it->second.jobs.erase(job->id);
+  if (job->cancelled) {
+    ++jobs_cancelled_;
+    emit_to(job->client,
+            event_cancelled(job->id, job->completed, job->total_trials));
+    return;
+  }
+  bool failed = false;
+  for (const SubJobReply& reply : job->replies) {
+    if (!reply.error.empty()) failed = true;
+  }
+  failed ? ++jobs_failed_ : ++jobs_done_;
+  emit_to(job->client, event_done(job->id, job->replies, job->cache_hits,
+                                  job->completed, job->total_trials));
+}
+
+bool Scheduler::has_queued_work() const {
+  for (const auto& [id, client] : clients_) {
+    if (!client.queue.empty()) return true;
+  }
+  return false;
+}
+
+// Round-robin: the next non-empty client queue strictly after rr_cursor_,
+// wrapping — std::map keeps client ids ordered, so upper_bound is the
+// cursor advance.
+bool Scheduler::pick_next(QueuedSubJob& out) {
+  if (clients_.empty()) return false;
+  auto it = clients_.upper_bound(rr_cursor_);
+  for (std::size_t scanned = 0; scanned < clients_.size() + 1; ++scanned) {
+    if (it == clients_.end()) it = clients_.begin();
+    if (!it->second.queue.empty()) {
+      out = std::move(it->second.queue.front());
+      it->second.queue.pop_front();
+      rr_cursor_ = it->first;
+      return true;
+    }
+    ++it;
+  }
+  return false;
+}
+
+// Runs one sub-job on the calling thread.  Takes `lock` held, drops it
+// around the campaign, reacquires to resolve.
+void Scheduler::execute(QueuedSubJob item, std::unique_lock<std::mutex>& lock) {
+  const std::shared_ptr<Job>& job = item.job;
+  SubJobReply reply;
+  reply.key = campaign_key_string(item.work.key);
+
+  if (job->cancel.load(std::memory_order_relaxed)) {
+    reply.cancelled = true;
+    resolve(job, item.work.index, std::move(reply));
+    return;
+  }
+  // An identical sub-job (same key, other client) may have landed in the
+  // cache since this one was queued; re-checking here is what makes the
+  // N-clients-same-scenario load pattern cost one campaign, not N.
+  if (auto hit = cache_->lookup(item.work.key)) {
+    reply.cached = true;
+    reply.result_json = std::move(*hit);
+    ++job->cache_hits;
+    job->completed += item.work.spec.trial.trials;
+    resolve(job, item.work.index, std::move(reply));
+    return;
+  }
+  if (!job->running_emitted) {
+    job->running_emitted = true;
+    emit_to(job->client, event_running(job->id));
+  }
+  ++subjobs_run_;
+
+  MeasureHooks hooks;
+  hooks.cancel = &job->cancel;
+  hooks.on_trial_recorded = [this, &job](std::size_t) {
+    // Called from the campaign below, which runs with mutex_ released.
+    std::lock_guard<std::mutex> relock(mutex_);
+    ++job->completed;
+    ++trials_done_;
+    emit_to(job->client,
+            event_trial_done(job->id, job->completed, job->total_trials));
+  };
+
+  lock.unlock();
+  std::string result_json;
+  std::string error;
+  bool interrupted = false;
+  try {
+    const ScenarioResult result = run_scenario(item.work.spec, hooks);
+    interrupted = result.measurement.interrupted;
+    if (!interrupted) {
+      result_json =
+          result_json_object(item.work.spec, result, result.warnings);
+    }
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+  lock.lock();
+
+  if (!error.empty()) {
+    reply.error = std::move(error);
+  } else if (interrupted) {
+    reply.cancelled = true;
+  } else {
+    reply.result_json = result_json;
+    cache_->store(item.work.key, result_json);
+  }
+  resolve(job, item.work.index, std::move(reply));
+}
+
+bool Scheduler::run_one() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  QueuedSubJob item;
+  if (!pick_next(item)) return false;
+  execute(std::move(item), lock);
+  return true;
+}
+
+void Scheduler::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return stop_ || has_queued_work(); });
+    QueuedSubJob item;
+    if (!pick_next(item)) {
+      if (stop_) return;
+      continue;
+    }
+    execute(std::move(item), lock);
+  }
+}
+
+void Scheduler::drain() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) return;
+    draining_ = true;
+    stop_ = true;
+    for (auto& [client_id, client] : clients_) {
+      for (auto& [job_id, job] : client.jobs) {
+        job->cancelled = true;
+        job->cancel.store(true, std::memory_order_relaxed);
+      }
+      // jobs map mutates under cancel_queued/finalize; snapshot first.
+      std::vector<std::shared_ptr<Job>> jobs;
+      jobs.reserve(client.jobs.size());
+      for (auto& [job_id, job] : client.jobs) jobs.push_back(job);
+      for (const auto& job : jobs) cancel_queued(job);
+    }
+    work_cv_.notify_all();
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+StatsSnapshot Scheduler::stats() const {
+  StatsSnapshot out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.clients = clients_.size();
+    for (const auto& [id, client] : clients_) {
+      out.jobs_active += client.jobs.size();
+      out.queued_subjobs += client.queue.size();
+    }
+    out.jobs_done = jobs_done_;
+    out.jobs_cancelled = jobs_cancelled_;
+    out.jobs_failed = jobs_failed_;
+    out.subjobs_run = subjobs_run_;
+    out.trials_done = trials_done_;
+  }
+  const CacheStats cache = cache_->stats();
+  out.cache_entries = cache.entries;
+  out.cache_hits = cache.hits;
+  out.cache_misses = cache.misses;
+  return out;
+}
+
+}  // namespace megflood::serve

@@ -1,0 +1,145 @@
+#pragma once
+
+// Fair job scheduling for megflood_serve (ISSUE 8).  Every connected
+// client gets its own FIFO of pending sub-jobs and workers pick the next
+// sub-job round-robin across clients, so one client submitting a
+// thousand-point sweep cannot starve another client's single scenario:
+// the scheduling unit is the sub-job (one cache-keyed campaign), and
+// between two sub-jobs the cursor always moves to the next client that
+// has work.
+//
+// A submitted job is validated up front (scenario registry + process
+// grammar + sweep expansion — the same code paths megflood_run uses), is
+// expanded into its Cartesian sub-jobs, and has every sub-job answered
+// from the result cache when possible; only cache misses are queued.
+// Event emission (queued / running / trial_done / done / cancelled) and
+// all bookkeeping happen under one scheduler mutex, which gives each job
+// a totally ordered event stream by construction.
+//
+// `workers == 0` is manual mode: nothing runs until run_one() is called,
+// which executes exactly one sub-job on the caller's thread.  Tests use
+// it to make fairness ordering deterministic and inspectable.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/scenario.hpp"
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+
+namespace megflood::serve {
+
+// Delivers one event line (no trailing newline) to a client.  Called with
+// the scheduler mutex held — implementations must only do cheap,
+// non-reentrant work (the server's implementation pushes into a
+// connection outbox guarded by its own leaf mutex).
+using EventFn = std::function<void(const std::string& line)>;
+
+class Scheduler {
+ public:
+  // `workers` threads execute sub-jobs; 0 = manual mode (run_one()).
+  // `cache` must outlive the scheduler.
+  Scheduler(std::size_t workers, ResultCache* cache);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Registers an event sink; the returned client id scopes job ids and
+  // fairness.  unregister_client cancels the client's jobs and drops its
+  // queue — events for in-flight work are discarded, not delivered to a
+  // dangling sink.
+  std::uint64_t register_client(EventFn emit);
+  void unregister_client(std::uint64_t client);
+
+  // Validates and enqueues a submit request.  All failures (bad scenario
+  // args, bad sweep, duplicate active id, draining, trials == 0) are
+  // reported as an error event to the client; nothing throws.
+  void submit(std::uint64_t client, const Request& request);
+
+  // Cancels an active job: queued sub-jobs resolve immediately, the
+  // running one (if any) is stopped cooperatively via the measure()
+  // cancel hook.  Unknown ids get an error event.
+  void cancel(std::uint64_t client, const std::string& job_id);
+
+  // Manual mode: runs one queued sub-job on the calling thread.  Returns
+  // false when no sub-job was queued.  Also usable with workers > 0 (the
+  // caller just becomes one more competing worker).
+  bool run_one();
+
+  // Stops accepting submissions, cancels everything, resolves all queued
+  // work and joins the workers.  Running trials finish and are recorded
+  // (drain never tears a campaign mid-trial).  Idempotent.
+  void drain();
+
+  StatsSnapshot stats() const;
+
+ private:
+  struct SubJob {
+    ScenarioSpec spec;  // threads forced to 1 — the pool owns parallelism
+    CampaignKey key;
+    std::size_t index = 0;  // reply slot in the owning job
+  };
+
+  struct Job {
+    std::uint64_t client = 0;
+    std::string id;
+    std::vector<SubJobReply> replies;
+    std::size_t resolved = 0;       // replies filled in
+    std::size_t cache_hits = 0;
+    std::size_t completed = 0;      // trials finished (cached count fully)
+    std::size_t total_trials = 0;
+    bool running_emitted = false;
+    bool cancelled = false;         // finalize as cancelled, not done
+    std::atomic<bool> cancel{false};  // measure() cancel hook target
+  };
+
+  struct QueuedSubJob {
+    std::shared_ptr<Job> job;
+    SubJob work;
+  };
+
+  struct Client {
+    EventFn emit;
+    std::map<std::string, std::shared_ptr<Job>> jobs;  // active, by id
+    std::deque<QueuedSubJob> queue;
+  };
+
+  // All private helpers below require mutex_ held unless noted.
+  void emit_to(std::uint64_t client, const std::string& line);
+  void resolve(const std::shared_ptr<Job>& job, std::size_t index,
+               SubJobReply reply);
+  void finalize(const std::shared_ptr<Job>& job);
+  void cancel_queued(const std::shared_ptr<Job>& job);
+  bool pick_next(QueuedSubJob& out);  // round-robin across clients
+  bool has_queued_work() const;
+  void execute(QueuedSubJob item, std::unique_lock<std::mutex>& lock);
+  void worker_loop();
+
+  ResultCache* cache_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::map<std::uint64_t, Client> clients_;
+  std::uint64_t next_client_ = 1;
+  std::uint64_t rr_cursor_ = 0;  // client id last served; next pick is after
+  bool draining_ = false;
+  bool stop_ = false;
+  std::uint64_t jobs_done_ = 0;
+  std::uint64_t jobs_cancelled_ = 0;
+  std::uint64_t jobs_failed_ = 0;
+  std::uint64_t subjobs_run_ = 0;
+  std::uint64_t trials_done_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace megflood::serve

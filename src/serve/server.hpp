@@ -1,0 +1,70 @@
+#pragma once
+
+// The megflood_serve daemon body (ISSUE 8): a socket front-end over
+// serve/scheduler.hpp.  Listens on a Unix-domain socket or localhost TCP,
+// speaks the newline-delimited JSON protocol of serve/protocol.hpp, and
+// runs every accepted connection with one reader thread (line framing,
+// request dispatch) and one writer thread (outbox drain), so a slow
+// client can never block the scheduler: event emission only appends to
+// the connection's outbox under its own leaf mutex.
+//
+// Like run_driver, the server body lives in the library so tests can run
+// a real daemon in-process (tests/test_serve_server.cpp) instead of only
+// through a subprocess; tools/megflood_serve.cpp is a thin main wiring
+// signal handlers to the same driver_cancel_flag() stop path.
+//
+// Shutdown (SIGINT/SIGTERM via the stop flag, or a client shutdown op)
+// is a graceful drain: stop accepting, cancel all jobs (running trials
+// finish and are recorded — a drain never tears a campaign mid-trial),
+// resolve every pending sub-job as cancelled, flush each connection's
+// outbox, then close.  serve() returning 0 means the drain completed.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace megflood::serve {
+
+struct ServerConfig {
+  // Exactly one listening mode: a non-empty unix_path wins; otherwise
+  // localhost TCP on tcp_port (0 = ephemeral, read back via port()).
+  std::string unix_path;
+  std::uint16_t tcp_port = 0;
+  // Scheduler worker threads; 0 = one per hardware thread.
+  std::size_t workers = 0;
+  // On-disk result-cache directory; empty = memory-only cache.
+  std::string cache_dir;
+  // A request line longer than this (bytes, excluding the newline) is
+  // answered with an error event and discarded up to the next newline;
+  // the connection survives.
+  std::size_t max_line = 1 << 16;
+};
+
+class ServerImpl;
+
+class Server {
+ public:
+  // Binds and listens; throws std::runtime_error when the socket cannot
+  // be set up.
+  explicit Server(const ServerConfig& config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // The bound TCP port (the ephemeral answer when config.tcp_port was 0);
+  // 0 in Unix-socket mode.
+  std::uint16_t port() const;
+
+  // Runs the accept loop until `stop` becomes true or a client sends
+  // shutdown, then drains gracefully.  Returns 0 on a clean drain.
+  int serve(const std::atomic<bool>& stop);
+
+  // Asynchronous shutdown request (same effect as the shutdown op).
+  void request_shutdown();
+
+ private:
+  ServerImpl* impl_;
+};
+
+}  // namespace megflood::serve

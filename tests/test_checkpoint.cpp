@@ -28,9 +28,9 @@ std::string temp_path(const std::string& name) {
 
 CheckpointKey small_key() {
   CheckpointKey key;
-  key.scenario_cli = "--model=edge_meg --n=64 --trials=8 --seed=42";
-  key.seed = 42;
-  key.trials = 8;
+  key.campaign.scenario_cli = "--model=edge_meg --n=64 --trials=8 --seed=42";
+  key.campaign.seed = 42;
+  key.campaign.trials = 8;
   key.threads = 1;
   return key;
 }
@@ -80,16 +80,16 @@ TEST(CheckpointJournal, HeaderBindsTheCampaignIdentity) {
   // Same key reopens fine.
   { CheckpointJournal journal(path, small_key()); }
   CheckpointKey other = small_key();
-  other.seed = 43;
+  other.campaign.seed = 43;
   EXPECT_THROW(CheckpointJournal(path, other), std::invalid_argument);
   other = small_key();
-  other.trials = 16;
+  other.campaign.trials = 16;
   EXPECT_THROW(CheckpointJournal(path, other), std::invalid_argument);
   other = small_key();
   other.threads = 4;
   EXPECT_THROW(CheckpointJournal(path, other), std::invalid_argument);
   other = small_key();
-  other.scenario_cli += " --rotate_sources=0";
+  other.campaign.scenario_cli += " --rotate_sources=0";
   EXPECT_THROW(CheckpointJournal(path, other), std::invalid_argument);
 }
 
@@ -183,7 +183,7 @@ void run_interrupt_resume(std::size_t threads) {
 
   const std::string path =
       temp_path("ckpt_resume_t" + std::to_string(threads) + ".bin");
-  CheckpointKey key{"meg 40 trials=10", cfg.seed, cfg.trials, threads};
+  CheckpointKey key{{"meg 40 trials=10", cfg.seed, cfg.trials}, threads};
   std::atomic<bool> cancel{false};
   std::atomic<std::size_t> recorded{0};
   {
@@ -226,7 +226,7 @@ TEST(CheckpointResume, FinishedJournalReplaysWithoutRerunning) {
   cfg.trials = 6;
   cfg.seed = 3;
   const std::string path = temp_path("ckpt_finished.bin");
-  CheckpointKey key{"meg finished", cfg.seed, cfg.trials, 1};
+  CheckpointKey key{{"meg finished", cfg.seed, cfg.trials}, 1};
   Measurement first;
   {
     CheckpointJournal journal(path, key);

@@ -1,0 +1,102 @@
+// The shared result emitters (core/format.hpp): number and string
+// formatting policies, csv/json field consistency, and the contract the
+// serve cache depends on — result_json_object is THE serializer, so
+// emit_json is exactly its output plus a newline.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "core/format.hpp"
+#include "core/scenario.hpp"
+
+namespace megflood {
+namespace {
+
+ScenarioSpec quick_spec() {
+  ScenarioSpec spec;
+  spec.model = "fixed";
+  spec.params["n"] = "16";
+  spec.trial.trials = 3;
+  spec.trial.seed = 5;
+  return spec;
+}
+
+TEST(Format, FormatDoubleIsTenSignificantDigits) {
+  EXPECT_EQ(format_double(0.5), "0.5");
+  EXPECT_EQ(format_double(16.0), "16");
+  EXPECT_EQ(format_double(1.0 / 3.0), "0.3333333333");
+}
+
+TEST(Format, CliNumberPrintsIntegralValuesIntegral) {
+  // A swept n must round-trip through the u64 parameter parser: "128",
+  // never "128.0".
+  EXPECT_EQ(format_cli_number(128.0), "128");
+  EXPECT_EQ(format_cli_number(0.02), "0.02");
+  EXPECT_EQ(format_cli_number(-3.0), "-3");
+}
+
+TEST(Format, JsonQuoteEscapesControlBytesAndQuotes) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_quote("a\\b"), "\"a\\\\b\"");
+  // Newline-delimited protocol: a raw newline in any quoted string would
+  // break framing, so control characters become \u00XX.
+  EXPECT_EQ(json_quote("a\nb"), "\"a\\u000ab\"");
+  EXPECT_EQ(json_quote(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(Format, CsvHeaderAndRowStayAligned) {
+  const ScenarioSpec spec = quick_spec();
+  const ScenarioResult result = run_scenario(spec);
+  const ResultFields fields = result_fields(spec, result);
+  ASSERT_FALSE(fields.empty());
+
+  std::ostringstream csv;
+  emit_csv(csv, spec, result, {});
+  std::istringstream lines(csv.str());
+  std::string header, row;
+  ASSERT_TRUE(std::getline(lines, header));
+  ASSERT_TRUE(std::getline(lines, row));
+  const auto commas = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(commas(header), commas(row));
+  EXPECT_EQ(header.rfind("model,", 0), 0u) << header;
+  EXPECT_NE(header.find(",warnings"), std::string::npos);
+}
+
+TEST(Format, EmitJsonIsResultObjectPlusNewline) {
+  const ScenarioSpec spec = quick_spec();
+  const ScenarioResult result = run_scenario(spec);
+  const std::string object = result_json_object(spec, result, {"w1"});
+  std::ostringstream json;
+  emit_json(json, spec, result, {"w1"});
+  EXPECT_EQ(json.str(), object + "\n");
+  EXPECT_EQ(object.front(), '{');
+  EXPECT_EQ(object.back(), '}');
+  EXPECT_EQ(object.find('\n'), std::string::npos);
+  EXPECT_NE(object.find("\"warnings\": [\"w1\"]"), std::string::npos)
+      << object;
+}
+
+TEST(Format, SerializationIsDeterministic) {
+  // Same spec, fresh run: bit-identical bytes — the property that makes
+  // the serve cache's replay-verbatim design sound.
+  const ScenarioSpec spec = quick_spec();
+  const ScenarioResult a = run_scenario(spec);
+  const ScenarioResult b = run_scenario(spec);
+  EXPECT_EQ(result_json_object(spec, a, a.warnings),
+            result_json_object(spec, b, b.warnings));
+}
+
+TEST(Format, JoinWarningsUsesSemicolons) {
+  EXPECT_EQ(join_warnings({}), "");
+  EXPECT_EQ(join_warnings({"a"}), "a");
+  EXPECT_EQ(join_warnings({"a", "b"}), "a; b");
+}
+
+}  // namespace
+}  // namespace megflood

@@ -1,0 +1,195 @@
+// The serve wire protocol (serve/protocol.hpp) and its strict JSON
+// reader (serve/json.hpp): every malformed input is a structured,
+// position-bearing rejection — never a crash, never a silent guess.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/json.hpp"
+#include "serve/protocol.hpp"
+
+namespace megflood::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON reader
+// ---------------------------------------------------------------------------
+
+JsonValue parse_ok(const std::string& text) {
+  std::string error;
+  const auto value = parse_json(text, error);
+  EXPECT_TRUE(value.has_value()) << text << " -> " << error;
+  return value.value_or(JsonValue{});
+}
+
+std::string parse_fail(const std::string& text) {
+  std::string error;
+  const auto value = parse_json(text, error);
+  EXPECT_FALSE(value.has_value()) << text;
+  EXPECT_FALSE(error.empty()) << text;
+  return error;
+}
+
+TEST(ServeJson, ParsesScalarsArraysObjects) {
+  EXPECT_TRUE(parse_ok("null").is_null());
+  EXPECT_TRUE(parse_ok(" true ").boolean);
+  EXPECT_DOUBLE_EQ(parse_ok("-12.5e1").number, -125.0);
+  EXPECT_EQ(parse_ok("\"a b\"").string, "a b");
+  const JsonValue array = parse_ok("[1, \"x\", [2]]");
+  ASSERT_EQ(array.array.size(), 3u);
+  EXPECT_EQ(array.array[1].string, "x");
+  const JsonValue object = parse_ok("{\"a\": 1, \"b\": {\"c\": []}}");
+  ASSERT_NE(object.find("b"), nullptr);
+  EXPECT_NE(object.find("b")->find("c"), nullptr);
+  EXPECT_EQ(object.find("missing"), nullptr);
+}
+
+TEST(ServeJson, DecodesEscapesIncludingSurrogatePairs) {
+  EXPECT_EQ(parse_ok("\"a\\n\\t\\\"\\\\b\"").string, "a\n\t\"\\b");
+  EXPECT_EQ(parse_ok("\"\\u0041\"").string, "A");
+  EXPECT_EQ(parse_ok("\"\\u00e9\"").string, "\xc3\xa9");          // é
+  EXPECT_EQ(parse_ok("\"\\ud83d\\ude00\"").string,
+            "\xf0\x9f\x98\x80");                                  // emoji
+}
+
+TEST(ServeJson, RejectsMalformedInput) {
+  const std::vector<std::string> bad = {
+      "",
+      "{",
+      "}",
+      "tru",
+      "nulll",
+      "[1,]",          // strict: no trailing content after ','-value-']'?
+      "{\"a\":}",
+      "{\"a\":1,}",
+      "{\"a\":1 \"b\":2}",
+      "{a:1}",                 // unquoted key
+      "{\"a\":1}{\"b\":2}",    // trailing bytes
+      "{\"a\":1} x",
+      "{\"dup\":1,\"dup\":2}",
+      "\"unterminated",
+      "\"bad escape \\q\"",
+      "\"raw \n newline\"",
+      "\"\\ud83d\"",           // unpaired high surrogate
+      "\"\\ude00\"",           // unpaired low surrogate
+      "007",                   // leading zeros
+      "1.",                    // empty fraction
+      "1e",                    // empty exponent
+      "- 1",
+      "1e999",                 // overflows double
+  };
+  for (const std::string& text : bad) parse_fail(text);
+}
+
+TEST(ServeJson, BoundsNestingDepth) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  const std::string error = parse_fail(deep);
+  EXPECT_NE(error.find("deeper"), std::string::npos) << error;
+}
+
+// ---------------------------------------------------------------------------
+// Request parsing
+// ---------------------------------------------------------------------------
+
+TEST(ServeProtocol, ParsesEveryOp) {
+  const Request submit = parse_request(
+      "{\"op\":\"submit\",\"id\":\"j1\",\"args\":[\"--model=fixed\"],"
+      "\"sweep\":\"n=8:16:8\"}");
+  EXPECT_EQ(submit.op, RequestOp::kSubmit);
+  EXPECT_EQ(submit.id, "j1");
+  ASSERT_EQ(submit.args.size(), 1u);
+  EXPECT_EQ(submit.args[0], "--model=fixed");
+  EXPECT_EQ(submit.sweep, "n=8:16:8");
+
+  EXPECT_EQ(parse_request("{\"op\":\"cancel\",\"id\":\"j1\"}").op,
+            RequestOp::kCancel);
+  EXPECT_EQ(parse_request("{\"op\":\"ping\"}").op, RequestOp::kPing);
+  EXPECT_EQ(parse_request("{\"op\":\"stats\"}").op, RequestOp::kStats);
+  EXPECT_EQ(parse_request("{\"op\":\"shutdown\"}").op, RequestOp::kShutdown);
+}
+
+TEST(ServeProtocol, RejectsMalformedRequests) {
+  const std::vector<std::string> bad = {
+      "not json",
+      "[1,2,3]",                               // not an object
+      "\"submit\"",                            // not an object
+      "{}",                                    // missing op
+      "{\"op\":\"fly\"}",                      // unknown op
+      "{\"op\":42}",                           // op wrong type
+      "{\"op\":\"submit\"}",                   // missing id and args
+      "{\"op\":\"submit\",\"id\":\"\",\"args\":[]}",       // empty id
+      "{\"op\":\"submit\",\"id\":7,\"args\":[]}",          // id wrong type
+      "{\"op\":\"submit\",\"id\":\"j\",\"args\":\"x\"}",   // args not array
+      "{\"op\":\"submit\",\"id\":\"j\",\"args\":[1]}",     // non-string arg
+      "{\"op\":\"submit\",\"id\":\"j\",\"args\":[],\"sweep\":3}",
+      "{\"op\":\"submit\",\"id\":\"j\",\"args\":[],\"extra\":1}",
+      "{\"op\":\"cancel\"}",                   // missing id
+      "{\"op\":\"cancel\",\"id\":\"j\",\"args\":[]}",      // unknown field
+      "{\"op\":\"ping\",\"id\":\"j\"}",        // unknown field for ping
+      "{\"op\":\"stats\",\"verbose\":true}",   // unknown field for stats
+      "{\"op\":\"shutdown\",\"force\":true}",  // unknown field for shutdown
+  };
+  for (const std::string& line : bad) {
+    EXPECT_THROW((void)parse_request(line), ProtocolError) << line;
+  }
+  // Oversized id.
+  EXPECT_THROW((void)parse_request("{\"op\":\"cancel\",\"id\":\"" +
+                                   std::string(300, 'x') + "\"}"),
+               ProtocolError);
+}
+
+// ---------------------------------------------------------------------------
+// Event builders
+// ---------------------------------------------------------------------------
+
+TEST(ServeProtocol, EventsAreSingleLineJsonObjects) {
+  SubJobReply fresh;
+  fresh.key = "megfcamp1|seed=1|trials=2|--model=fixed";
+  fresh.result_json = "{\"rounds_mean\": 3}";
+  SubJobReply errored;
+  errored.key = "k2";
+  errored.error = "boom\nwith newline";
+  SubJobReply cancelled;
+  cancelled.key = "k3";
+  cancelled.cancelled = true;
+
+  const std::vector<std::string> lines = {
+      event_error("", "bad"),
+      event_error("j1", "bad \"quoted\"\n"),
+      event_pong(),
+      event_draining(),
+      event_queued("j1", 4, 16, 2),
+      event_running("j1"),
+      event_trial_done("j1", 3, 16),
+      event_done("j1", {fresh, errored, cancelled}, 1, 16, 16),
+      event_cancelled("j1", 3, 16),
+      event_stats(StatsSnapshot{}),
+  };
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.find('\n'), std::string::npos) << line;
+    std::string error;
+    const auto parsed = parse_json(line, error);
+    ASSERT_TRUE(parsed.has_value()) << line << " -> " << error;
+    ASSERT_TRUE(parsed->is_object()) << line;
+    EXPECT_NE(parsed->find("event"), nullptr) << line;
+  }
+
+  // The done event splices result bytes verbatim and tags each sub-job
+  // with exactly one of result / error / cancelled.
+  const std::string done = event_done("j1", {fresh, errored, cancelled}, 1,
+                                      16, 16);
+  EXPECT_NE(done.find("\"result\": {\"rounds_mean\": 3}"), std::string::npos)
+      << done;
+  EXPECT_NE(done.find("\"error\": "), std::string::npos);
+  EXPECT_NE(done.find("\"cancelled\": true"), std::string::npos);
+
+  // An error with no job id reports null, not "".
+  EXPECT_NE(event_error("", "x").find("\"id\": null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace megflood::serve

@@ -1,0 +1,240 @@
+// The fair scheduler (serve/scheduler.hpp) in manual mode (workers == 0,
+// run_one() on the test thread): deterministic round-robin ordering
+// across clients, per-job event ordering, submit-time and run-time cache
+// hits, validation rejections, and cancellation.
+//
+// Note the declaration order inside each test: event vectors before the
+// Scheduler, because the scheduler's destructor drains and may still
+// emit into them.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/cache.hpp"
+#include "serve/json.hpp"
+#include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
+
+namespace megflood::serve {
+namespace {
+
+Request submit_request(const std::string& id,
+                       std::vector<std::string> args,
+                       std::string sweep = "") {
+  Request request;
+  request.op = RequestOp::kSubmit;
+  request.id = id;
+  request.args = std::move(args);
+  request.sweep = std::move(sweep);
+  return request;
+}
+
+std::vector<std::string> quick_args(std::uint64_t seed) {
+  return {"--model=fixed", "--n=16", "--trials=2",
+          "--seed=" + std::to_string(seed)};
+}
+
+// For sweep submissions: n stays unfixed so it can be the swept key.
+std::vector<std::string> sweep_args(std::uint64_t seed) {
+  return {"--model=fixed", "--trials=2", "--seed=" + std::to_string(seed)};
+}
+
+// "<event>:<id>" labels, e.g. "done:j1" — enough to assert ordering.
+std::string label(const std::string& line) {
+  std::string error;
+  const auto event = parse_json(line, error);
+  if (!event || !event->is_object()) return "unparseable";
+  const JsonValue* kind = event->find("event");
+  const JsonValue* id = event->find("id");
+  std::string out = kind ? kind->string : "?";
+  if (id && id->is_string()) out += ":" + id->string;
+  return out;
+}
+
+double number_field(const std::string& line, const std::string& name) {
+  std::string error;
+  const auto event = parse_json(line, error);
+  if (!event) return -1.0;
+  const JsonValue* field = event->find(name);
+  return field ? field->number : -1.0;
+}
+
+TEST(ServeScheduler, PerJobEventOrderIsTotal) {
+  ResultCache cache;
+  std::vector<std::string> events;
+  Scheduler scheduler(0, &cache);
+  const std::uint64_t client = scheduler.register_client(
+      [&events](const std::string& line) { events.push_back(line); });
+
+  scheduler.submit(client, submit_request("j1", quick_args(1)));
+  while (scheduler.run_one()) {
+  }
+
+  ASSERT_EQ(events.size(), 5u) << events.size();
+  EXPECT_EQ(label(events[0]), "queued:j1");
+  EXPECT_EQ(label(events[1]), "running:j1");
+  EXPECT_EQ(label(events[2]), "trial_done:j1");
+  EXPECT_EQ(label(events[3]), "trial_done:j1");
+  EXPECT_EQ(label(events[4]), "done:j1");
+  EXPECT_EQ(number_field(events[4], "completed"), 2.0);
+  EXPECT_EQ(number_field(events[4], "cache_hits"), 0.0);
+}
+
+TEST(ServeScheduler, RoundRobinInterleavesClients) {
+  ResultCache cache;
+  std::vector<std::string> log;  // "<client>:<event>:<id>"
+  Scheduler scheduler(0, &cache);
+  const std::uint64_t a = scheduler.register_client(
+      [&log](const std::string& line) { log.push_back("A:" + label(line)); });
+  const std::uint64_t b = scheduler.register_client(
+      [&log](const std::string& line) { log.push_back("B:" + label(line)); });
+
+  // A floods the queue with a 3-point sweep; B submits one small job
+  // afterwards.  Fairness: B's job must run after exactly one of A's
+  // sub-jobs, not after all three.
+  scheduler.submit(a, submit_request("big", sweep_args(1), "n=16:48:16"));
+  scheduler.submit(b, submit_request("small", quick_args(2)));
+
+  while (scheduler.run_one()) {
+  }
+
+  std::vector<std::string> milestones;
+  for (const std::string& entry : log) {
+    if (entry.find(":done:") != std::string::npos ||
+        entry.find(":running:") != std::string::npos) {
+      milestones.push_back(entry);
+    }
+  }
+  ASSERT_EQ(milestones.size(), 4u);
+  EXPECT_EQ(milestones[0], "A:running:big");    // A's first sub-job starts
+  EXPECT_EQ(milestones[1], "B:running:small");  // then the cursor moves to B
+  EXPECT_EQ(milestones[2], "B:done:small");     // B finishes before...
+  EXPECT_EQ(milestones[3], "A:done:big");       // ...A's remaining sub-jobs
+}
+
+TEST(ServeScheduler, RepeatSubmissionIsAnsweredFromTheCache) {
+  ResultCache cache;
+  std::vector<std::string> events;
+  Scheduler scheduler(0, &cache);
+  const std::uint64_t client = scheduler.register_client(
+      [&events](const std::string& line) { events.push_back(line); });
+
+  scheduler.submit(client, submit_request("first", quick_args(9)));
+  while (scheduler.run_one()) {
+  }
+  const std::string fresh_done = events.back();
+  ASSERT_EQ(label(fresh_done), "done:first");
+
+  events.clear();
+  scheduler.submit(client, submit_request("again", quick_args(9)));
+  // No run_one(): a full cache hit resolves at submit time.
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(label(events[0]), "queued:again");
+  EXPECT_EQ(label(events[1]), "done:again");
+  EXPECT_EQ(number_field(events[1], "cache_hits"), 1.0);
+
+  // Byte-identity: the result object inside both done events is the same
+  // byte string (only the surrounding id/cached fields differ).
+  const std::string fresh_result =
+      fresh_done.substr(fresh_done.find("\"result\": "));
+  const std::string cached_result =
+      events[1].substr(events[1].find("\"result\": "));
+  EXPECT_EQ(fresh_result, cached_result);
+}
+
+TEST(ServeScheduler, ValidationFailuresAreStructuredErrors) {
+  ResultCache cache;
+  std::vector<std::string> events;
+  Scheduler scheduler(0, &cache);
+  const std::uint64_t client = scheduler.register_client(
+      [&events](const std::string& line) { events.push_back(line); });
+
+  const std::vector<Request> bad = {
+      submit_request("e1", {"--model=no_such_model"}),
+      submit_request("e2", {"--model=fixed", "--bogus=1"}),
+      submit_request("e3", {"--model=fixed", "--trials=0"}),
+      submit_request("e4", sweep_args(1), "alpha=2:1:1"),   // bad sweep
+      submit_request("e5", sweep_args(1), "n=1:4097:1"),    // > 4096 subjobs
+      submit_request("e6", quick_args(1), "n=16:32:16"),    // fixed + swept
+  };
+  for (const Request& request : bad) {
+    events.clear();
+    scheduler.submit(client, request);
+    ASSERT_EQ(events.size(), 1u) << request.id;
+    EXPECT_EQ(label(events[0]), "error:" + request.id) << events[0];
+  }
+  EXPECT_FALSE(scheduler.run_one());  // nothing was queued
+
+  // A duplicate active id is rejected while the first is still queued.
+  events.clear();
+  scheduler.submit(client, submit_request("dup", quick_args(1)));
+  scheduler.submit(client, submit_request("dup", quick_args(2)));
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(label(events[0]), "queued:dup");
+  EXPECT_EQ(label(events[1]), "error:dup");
+}
+
+TEST(ServeScheduler, CancelResolvesQueuedSubJobs) {
+  ResultCache cache;
+  std::vector<std::string> events;
+  Scheduler scheduler(0, &cache);
+  const std::uint64_t client = scheduler.register_client(
+      [&events](const std::string& line) { events.push_back(line); });
+
+  scheduler.submit(client, submit_request("j", sweep_args(3), "n=16:64:16"));
+  ASSERT_TRUE(scheduler.run_one());  // one of four sub-jobs runs
+  scheduler.cancel(client, "j");
+  EXPECT_EQ(label(events.back()), "cancelled:j");
+  EXPECT_EQ(number_field(events.back(), "completed"), 2.0);  // one sub-job
+  EXPECT_EQ(number_field(events.back(), "total"), 8.0);
+  EXPECT_FALSE(scheduler.run_one());
+
+  // Cancelling an unknown (or already finished) id is an error event.
+  events.clear();
+  scheduler.cancel(client, "j");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(label(events[0]), "error:j");
+}
+
+TEST(ServeScheduler, StatsCountTheWork) {
+  ResultCache cache;
+  Scheduler scheduler(0, &cache);
+  const std::uint64_t client =
+      scheduler.register_client([](const std::string&) {});
+  scheduler.submit(client, submit_request("j", quick_args(4)));
+  const StatsSnapshot before = scheduler.stats();
+  EXPECT_EQ(before.clients, 1u);
+  EXPECT_EQ(before.jobs_active, 1u);
+  EXPECT_EQ(before.queued_subjobs, 1u);
+  while (scheduler.run_one()) {
+  }
+  const StatsSnapshot after = scheduler.stats();
+  EXPECT_EQ(after.jobs_active, 0u);
+  EXPECT_EQ(after.jobs_done, 1u);
+  EXPECT_EQ(after.subjobs_run, 1u);
+  EXPECT_EQ(after.trials_done, 2u);
+  EXPECT_EQ(after.cache_entries, 1u);
+}
+
+TEST(ServeScheduler, UnregisteredClientWorkIsDropped) {
+  ResultCache cache;
+  std::vector<std::string> events;
+  Scheduler scheduler(0, &cache);
+  const std::uint64_t client = scheduler.register_client(
+      [&events](const std::string& line) { events.push_back(line); });
+  scheduler.submit(client, submit_request("j", sweep_args(5), "n=16:48:16"));
+  scheduler.unregister_client(client);
+  // The queue died with the client: nothing left to run, no events after
+  // the disconnect, and submits from a dead client id are ignored.
+  const std::size_t events_at_disconnect = events.size();
+  EXPECT_FALSE(scheduler.run_one());
+  scheduler.submit(client, submit_request("late", quick_args(6)));
+  EXPECT_EQ(events.size(), events_at_disconnect);
+  EXPECT_EQ(scheduler.stats().clients, 0u);
+}
+
+}  // namespace
+}  // namespace megflood::serve

@@ -1,0 +1,128 @@
+// Multi-key sweep parsing and Cartesian expansion (core/sweep.hpp), plus
+// the driver-level behavior of --sweep=a=..,b=.. — shared between
+// megflood_run and the serve layer, so "the same sweep" means the same
+// point list everywhere (ISSUE 8).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "core/sweep.hpp"
+
+namespace megflood {
+namespace {
+
+TEST(SweepExpand, SingleAxisValuesAreInclusiveAndCliFormatted) {
+  const SweepSpec axis = parse_sweep("n=64:256:64");
+  const std::vector<std::string> values = sweep_axis_values(axis);
+  EXPECT_EQ(values, (std::vector<std::string>{"64", "128", "192", "256"}));
+}
+
+TEST(SweepExpand, FractionalAxisKeepsItsFinalPoint) {
+  // 0.03:0.06:0.03 in naive fp accumulation can land at 0.0600000001 and
+  // drop the end point; the expansion must not.
+  const std::vector<std::string> values =
+      sweep_axis_values(parse_sweep("alpha=0.03:0.06:0.03"));
+  EXPECT_EQ(values, (std::vector<std::string>{"0.03", "0.06"}));
+}
+
+TEST(SweepExpand, MultiSweepParsesAxesInOrder) {
+  const std::vector<SweepSpec> axes =
+      parse_multi_sweep("alpha=0.01:0.02:0.01,q=0.1:0.3:0.1");
+  ASSERT_EQ(axes.size(), 2u);
+  EXPECT_EQ(axes[0].key, "alpha");
+  EXPECT_EQ(axes[1].key, "q");
+}
+
+TEST(SweepExpand, DuplicateAndEmptyAxesThrow) {
+  EXPECT_THROW((void)parse_multi_sweep("a=1:2:1,a=3:4:1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_multi_sweep("a=1:2:1,,b=1:2:1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_multi_sweep(""), std::invalid_argument);
+}
+
+TEST(SweepExpand, CartesianOrderIsFirstAxisSlowest) {
+  const auto points =
+      expand_sweep_points(parse_multi_sweep("a=1:2:1,b=10:30:10"));
+  ASSERT_EQ(points.size(), 6u);
+  const std::vector<std::pair<std::string, std::string>> expected_first = {
+      {"a", "1"}, {"b", "10"}};
+  EXPECT_EQ(points[0], expected_first);
+  EXPECT_EQ(points[1][1].second, "20");
+  EXPECT_EQ(points[2][1].second, "30");
+  EXPECT_EQ(points[3][0].second, "2");  // first axis advances last
+  EXPECT_EQ(points[5][1].second, "30");
+}
+
+TEST(SweepExpand, EmptyAxisListExpandsToNothing) {
+  EXPECT_TRUE(expand_sweep_points({}).empty());
+}
+
+TEST(SweepExpand, ProductCapThrows) {
+  // 10000 x 10000 passes the per-axis cap but not the product cap.
+  const auto axes = parse_multi_sweep("a=1:10000:1,b=1:10000:1");
+  EXPECT_THROW((void)expand_sweep_points(axes), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Driver integration: --sweep with multiple keys
+// ---------------------------------------------------------------------------
+
+struct DriverRun {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+DriverRun run(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  DriverRun result;
+  driver_cancel_flag().store(false);
+  result.code = run_driver(args, out, err);
+  result.out = out.str();
+  result.err = err.str();
+  return result;
+}
+
+std::size_t count_lines(const std::string& text) {
+  std::size_t lines = 0;
+  for (char c : text) {
+    if (c == '\n') ++lines;
+  }
+  return lines;
+}
+
+TEST(SweepExpand, DriverMultiKeySweepEmitsOneRowPerPoint) {
+  const auto r = run({"--model=edge_meg", "--trials=2", "--format=csv",
+                      "--sweep=n=48:96:48,alpha=0.01:0.02:0.01"});
+  EXPECT_EQ(r.code, kExitOk) << r.err;
+  // Header + 2x2 points.
+  EXPECT_EQ(count_lines(r.out), 5u) << r.out;
+  // Swept values lead each row: alpha column prepended, n is already a
+  // result column.
+  EXPECT_EQ(r.out.rfind("alpha,model", 0), 0u) << r.out;
+  EXPECT_NE(r.out.find("\n0.01,"), std::string::npos);
+  EXPECT_NE(r.out.find("\n0.02,"), std::string::npos);
+}
+
+TEST(SweepExpand, DriverDuplicateSweepKeyExitsTwo) {
+  const auto r = run({"--model=edge_meg", "--trials=2", "--format=csv",
+                      "--sweep=alpha=0.01:0.02:0.01,alpha=0.03:0.04:0.01"});
+  EXPECT_EQ(r.code, kExitConfigError);
+  EXPECT_NE(r.err.find("more than once"), std::string::npos) << r.err;
+}
+
+TEST(SweepExpand, DriverFixedAndSweptKeyExitsTwo) {
+  const auto r = run({"--model=edge_meg", "--alpha=0.05", "--trials=2",
+                      "--format=csv", "--sweep=alpha=0.01:0.02:0.01"});
+  EXPECT_EQ(r.code, kExitConfigError);
+  EXPECT_FALSE(r.err.empty());
+}
+
+}  // namespace
+}  // namespace megflood

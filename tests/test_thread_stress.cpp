@@ -301,7 +301,7 @@ TEST(ThreadStress, CheckpointJournalConcurrentRecords) {
   Measurement fresh;
   {
     CheckpointJournal journal(
-        path, CheckpointKey{"stress", config.seed, config.trials,
+        path, CheckpointKey{{"stress", config.seed, config.trials},
                             config.threads});
     MeasureHooks hooks;
     hooks.checkpoint = &journal;
@@ -312,7 +312,7 @@ TEST(ThreadStress, CheckpointJournalConcurrentRecords) {
   // the merged measurement must be bit-identical to the fresh run.
   {
     CheckpointJournal journal(
-        path, CheckpointKey{"stress", config.seed, config.trials,
+        path, CheckpointKey{{"stress", config.seed, config.trials},
                             config.threads});
     EXPECT_EQ(journal.replayed_trials(), config.trials);
     MeasureHooks hooks;

@@ -1,0 +1,127 @@
+// megflood_serve — the batch/query daemon: accepts scenario jobs as
+// newline-delimited JSON over a Unix-domain socket (or localhost TCP),
+// schedules trials across one shared worker pool with fair round-robin
+// queueing across clients, and answers repeat queries from the result
+// cache (memory + optional disk) keyed by the canonical campaign
+// identity — a cache hit is free and bit-identical to the original run.
+//
+//   $ megflood_serve --socket=/tmp/megflood.sock --cache_dir=cache &
+//   $ printf '%s\n' '{"op":"submit","id":"j1","args":["--model=edge_meg",
+//         "--n=256","--trials=8"]}' | nc -U /tmp/megflood.sock
+//
+// Protocol grammar: docs/serving.md.  SIGINT/SIGTERM (or a client
+// shutdown op) drain gracefully: running trials finish and are recorded,
+// pending sub-jobs resolve as cancelled, outboxes flush, exit 0.  A bad
+// flag exits 2 (the config-error code of docs/operations.md).
+
+#include <csignal>
+#include <cstdint>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+extern "C" void request_graceful_stop(int /*signum*/) {
+  // Async-signal-safe: a lock-free atomic store, nothing else.
+  megflood::driver_cancel_flag().store(true, std::memory_order_relaxed);
+}
+
+void usage(std::ostream& out) {
+  out << "usage: megflood_serve [--socket=<path> | --port=<n>]\n"
+         "                      [--workers=<n>] [--cache_dir=<path>]\n"
+         "                      [--max_line=<bytes>]\n"
+         "  --socket=<path>     listen on a Unix-domain socket\n"
+         "  --port=<n>          listen on localhost TCP (0 = ephemeral;\n"
+         "                      the bound port is printed on stdout)\n"
+         "  --workers=<n>       scheduler worker threads (default 0 = one\n"
+         "                      per hardware thread)\n"
+         "  --cache_dir=<path>  persist the result cache on disk\n"
+         "  --max_line=<bytes>  request-line length limit (default 65536)\n";
+}
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& value) {
+  std::size_t used = 0;
+  const unsigned long long parsed = std::stoull(value, &used);
+  if (used != value.size()) {
+    throw std::invalid_argument(flag + " is not an integer: '" + value + "'");
+  }
+  return parsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::signal(SIGINT, request_graceful_stop);
+  std::signal(SIGTERM, request_graceful_stop);
+
+  megflood::serve::ServerConfig config;
+  bool port_given = false;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        usage(std::cout);
+        return 0;
+      }
+      const std::size_t equals = arg.find('=');
+      if (arg.compare(0, 2, "--") != 0 || equals == std::string::npos) {
+        throw std::invalid_argument("unrecognized argument '" + arg + "'");
+      }
+      const std::string flag = arg.substr(0, equals);
+      const std::string value = arg.substr(equals + 1);
+      if (flag == "--socket") {
+        config.unix_path = value;
+      } else if (flag == "--port") {
+        const std::uint64_t port = parse_u64(flag, value);
+        if (port > 65535) {
+          throw std::invalid_argument("--port out of range: " + value);
+        }
+        config.tcp_port = static_cast<std::uint16_t>(port);
+        port_given = true;
+      } else if (flag == "--workers") {
+        config.workers = static_cast<std::size_t>(parse_u64(flag, value));
+      } else if (flag == "--cache_dir") {
+        config.cache_dir = value;
+      } else if (flag == "--max_line") {
+        config.max_line = static_cast<std::size_t>(parse_u64(flag, value));
+        if (config.max_line < 64) {
+          throw std::invalid_argument("--max_line must be >= 64");
+        }
+      } else {
+        throw std::invalid_argument("unrecognized flag '" + flag + "'");
+      }
+    }
+    if (!config.unix_path.empty() && port_given) {
+      throw std::invalid_argument("--socket and --port are exclusive");
+    }
+    if (config.unix_path.empty() && !port_given) {
+      throw std::invalid_argument("one of --socket or --port is required");
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "megflood_serve: " << e.what() << "\n";
+    usage(std::cerr);
+    return 2;
+  }
+
+  try {
+    megflood::serve::Server server(config);
+    if (!config.unix_path.empty()) {
+      std::cout << "megflood_serve: listening on " << config.unix_path
+                << std::endl;
+    } else {
+      std::cout << "megflood_serve: listening on 127.0.0.1:" << server.port()
+                << std::endl;
+    }
+    const int status = server.serve(megflood::driver_cancel_flag());
+    std::cout << "megflood_serve: drained, exiting" << std::endl;
+    return status;
+  } catch (const std::exception& e) {
+    std::cerr << "megflood_serve: " << e.what() << "\n";
+    return 2;
+  }
+}
