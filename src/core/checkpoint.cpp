@@ -188,6 +188,39 @@ void truncate_file(const std::string& path, const std::string& valid_prefix) {
 
 }  // namespace
 
+bool peek_checkpoint_key(const std::string& path, CheckpointKey& out) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (!file) return false;
+  // Fixed-width header prefix: magic, version, seed, trials, threads,
+  // cli_len — followed by cli_len bytes of canonical CLI.
+  char prefix[8 + 4 + 8 + 8 + 8 + 4];
+  if (std::fread(prefix, 1, sizeof prefix, file) != sizeof prefix) {
+    std::fclose(file);
+    return false;
+  }
+  Cursor cur(prefix, sizeof prefix);
+  const std::uint64_t magic = cur.get_u64();
+  const std::uint32_t version = cur.get_u32();
+  CheckpointKey key;
+  key.campaign.seed = cur.get_u64();
+  key.campaign.trials = cur.get_u64();
+  key.threads = cur.get_u64();
+  const std::uint32_t cli_len = cur.get_u32();
+  if (!cur.ok() || magic != kMagic || version != kVersion ||
+      cli_len > kMaxPayload) {
+    std::fclose(file);
+    return false;
+  }
+  std::string cli(cli_len, '\0');
+  const bool got_cli =
+      std::fread(cli.data(), 1, cli_len, file) == cli_len;
+  std::fclose(file);
+  if (!got_cli) return false;
+  key.campaign.scenario_cli = std::move(cli);
+  out = std::move(key);
+  return true;
+}
+
 CheckpointJournal::CheckpointJournal(std::string path,
                                      const CheckpointKey& key)
     : path_(std::move(path)) {

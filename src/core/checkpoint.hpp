@@ -50,6 +50,13 @@ struct CheckpointKey {
   std::uint64_t threads = 0;
 };
 
+// Reads just the header of the journal at `path` and returns the
+// CheckpointKey it binds, without replaying records — how a restarted
+// daemon discovers which campaign an orphaned journal belongs to.
+// Returns false (leaving `out` untouched) when the file is missing,
+// unreadable, or does not start with a valid journal header.
+bool peek_checkpoint_key(const std::string& path, CheckpointKey& out);
+
 class CheckpointJournal final : public CheckpointSink {
  public:
   // Opens or creates the journal at `path`.  A new (or empty) file gets

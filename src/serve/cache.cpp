@@ -100,13 +100,22 @@ std::optional<std::string> ResultCache::disk_lookup(
     const std::string& key_string) {
   const std::uint64_t hash = campaign_key_hash(key_string);
   for (int probe = 0; probe < kMaxProbes; ++probe) {
-    const auto data = slurp(entry_path(hash, probe));
+    const std::string path = entry_path(hash, probe);
+    const auto data = slurp(path);
     if (!data) return std::nullopt;  // first absent probe ends the chain
     const std::size_t newline = data->find('\n');
     if (newline == std::string::npos) continue;  // torn or foreign file
     if (data->compare(0, newline, key_string) != 0) continue;  // collision
     std::string result = data->substr(newline + 1);
-    if (result.empty() || result.back() != '\n') continue;  // torn tail
+    if (result.empty() || result.back() != '\n') {
+      // A torn entry *for this key* — a crashed or corrupted writer.  Heal
+      // by unlinking it so the slot can be re-stored cleanly (a concurrent
+      // daemon sharing this directory reads a miss, recomputes, and its
+      // store fills the slot).  A later-probe entry can be shadowed until
+      // the slot refills — a stale miss at worst, never a wrong result.
+      std::remove(path.c_str());
+      continue;
+    }
     result.pop_back();
     return result;
   }
@@ -121,10 +130,15 @@ void ResultCache::disk_store(const std::string& key_string,
     const auto data = slurp(entry_path(hash, probe));
     if (!data) break;  // free slot
     const std::size_t newline = data->find('\n');
-    if (newline != std::string::npos &&
-        data->compare(0, newline, key_string) == 0) {
-      return;  // already on disk
+    if (newline == std::string::npos ||
+        data->compare(0, newline, key_string) != 0) {
+      continue;  // foreign or colliding entry: next probe
     }
+    // Same key.  A complete entry (framing newline after the result) wins
+    // first-store-wins; a torn one is overwritten in place — healing for
+    // a crash or corruption that beat us to the slot.
+    if (data->size() > newline + 1 && data->back() == '\n') return;
+    break;
   }
   if (probe == kMaxProbes) return;  // probe window full: stay memory-only
 
@@ -144,7 +158,9 @@ void ResultCache::disk_store(const std::string& key_string,
   ok = std::fclose(file) == 0 && ok;
   if (!ok || std::rename(temp.c_str(), path.c_str()) != 0) {
     std::remove(temp.c_str());
+    return;
   }
+  if (disk_store_hook_) disk_store_hook_(++disk_stores_, path);
 }
 
 }  // namespace megflood::serve

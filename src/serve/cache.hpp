@@ -17,6 +17,7 @@
 // crash can never leave a torn entry behind.
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -50,6 +51,15 @@ class ResultCache {
 
   CacheStats stats() const;
 
+  // Test/fault-injection seam: called after each successful disk store
+  // with a 1-based daemon-wide store count and the entry's final path
+  // (util/fault_injection corrupt:store=N uses it to damage one entry in
+  // place).  Must be set before concurrent use.
+  void set_disk_store_hook(
+      std::function<void(std::size_t index, const std::string& path)> hook) {
+    disk_store_hook_ = std::move(hook);
+  }
+
  private:
   std::optional<std::string> disk_lookup(const std::string& key_string);
   void disk_store(const std::string& key_string,
@@ -60,6 +70,8 @@ class ResultCache {
   std::map<std::string, std::string> entries_;  // key string -> result bytes
   std::string dir_;
   CacheStats stats_;
+  std::function<void(std::size_t, const std::string&)> disk_store_hook_;
+  std::size_t disk_stores_ = 0;
 };
 
 }  // namespace megflood::serve

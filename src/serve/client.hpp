@@ -1,15 +1,40 @@
 #pragma once
 
-// A minimal blocking line client for the serve protocol, shared by the
-// server tests and tools/megflood_load.  One connection, newline-framed
-// sends, timeout-bounded line receives — just enough to drive the daemon
-// without duplicating socket boilerplate in every consumer.
+// Clients for the serve protocol, shared by the server tests and
+// tools/megflood_load.
+//
+// LineClient is the minimal blocking transport: one connection,
+// newline-framed sends, timeout-bounded line receives.  Every blocking
+// syscall is ::poll-guarded — connect, send and receive all take a
+// timeout, so a hung or drop-injected daemon can never wedge a client or
+// a test forever, and recv_line distinguishes "nothing arrived yet"
+// (timeout) from "the server is gone" (closed).
+//
+// RetryingClient (ISSUE 9) layers fault tolerance on top: connect and
+// submit retry with exponential backoff + decorrelated jitter (seeded via
+// util/rng — a fixed seed makes the backoff sequence deterministic in
+// tests), `rejected` backpressure events are honored by waiting out the
+// server's retry_after_ms hint and resubmitting, and a dropped connection
+// is survived by reconnecting and resubmitting every pending job.
+// Resubmission is idempotent by construction: results are keyed by
+// canonical campaign identity, so a job whose first attempt completed
+// server-side resolves from the cache, byte-identical.
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <optional>
 #include <string>
 
+#include "util/rng.hpp"
+
 namespace megflood::serve {
+
+enum class RecvStatus {
+  kLine,     // a full line was returned
+  kTimeout,  // nothing arrived within timeout_ms; the connection is fine
+  kClosed,   // EOF or socket error: the server is gone
+};
 
 class LineClient {
  public:
@@ -21,26 +46,86 @@ class LineClient {
   LineClient(const LineClient&) = delete;
   LineClient& operator=(const LineClient&) = delete;
 
-  // Both throw std::runtime_error when the connection cannot be made.
-  static LineClient connect_unix(const std::string& path);
-  static LineClient connect_tcp(std::uint16_t port);  // localhost
+  // Both throw std::runtime_error when the connection cannot be made
+  // within timeout_ms (negative = wait forever).
+  static LineClient connect_unix(const std::string& path,
+                                 int timeout_ms = kDefaultTimeoutMs);
+  static LineClient connect_tcp(std::uint16_t port,  // localhost
+                                int timeout_ms = kDefaultTimeoutMs);
 
   bool connected() const noexcept { return fd_ >= 0; }
 
-  // Sends `line` + '\n'.  Returns false when the connection broke.
-  bool send_line(const std::string& line);
+  // Sends `line` + '\n'.  Returns false when the connection broke or the
+  // kernel buffer stayed full past timeout_ms (a stalled reader).
+  bool send_line(const std::string& line, int timeout_ms = kDefaultTimeoutMs);
 
   // The next received line (newline stripped), or nullopt on timeout /
-  // EOF / error.  Buffers partial reads across calls.
-  std::optional<std::string> recv_line(int timeout_ms);
+  // EOF / error — `status`, when given, says which.  Buffers partial
+  // reads across calls.
+  std::optional<std::string> recv_line(int timeout_ms,
+                                       RecvStatus* status = nullptr);
 
   void close();
+
+  static constexpr int kDefaultTimeoutMs = 30000;
 
  private:
   explicit LineClient(int fd) : fd_(fd) {}
 
   int fd_ = -1;
   std::string buffer_;
+};
+
+struct RetryPolicy {
+  int max_attempts = 8;  // connection attempts per reconnect cycle
+  std::uint64_t base_backoff_ms = 50;
+  std::uint64_t max_backoff_ms = 2000;
+  std::uint64_t seed = 0;  // jitter stream; fixed seed = deterministic
+  int connect_timeout_ms = LineClient::kDefaultTimeoutMs;
+};
+
+class RetryingClient {
+ public:
+  // `connect` produces a fresh connection (throws std::runtime_error on
+  // failure) — e.g. [&]{ return LineClient::connect_unix(path); }.
+  RetryingClient(std::function<LineClient()> connect, RetryPolicy policy);
+
+  // Registers and sends one submit line whose job id is `id`; the line is
+  // remembered (and resent after reconnects or queue_full rejections)
+  // until a terminal event for `id` comes back through recv_event.
+  // Returns false when the server stayed unreachable through a full
+  // backoff cycle.
+  bool submit(const std::string& id, const std::string& request_line);
+
+  // The next server event for the caller.  Backpressure and transport
+  // faults are absorbed internally: a `rejected` (queue_full/draining)
+  // for a pending job waits out max(retry_after_ms, jittered backoff) and
+  // resubmits; a closed connection reconnects and resubmits everything
+  // pending.  Terminal events (done/cancelled, or an error for a pending
+  // id) unregister the job and are returned.  nullopt = timeout_ms
+  // elapsed, or the server stayed unreachable through a backoff cycle.
+  std::optional<std::string> recv_event(int timeout_ms);
+
+  std::size_t pending() const noexcept { return pending_.size(); }
+  std::uint64_t reconnects() const noexcept { return reconnects_; }
+  std::uint64_t resubmits() const noexcept { return resubmits_; }
+  std::uint64_t rejected_retries() const noexcept { return rejected_retries_; }
+
+ private:
+  bool reconnect_and_resubmit();
+  std::uint64_t next_backoff_ms();
+  void sleep_ms(std::uint64_t ms);
+
+  std::function<LineClient()> connect_;
+  RetryPolicy policy_;
+  LineClient client_;
+  std::map<std::string, std::string> pending_;  // job id -> submit line
+  Rng jitter_;
+  std::uint64_t backoff_ms_;
+  bool connected_once_ = false;
+  std::uint64_t reconnects_ = 0;
+  std::uint64_t resubmits_ = 0;
+  std::uint64_t rejected_retries_ = 0;
 };
 
 }  // namespace megflood::serve

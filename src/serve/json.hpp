@@ -34,6 +34,8 @@ class JsonValue {
   std::vector<std::pair<std::string, JsonValue>> object;
 
   bool is_null() const noexcept { return type == Type::kNull; }
+  bool is_bool() const noexcept { return type == Type::kBool; }
+  bool is_number() const noexcept { return type == Type::kNumber; }
   bool is_string() const noexcept { return type == Type::kString; }
   bool is_array() const noexcept { return type == Type::kArray; }
   bool is_object() const noexcept { return type == Type::kObject; }

@@ -1,5 +1,7 @@
 #include "serve/protocol.hpp"
 
+#include <cmath>
+
 #include "core/format.hpp"
 #include "serve/json.hpp"
 
@@ -57,7 +59,8 @@ Request parse_request(const std::string& line) {
   Request request;
   if (op->string == "submit") {
     request.op = RequestOp::kSubmit;
-    reject_unknown_fields(*parsed, "submit", {"op", "id", "args", "sweep"});
+    reject_unknown_fields(*parsed, "submit",
+                          {"op", "id", "args", "sweep", "deadline_s"});
     request.id = required_id(*parsed);
     const JsonValue* args = parsed->find("args");
     if (!args) bad("submit: missing 'args'");
@@ -71,6 +74,13 @@ Request parse_request(const std::string& line) {
     if (const JsonValue* sweep = parsed->find("sweep")) {
       if (!sweep->is_string()) bad("submit: 'sweep' must be a string");
       request.sweep = sweep->string;
+    }
+    if (const JsonValue* deadline = parsed->find("deadline_s")) {
+      if (!deadline->is_number() || !std::isfinite(deadline->number) ||
+          deadline->number <= 0.0) {
+        bad("submit: 'deadline_s' must be a positive finite number");
+      }
+      request.deadline_s = deadline->number;
     }
   } else if (op->string == "cancel") {
     request.op = RequestOp::kCancel;
@@ -97,6 +107,36 @@ std::string event_error(const std::string& id, const std::string& message) {
   out += id.empty() ? "null" : json_quote(id);
   out += ", \"message\": " + json_quote(message) + "}";
   return out;
+}
+
+std::string event_rejected(const std::string& id, RejectReason reason,
+                           std::uint64_t retry_after_ms,
+                           const std::string& detail) {
+  const char* name = "queue_full";
+  switch (reason) {
+    case RejectReason::kQueueFull:
+      name = "queue_full";
+      break;
+    case RejectReason::kDraining:
+      name = "draining";
+      break;
+    case RejectReason::kTooLarge:
+      name = "too_large";
+      break;
+  }
+  std::string out = "{\"event\": \"rejected\", \"id\": " + json_quote(id) +
+                    ", \"reason\": \"" + name +
+                    "\", \"retry_after_ms\": " + std::to_string(retry_after_ms);
+  if (!detail.empty()) out += ", \"detail\": " + json_quote(detail);
+  out += "}";
+  return out;
+}
+
+std::string event_deadline_exceeded(const std::string& id,
+                                    std::size_t completed, std::size_t total) {
+  return "{\"event\": \"deadline_exceeded\", \"id\": " + json_quote(id) +
+         ", \"completed\": " + std::to_string(completed) +
+         ", \"total\": " + std::to_string(total) + "}";
 }
 
 std::string event_pong() { return "{\"event\": \"pong\"}"; }
@@ -136,7 +176,9 @@ std::string event_done(const std::string& id,
     const SubJobReply& reply = replies[i];
     if (i) out += ", ";
     out += "{\"key\": " + json_quote(reply.key);
-    if (reply.cancelled) {
+    if (reply.deadline_exceeded) {
+      out += ", \"deadline_exceeded\": true";
+    } else if (reply.cancelled) {
       out += ", \"cancelled\": true";
     } else if (!reply.error.empty()) {
       out += ", \"error\": " + json_quote(reply.error);
@@ -161,18 +203,34 @@ std::string event_cancelled(const std::string& id, std::size_t completed,
 }
 
 std::string event_stats(const StatsSnapshot& stats) {
-  return "{\"event\": \"stats\", \"clients\": " +
-         std::to_string(stats.clients) +
-         ", \"jobs_active\": " + std::to_string(stats.jobs_active) +
-         ", \"jobs_done\": " + std::to_string(stats.jobs_done) +
-         ", \"jobs_cancelled\": " + std::to_string(stats.jobs_cancelled) +
-         ", \"jobs_failed\": " + std::to_string(stats.jobs_failed) +
-         ", \"subjobs_run\": " + std::to_string(stats.subjobs_run) +
-         ", \"trials_done\": " + std::to_string(stats.trials_done) +
-         ", \"queued_subjobs\": " + std::to_string(stats.queued_subjobs) +
-         ", \"cache\": {\"entries\": " + std::to_string(stats.cache_entries) +
-         ", \"hits\": " + std::to_string(stats.cache_hits) +
-         ", \"misses\": " + std::to_string(stats.cache_misses) + "}}";
+  std::string out =
+      "{\"event\": \"stats\", \"clients\": " + std::to_string(stats.clients) +
+      ", \"jobs_active\": " + std::to_string(stats.jobs_active) +
+      ", \"jobs_done\": " + std::to_string(stats.jobs_done) +
+      ", \"jobs_cancelled\": " + std::to_string(stats.jobs_cancelled) +
+      ", \"jobs_failed\": " + std::to_string(stats.jobs_failed) +
+      ", \"jobs_rejected\": " + std::to_string(stats.jobs_rejected) +
+      ", \"deadline_exceeded\": " + std::to_string(stats.deadline_exceeded) +
+      ", \"subjobs_run\": " + std::to_string(stats.subjobs_run) +
+      ", \"trials_done\": " + std::to_string(stats.trials_done) +
+      ", \"queued_subjobs\": " + std::to_string(stats.queued_subjobs) +
+      ", \"running_subjobs\": " + std::to_string(stats.running_subjobs) +
+      ", \"max_queue\": " + std::to_string(stats.max_queue) +
+      ", \"max_client_queue\": " + std::to_string(stats.max_client_queue) +
+      ", \"cache\": {\"entries\": " + std::to_string(stats.cache_entries) +
+      ", \"hits\": " + std::to_string(stats.cache_hits) +
+      ", \"misses\": " + std::to_string(stats.cache_misses) +
+      "}, \"per_client\": [";
+  for (std::size_t i = 0; i < stats.per_client.size(); ++i) {
+    const ClientStats& client = stats.per_client[i];
+    if (i) out += ", ";
+    out += "{\"client\": " + std::to_string(client.client) +
+           ", \"jobs_active\": " + std::to_string(client.jobs_active) +
+           ", \"queued_subjobs\": " + std::to_string(client.queued_subjobs) +
+           ", \"in_flight\": " + std::to_string(client.in_flight) + "}";
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace megflood::serve

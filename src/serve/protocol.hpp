@@ -10,13 +10,14 @@
 //
 // Requests:
 //   {"op":"submit","id":<string>,"args":[<scenario arg>...]
-//                 [,"sweep":"key=a:b:step[,key=a:b:step...]"]}
+//                 [,"sweep":"key=a:b:step[,key=a:b:step...]"]
+//                 [,"deadline_s":<positive number>]}
 //   {"op":"cancel","id":<string>}
 //   {"op":"ping"} | {"op":"stats"} | {"op":"shutdown"}
 //
 // Events (all carry "event"; job events carry "id"):
-//   error | queued | running | trial_done | done | cancelled | pong |
-//   stats | draining
+//   error | rejected | queued | running | trial_done | deadline_exceeded |
+//   done | cancelled | pong | stats | draining
 //
 // Submit args use exactly the scenario CLI grammar (core/scenario.hpp),
 // so everything the registry validates for megflood_run is validated for
@@ -43,6 +44,8 @@ struct Request {
   std::string id;                 // submit / cancel
   std::vector<std::string> args;  // submit: scenario CLI args
   std::string sweep;              // submit: optional multi-key sweep spec
+  double deadline_s = 0.0;        // submit: optional per-job deadline
+                                  // (0 = none; always positive when set)
 };
 
 // Parses one request line.  Throws ProtocolError on malformed JSON, a
@@ -61,11 +64,23 @@ struct SubJobReply {
   std::string key;          // campaign_key_string of the sub-job
   bool cached = false;      // answered from the result cache
   bool cancelled = false;
+  bool deadline_exceeded = false;
   std::string result_json;  // "{...}" from result_json_object
   std::string error;
 };
 
+// Why a submission was turned away at admission.  The reason string in
+// the rejected event is the enum name, and retry_after_ms tells a
+// well-behaved client how long to back off before retrying (0 = the
+// condition is permanent for this request, e.g. too_large).
+enum class RejectReason { kQueueFull, kDraining, kTooLarge };
+
 std::string event_error(const std::string& id, const std::string& message);
+std::string event_rejected(const std::string& id, RejectReason reason,
+                           std::uint64_t retry_after_ms,
+                           const std::string& detail);
+std::string event_deadline_exceeded(const std::string& id,
+                                    std::size_t completed, std::size_t total);
 std::string event_pong();
 std::string event_draining();
 std::string event_queued(const std::string& id, std::size_t subjobs,
@@ -80,18 +95,31 @@ std::string event_done(const std::string& id,
 std::string event_cancelled(const std::string& id, std::size_t completed,
                             std::size_t total);
 
+struct ClientStats {
+  std::uint64_t client = 0;  // scheduler-assigned client id
+  std::uint64_t jobs_active = 0;
+  std::uint64_t queued_subjobs = 0;
+  std::uint64_t in_flight = 0;  // sub-jobs of this client running right now
+};
+
 struct StatsSnapshot {
   std::uint64_t clients = 0;
   std::uint64_t jobs_active = 0;
   std::uint64_t jobs_done = 0;
   std::uint64_t jobs_cancelled = 0;
   std::uint64_t jobs_failed = 0;
+  std::uint64_t jobs_rejected = 0;
+  std::uint64_t deadline_exceeded = 0;
   std::uint64_t subjobs_run = 0;
   std::uint64_t trials_done = 0;
   std::uint64_t queued_subjobs = 0;
+  std::uint64_t running_subjobs = 0;
+  std::uint64_t max_queue = 0;         // 0 = unbounded
+  std::uint64_t max_client_queue = 0;  // 0 = unbounded
   std::uint64_t cache_entries = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::vector<ClientStats> per_client;
 };
 
 std::string event_stats(const StatsSnapshot& stats);

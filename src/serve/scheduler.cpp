@@ -1,10 +1,21 @@
 #include "serve/scheduler.hpp"
 
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <dirent.h>
+#endif
+
+#include "core/checkpoint.hpp"
 #include "core/format.hpp"
+#include "core/process.hpp"
 #include "core/sweep.hpp"
+#include "util/fault_injection.hpp"
 
 namespace megflood::serve {
 
@@ -16,15 +27,33 @@ namespace {
 // sweep, a served client shares the pool with everyone else.)
 constexpr std::size_t kMaxSubJobs = 4096;
 
+// Crash-recovery journals live next to the disk cache entries, named by
+// the same key hash with their own extension.
+constexpr const char* kJournalSuffix = ".mfj";
+
+std::string hex64(std::uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
 }  // namespace
 
-Scheduler::Scheduler(std::size_t workers, ResultCache* cache)
-    : cache_(cache) {
-  workers_.reserve(workers);
-  for (std::size_t i = 0; i < workers; ++i) {
+Scheduler::Scheduler(const SchedulerConfig& config, ResultCache* cache)
+    : cache_(cache),
+      max_queue_(config.max_queue),
+      max_client_queue_(config.max_client_queue),
+      journal_dir_(config.journal_dir),
+      fault_plan_(config.fault_plan) {
+  workers_.reserve(config.workers);
+  for (std::size_t i = 0; i < config.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
 }
+
+Scheduler::Scheduler(std::size_t workers, ResultCache* cache)
+    : Scheduler(SchedulerConfig{workers, 0, 0, "", nullptr}, cache) {}
 
 Scheduler::~Scheduler() { drain(); }
 
@@ -46,7 +75,16 @@ void Scheduler::unregister_client(std::uint64_t client) {
     job->cancel.store(true, std::memory_order_relaxed);
     job->cancelled = true;
   }
+  queued_subjobs_ -= it->second.queue.size();
   clients_.erase(it);
+}
+
+// Backoff hint for rejected submissions, scaled by how deep the global
+// queue is: a lightly loaded server invites a quick retry, a saturated
+// one pushes clients out far enough that retries cannot themselves
+// become the overload.
+std::uint64_t Scheduler::retry_after_ms() const {
+  return std::clamp<std::uint64_t>(25 * (queued_subjobs_ + 1), 50, 5000);
 }
 
 void Scheduler::emit_to(std::uint64_t client, const std::string& line) {
@@ -57,6 +95,7 @@ void Scheduler::emit_to(std::uint64_t client, const std::string& line) {
 void Scheduler::submit(std::uint64_t client, const Request& request) {
   // Validation runs outside the lock — registry building is pure.
   std::string error;
+  bool too_large = false;
   ScenarioSpec base;
   std::vector<SubJob> subjobs;
   try {
@@ -76,6 +115,7 @@ void Scheduler::submit(std::uint64_t client, const Request& request) {
       points.push_back({});
     }
     if (points.size() > kMaxSubJobs) {
+      too_large = true;
       throw std::invalid_argument(
           "sweep expands to " + std::to_string(points.size()) +
           " sub-jobs (server limit " + std::to_string(kMaxSubJobs) + ")");
@@ -105,12 +145,21 @@ void Scheduler::submit(std::uint64_t client, const Request& request) {
 
   std::lock_guard<std::mutex> lock(mutex_);
   if (clients_.find(client) == clients_.end()) return;
+  if (too_large) {
+    // Structurally inadmissible: no backoff will make it fit.
+    ++jobs_rejected_;
+    emit_to(client,
+            event_rejected(request.id, RejectReason::kTooLarge, 0, error));
+    return;
+  }
   if (!error.empty()) {
     emit_to(client, event_error(request.id, error));
     return;
   }
   if (draining_) {
-    emit_to(client, event_error(request.id, "server is draining"));
+    ++jobs_rejected_;
+    emit_to(client, event_rejected(request.id, RejectReason::kDraining, 1000,
+                                   "server is draining"));
     return;
   }
   Client& owner = clients_[client];
@@ -120,27 +169,44 @@ void Scheduler::submit(std::uint64_t client, const Request& request) {
     return;
   }
 
+  // Answer what the cache already knows before admission: hits are free
+  // and must never be rejected, so only the misses count against the
+  // queue limits.
+  std::vector<std::optional<std::string>> hits(subjobs.size());
+  std::size_t misses = 0;
+  for (const SubJob& sub : subjobs) {
+    hits[sub.index] = cache_->lookup(sub.key);
+    if (!hits[sub.index]) ++misses;
+  }
+  if ((max_queue_ != 0 && queued_subjobs_ + misses > max_queue_) ||
+      (max_client_queue_ != 0 &&
+       owner.queue.size() + misses > max_client_queue_)) {
+    ++jobs_rejected_;
+    emit_to(client, event_rejected(request.id, RejectReason::kQueueFull,
+                                   retry_after_ms(), ""));
+    return;
+  }
+
   auto job = std::make_shared<Job>();
   job->client = client;
   job->id = request.id;
   job->replies.resize(subjobs.size());
   job->total_trials = subjobs.size() * base.trial.trials;
+  job->deadline_s = request.deadline_s;
   owner.jobs[request.id] = job;
 
-  // Answer what the cache already knows; queue only the misses.
-  std::size_t queued = 0;
   for (SubJob& sub : subjobs) {
     job->replies[sub.index].key = campaign_key_string(sub.key);
-    if (auto hit = cache_->lookup(sub.key)) {
+    if (hits[sub.index]) {
       SubJobReply& reply = job->replies[sub.index];
       reply.cached = true;
-      reply.result_json = std::move(*hit);
+      reply.result_json = std::move(*hits[sub.index]);
       ++job->resolved;
       ++job->cache_hits;
       job->completed += sub.spec.trial.trials;
     } else {
       owner.queue.push_back(QueuedSubJob{job, std::move(sub)});
-      ++queued;
+      ++queued_subjobs_;
     }
   }
 
@@ -148,7 +214,7 @@ void Scheduler::submit(std::uint64_t client, const Request& request) {
                                job->total_trials, job->cache_hits));
   if (job->resolved == job->replies.size()) {
     finalize(job);
-  } else if (queued > 0) {
+  } else if (misses > 0) {
     work_cv_.notify_all();
   }
 }
@@ -183,6 +249,7 @@ void Scheduler::cancel_queued(const std::shared_ptr<Job>& job) {
       reply.cancelled = true;
       const std::size_t index = entry->work.index;
       entry = queue.erase(entry);
+      --queued_subjobs_;
       resolve(job, index, std::move(reply));
     } else {
       ++entry;
@@ -233,6 +300,7 @@ bool Scheduler::pick_next(QueuedSubJob& out) {
     if (!it->second.queue.empty()) {
       out = std::move(it->second.queue.front());
       it->second.queue.pop_front();
+      --queued_subjobs_;
       rr_cursor_ = it->first;
       return true;
     }
@@ -269,35 +337,107 @@ void Scheduler::execute(QueuedSubJob item, std::unique_lock<std::mutex>& lock) {
     emit_to(job->client, event_running(job->id));
   }
   ++subjobs_run_;
+  ++running_subjobs_;
+  {
+    const auto owner = clients_.find(job->client);
+    if (owner != clients_.end()) ++owner->second.in_flight;
+  }
 
   MeasureHooks hooks;
   hooks.cancel = &job->cancel;
-  hooks.on_trial_recorded = [this, &job](std::size_t) {
+  FaultPlan* const plan = fault_plan_;
+  if (plan != nullptr) {
+    hooks.on_trial_start = [plan](std::size_t trial) {
+      plan->fire_trial_start(trial);
+    };
+  }
+  hooks.on_trial_recorded = [this, &job, plan](std::size_t trial) {
     // Called from the campaign below, which runs with mutex_ released.
-    std::lock_guard<std::mutex> relock(mutex_);
-    ++job->completed;
-    ++trials_done_;
-    emit_to(job->client,
-            event_trial_done(job->id, job->completed, job->total_trials));
+    {
+      std::lock_guard<std::mutex> relock(mutex_);
+      ++job->completed;
+      ++trials_done_;
+      emit_to(job->client,
+              event_trial_done(job->id, job->completed, job->total_trials));
+    }
+    // kill:after= counts durable records daemon-wide and fires here, after
+    // the trial_done event is queued for delivery.
+    if (plan != nullptr) plan->fire_trial_recorded(trial);
   };
 
+  // The deadline is applied to a spec *copy* at execute time, after the
+  // campaign key was computed at submit time — a job's deadline can never
+  // leak into cache or journal identity.
+  ScenarioSpec spec = item.work.spec;
+  if (job->deadline_s > 0.0) spec.trial.trial_deadline_s = job->deadline_s;
+
   lock.unlock();
+
+  // With a journal directory configured, every trial of this campaign is
+  // recorded durably before it counts, so a SIGKILL loses at most the
+  // in-flight trial and recover_journals() finishes the rest on restart.
+  // A journal whose header does not match (a hash-named file from some
+  // other experiment) is replaced; journal I/O failure degrades to an
+  // unjournaled run — serving beats durability here.
+  std::unique_ptr<CheckpointJournal> journal;
+  std::string jpath;
+  if (!journal_dir_.empty()) {
+    jpath = journal_path(item.work.key);
+    const CheckpointKey ckey{item.work.key, 1};
+    try {
+      journal = std::make_unique<CheckpointJournal>(jpath, ckey);
+    } catch (const std::invalid_argument&) {
+      std::remove(jpath.c_str());
+      try {
+        journal = std::make_unique<CheckpointJournal>(jpath, ckey);
+      } catch (const std::exception&) {
+      }
+    } catch (const std::exception&) {
+    }
+    hooks.checkpoint = journal.get();
+  }
+
   std::string result_json;
   std::string error;
   bool interrupted = false;
+  bool deadline_hit = false;
   try {
-    const ScenarioResult result = run_scenario(item.work.spec, hooks);
+    const ScenarioResult result = run_scenario(spec, hooks);
     interrupted = result.measurement.interrupted;
     if (!interrupted) {
+      // Serialize against the *submitted* spec (no deadline): cached and
+      // resumed results stay byte-identical to an uninterrupted run.
       result_json =
           result_json_object(item.work.spec, result, result.warnings);
     }
+  } catch (const TrialDeadlineExceeded& e) {
+    deadline_hit = true;
+    error = e.what();
   } catch (const std::exception& e) {
     error = e.what();
   }
+  journal.reset();  // close before deciding the file's fate
+  if (!jpath.empty() && error.empty() && !interrupted) {
+    // Complete: the cache owns the result now, the journal is spent.  On
+    // any failure path the journal stays for a later resume.
+    std::remove(jpath.c_str());
+  }
   lock.lock();
 
-  if (!error.empty()) {
+  --running_subjobs_;
+  {
+    const auto owner = clients_.find(job->client);
+    if (owner != clients_.end() && owner->second.in_flight > 0) {
+      --owner->second.in_flight;
+    }
+  }
+  if (deadline_hit) {
+    reply.deadline_exceeded = true;
+    reply.error = std::move(error);
+    ++deadline_exceeded_;
+    emit_to(job->client, event_deadline_exceeded(job->id, job->completed,
+                                                 job->total_trials));
+  } else if (!error.empty()) {
     reply.error = std::move(error);
   } else if (interrupted) {
     reply.cancelled = true;
@@ -353,20 +493,114 @@ void Scheduler::drain() {
   }
 }
 
+std::string Scheduler::journal_path(const CampaignKey& key) const {
+  return journal_dir_ + "/" + hex64(campaign_key_hash(key)) + kJournalSuffix;
+}
+
+std::size_t Scheduler::recover_journals() {
+#if defined(__unix__) || defined(__APPLE__)
+  if (journal_dir_.empty()) return 0;
+  const std::string suffix = kJournalSuffix;
+  std::vector<std::string> names;
+  if (DIR* dir = ::opendir(journal_dir_.c_str())) {
+    while (const dirent* entry = ::readdir(dir)) {
+      const std::string name = entry->d_name;
+      if (name.size() > suffix.size() &&
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+              0) {
+        names.push_back(name);
+      }
+    }
+    ::closedir(dir);
+  }
+  std::sort(names.begin(), names.end());  // deterministic recovery order
+  std::size_t recovered = 0;
+  for (const std::string& name : names) {
+    const std::string path = journal_dir_ + "/" + name;
+    CheckpointKey key;
+    // Daemon journals are always threads=1 (the pool owns parallelism); a
+    // file that does not peek as one cannot be resumed here and can only
+    // shadow a future journal at the same name — remove it.
+    if (!peek_checkpoint_key(path, key) || key.threads != 1) {
+      std::remove(path.c_str());
+      continue;
+    }
+    if (cache_->lookup(key.campaign)) {
+      std::remove(path.c_str());  // already answered; the journal is spent
+      continue;
+    }
+    SubJob sub;
+    try {
+      sub.spec = parse_scenario_cli(key.campaign.scenario_cli);
+      sub.spec.trial.threads = 1;
+      (void)make_model_factory(sub.spec);
+      (void)make_process_factory(sub.spec.process);
+      sub.key = campaign_key(sub.spec);
+    } catch (const std::exception&) {
+      std::remove(path.c_str());
+      continue;
+    }
+    if (campaign_key_string(sub.key) != campaign_key_string(key.campaign)) {
+      std::remove(path.c_str());  // header CLI is not canonical: not ours
+      continue;
+    }
+    sub.index = 0;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) break;
+    if (recovery_client_ == 0) {
+      // Internal sink-less client: recovered campaigns flow through the
+      // normal queue/execute/cache path, their events go nowhere.
+      recovery_client_ = next_client_++;
+      clients_[recovery_client_].emit = EventFn{};
+    }
+    Client& owner = clients_[recovery_client_];
+    auto job = std::make_shared<Job>();
+    job->client = recovery_client_;
+    job->id = "recover-" + hex64(campaign_key_hash(sub.key));
+    if (owner.jobs.find(job->id) != owner.jobs.end()) continue;
+    job->replies.resize(1);
+    job->replies[0].key = campaign_key_string(sub.key);
+    job->total_trials = sub.spec.trial.trials;
+    owner.jobs[job->id] = job;
+    owner.queue.push_back(QueuedSubJob{job, std::move(sub)});
+    ++queued_subjobs_;
+    ++recovered;
+    work_cv_.notify_all();
+  }
+  return recovered;
+#else
+  return 0;
+#endif
+}
+
 StatsSnapshot Scheduler::stats() const {
   StatsSnapshot out;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    out.clients = clients_.size();
     for (const auto& [id, client] : clients_) {
       out.jobs_active += client.jobs.size();
-      out.queued_subjobs += client.queue.size();
+      // The internal recovery client is bookkeeping, not a peer: its
+      // queued work shows in the queue counters but it is not a client.
+      if (id == recovery_client_ && recovery_client_ != 0) continue;
+      ++out.clients;
+      ClientStats per;
+      per.client = id;
+      per.jobs_active = client.jobs.size();
+      per.queued_subjobs = client.queue.size();
+      per.in_flight = client.in_flight;
+      out.per_client.push_back(per);
     }
     out.jobs_done = jobs_done_;
     out.jobs_cancelled = jobs_cancelled_;
     out.jobs_failed = jobs_failed_;
+    out.jobs_rejected = jobs_rejected_;
+    out.deadline_exceeded = deadline_exceeded_;
     out.subjobs_run = subjobs_run_;
     out.trials_done = trials_done_;
+    out.queued_subjobs = queued_subjobs_;
+    out.running_subjobs = running_subjobs_;
+    out.max_queue = max_queue_;
+    out.max_client_queue = max_client_queue_;
   }
   const CacheStats cache = cache_->stats();
   out.cache_entries = cache.entries;

@@ -19,6 +19,16 @@
 // `workers == 0` is manual mode: nothing runs until run_one() is called,
 // which executes exactly one sub-job on the caller's thread.  Tests use
 // it to make fairness ordering deterministic and inspectable.
+//
+// Robustness (ISSUE 9): admission control bounds the global and
+// per-client queues (over-limit submissions get a `rejected` event with a
+// retry_after_ms hint instead of unbounded queue growth); a submit-time
+// `deadline_s` rides the cooperative per-trial watchdog so a runaway
+// campaign frees its worker with a `deadline_exceeded` event; and with a
+// journal directory configured every running sub-job checkpoints its
+// trials through core/checkpoint, so a SIGKILLed daemon finds the
+// orphaned journals on restart (recover_journals()) and completes the
+// interrupted campaigns bit-identical to an uninterrupted run.
 
 #include <atomic>
 #include <condition_variable>
@@ -37,6 +47,10 @@
 #include "serve/cache.hpp"
 #include "serve/protocol.hpp"
 
+namespace megflood {
+class FaultPlan;
+}
+
 namespace megflood::serve {
 
 // Delivers one event line (no trailing newline) to a client.  Called with
@@ -45,10 +59,25 @@ namespace megflood::serve {
 // connection outbox guarded by its own leaf mutex).
 using EventFn = std::function<void(const std::string& line)>;
 
+struct SchedulerConfig {
+  std::size_t workers = 0;  // 0 = manual mode (run_one())
+  // Admission limits on *queued* sub-jobs (cache hits are free and never
+  // rejected); 0 = unbounded.  A submission whose misses would push a
+  // queue past its limit is rejected whole.
+  std::size_t max_queue = 0;
+  std::size_t max_client_queue = 0;
+  // Directory for per-campaign crash-recovery journals (the server passes
+  // its --cache_dir); empty = no journaling.
+  std::string journal_dir;
+  // Server-side fault injection (--inject): trial-level sites fire inside
+  // worker campaigns.  Not owned; may be null; must outlive the scheduler.
+  FaultPlan* fault_plan = nullptr;
+};
+
 class Scheduler {
  public:
-  // `workers` threads execute sub-jobs; 0 = manual mode (run_one()).
   // `cache` must outlive the scheduler.
+  Scheduler(const SchedulerConfig& config, ResultCache* cache);
   Scheduler(std::size_t workers, ResultCache* cache);
   ~Scheduler();
 
@@ -82,6 +111,14 @@ class Scheduler {
   // (drain never tears a campaign mid-trial).  Idempotent.
   void drain();
 
+  // Scans the journal directory for orphaned crash-recovery journals — a
+  // predecessor daemon was killed mid-campaign — and queues each
+  // interrupted campaign under an internal client so it completes (and
+  // lands in the result cache) without any client attached.  Journals for
+  // campaigns already cached, and unreadable/foreign journal files, are
+  // removed.  Returns the number of campaigns queued for resumption.
+  std::size_t recover_journals();
+
   StatsSnapshot stats() const;
 
  private:
@@ -99,6 +136,7 @@ class Scheduler {
     std::size_t cache_hits = 0;
     std::size_t completed = 0;      // trials finished (cached count fully)
     std::size_t total_trials = 0;
+    double deadline_s = 0.0;        // per-trial watchdog budget (0 = none)
     bool running_emitted = false;
     bool cancelled = false;         // finalize as cancelled, not done
     std::atomic<bool> cancel{false};  // measure() cancel hook target
@@ -113,6 +151,7 @@ class Scheduler {
     EventFn emit;
     std::map<std::string, std::shared_ptr<Job>> jobs;  // active, by id
     std::deque<QueuedSubJob> queue;
+    std::size_t in_flight = 0;  // sub-jobs of this client running right now
   };
 
   // All private helpers below require mutex_ held unless noted.
@@ -125,20 +164,31 @@ class Scheduler {
   bool has_queued_work() const;
   void execute(QueuedSubJob item, std::unique_lock<std::mutex>& lock);
   void worker_loop();
+  std::uint64_t retry_after_ms() const;  // backoff hint from queue depth
+  std::string journal_path(const CampaignKey& key) const;  // lock-free
 
   ResultCache* cache_;
+  const std::size_t max_queue_;
+  const std::size_t max_client_queue_;
+  const std::string journal_dir_;
+  FaultPlan* const fault_plan_;
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;
   std::map<std::uint64_t, Client> clients_;
   std::uint64_t next_client_ = 1;
   std::uint64_t rr_cursor_ = 0;  // client id last served; next pick is after
+  std::uint64_t recovery_client_ = 0;  // internal, sink-less; 0 = none yet
   bool draining_ = false;
   bool stop_ = false;
   std::uint64_t jobs_done_ = 0;
   std::uint64_t jobs_cancelled_ = 0;
   std::uint64_t jobs_failed_ = 0;
+  std::uint64_t jobs_rejected_ = 0;
+  std::uint64_t deadline_exceeded_ = 0;
   std::uint64_t subjobs_run_ = 0;
   std::uint64_t trials_done_ = 0;
+  std::uint64_t queued_subjobs_ = 0;   // invariant: sum of queue sizes
+  std::uint64_t running_subjobs_ = 0;  // invariant: sum of in_flight
   std::vector<std::thread> workers_;
 };
 

@@ -21,6 +21,7 @@
 #include "serve/cache.hpp"
 #include "serve/protocol.hpp"
 #include "serve/scheduler.hpp"
+#include "util/fault_injection.hpp"
 
 namespace megflood::serve {
 
@@ -28,6 +29,27 @@ namespace {
 
 // Accept-loop poll tick: the latency bound on noticing the stop flag.
 constexpr int kPollMs = 200;
+
+// Server-side fault sites are seed-keyed like the trial-runner ones; the
+// daemon has no campaign seed of its own, so its plan is keyed by a fixed
+// seed — the same --inject spec injects the same faults on every run.
+constexpr std::uint64_t kInjectSeed = 1;
+
+SchedulerConfig scheduler_config(const ServerConfig& config,
+                                 FaultPlan* plan) {
+  SchedulerConfig out;
+  out.workers = config.workers == 0
+                    ? std::max<std::size_t>(
+                          1, std::thread::hardware_concurrency())
+                    : config.workers;
+  out.max_queue = config.max_queue;
+  out.max_client_queue = config.max_client_queue;
+  // Journals live next to the disk cache entries: crash recovery is armed
+  // exactly when result persistence is.
+  out.journal_dir = config.cache_dir;
+  out.fault_plan = (plan != nullptr && !plan->empty()) ? plan : nullptr;
+  return out;
+}
 
 bool write_all(int fd, const char* data, std::size_t size) {
   std::size_t sent = 0;
@@ -53,6 +75,7 @@ class ServerImpl {
   ~ServerImpl();
 
   std::uint16_t port() const { return port_; }
+  std::size_t recovered_journals() const { return recovered_; }
   int serve(const std::atomic<bool>& stop);
   void request_shutdown() {
     shutdown_requested_.store(true, std::memory_order_relaxed);
@@ -89,8 +112,10 @@ class ServerImpl {
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::string unix_path_;  // unlinked on teardown
+  FaultPlan fault_plan_;   // parsed --inject; empty = no sites
   ResultCache cache_;
   Scheduler scheduler_;
+  std::size_t recovered_ = 0;
   std::atomic<bool> shutdown_requested_{false};
   std::mutex connections_mutex_;
   std::vector<std::unique_ptr<Connection>> connections_;
@@ -98,17 +123,26 @@ class ServerImpl {
 
 ServerImpl::ServerImpl(const ServerConfig& config)
     : config_(config),
+      fault_plan_(config.inject.empty()
+                      ? FaultPlan()
+                      : FaultPlan::parse(config.inject, kInjectSeed)),
       cache_(config.cache_dir),
-      scheduler_(config.workers == 0
-                     ? std::max<std::size_t>(
-                           1, std::thread::hardware_concurrency())
-                     : config.workers,
-                 &cache_) {
+      scheduler_(scheduler_config(config, &fault_plan_), &cache_) {
+  if (!fault_plan_.empty()) {
+    cache_.set_disk_store_hook(
+        [this](std::size_t index, const std::string& path) {
+          fault_plan_.fire_disk_store(index, path);
+        });
+  }
   if (!config.unix_path.empty()) {
     listen_unix(config.unix_path);
   } else {
     listen_tcp(config.tcp_port);
   }
+  // Resume whatever a killed predecessor left behind before accepting
+  // traffic; the campaigns complete on the worker pool and land in the
+  // cache, bit-identical to uninterrupted runs.
+  recovered_ = scheduler_.recover_journals();
 }
 
 ServerImpl::~ServerImpl() {
@@ -257,6 +291,7 @@ void ServerImpl::reader_loop(Connection* connection) {
 }
 
 void ServerImpl::writer_loop(Connection* connection) {
+  std::size_t written = 0;  // event lines attempted on this connection
   std::unique_lock<std::mutex> lock(connection->out_mutex);
   while (true) {
     connection->out_cv.wait(lock, [connection] {
@@ -267,7 +302,16 @@ void ServerImpl::writer_loop(Connection* connection) {
     connection->outbox.pop_front();
     line += '\n';
     lock.unlock();
-    const bool ok = write_all(connection->fd, line.data(), line.size());
+    // Chaos seam: stallwrite sites sleep here (a slow network under one
+    // client — never under the scheduler mutex), drop sites hard-close
+    // the connection instead of writing, as if the network died.
+    bool ok;
+    if (!fault_plan_.empty() && fault_plan_.fire_event_write(++written)) {
+      ::shutdown(connection->fd, SHUT_RDWR);
+      ok = false;
+    } else {
+      ok = write_all(connection->fd, line.data(), line.size());
+    }
     lock.lock();
     if (!ok) {
       // Client stopped reading; drop the rest and let the reader notice.
@@ -347,6 +391,10 @@ Server::Server(const ServerConfig& config) : impl_(new ServerImpl(config)) {}
 Server::~Server() { delete impl_; }
 
 std::uint16_t Server::port() const { return impl_->port(); }
+
+std::size_t Server::recovered_journals() const {
+  return impl_->recovered_journals();
+}
 
 int Server::serve(const std::atomic<bool>& stop) {
   return impl_->serve(stop);

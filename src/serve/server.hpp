@@ -38,6 +38,14 @@ struct ServerConfig {
   // answered with an error event and discarded up to the next newline;
   // the connection survives.
   std::size_t max_line = 1 << 16;
+  // Admission control (serve/scheduler.hpp): caps on queued sub-jobs,
+  // globally and per client; 0 = unbounded.
+  std::size_t max_queue = 0;
+  std::size_t max_client_queue = 0;
+  // Fault-injection spec (util/fault_injection.hpp grammar, including the
+  // server-side drop/stallwrite/corrupt sites); empty = none.  A bad spec
+  // makes the Server constructor throw std::invalid_argument.
+  std::string inject;
 };
 
 class ServerImpl;
@@ -55,6 +63,11 @@ class Server {
   // The bound TCP port (the ephemeral answer when config.tcp_port was 0);
   // 0 in Unix-socket mode.
   std::uint16_t port() const;
+
+  // Interrupted campaigns found (as crash-recovery journals under
+  // cache_dir) and re-queued at construction — a SIGKILLed predecessor's
+  // unfinished work, resumed and completed in the background.
+  std::size_t recovered_journals() const;
 
   // Runs the accept loop until `stop` becomes true or a client sends
   // shutdown, then drains gracefully.  Returns 0 on a clean drain.

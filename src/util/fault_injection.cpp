@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 #include <thread>
 
@@ -75,7 +76,8 @@ FaultSite parse_site(const std::string& text) {
   const std::string name = text.substr(0, colon);
   FaultSite site;
   bool saw_trial = false, saw_prob = false, saw_ms = false, saw_mb = false,
-       saw_after = false;
+       saw_after = false, saw_conn = false, saw_every = false,
+       saw_store = false;
   if (colon != std::string::npos) {
     for (const std::string& kv : split(text.substr(colon + 1), ',')) {
       const std::size_t eq = kv.find('=');
@@ -99,6 +101,15 @@ FaultSite parse_site(const std::string& text) {
       } else if (key == "after") {
         site.after_records = static_cast<std::size_t>(parse_count(key, value));
         saw_after = true;
+      } else if (key == "conn") {
+        site.conn_events = static_cast<std::size_t>(parse_count(key, value));
+        saw_conn = true;
+      } else if (key == "every") {
+        site.every_events = parse_count(key, value);
+        saw_every = true;
+      } else if (key == "store") {
+        site.store_index = static_cast<std::size_t>(parse_count(key, value));
+        saw_store = true;
       } else {
         fail("unknown key '" + key + "' in site '" + text + "'");
       }
@@ -112,6 +123,11 @@ FaultSite parse_site(const std::string& text) {
       fail("site '" + name + "' does not take " + std::string(key));
     }
   };
+  const auto forbid_server_keys = [&] {
+    forbid(saw_conn, "conn=");
+    forbid(saw_every, "every=");
+    forbid(saw_store, "store=");
+  };
   if (name == "throw") {
     if (saw_trial == saw_prob) {
       fail("throw takes exactly one of trial= or prob=");
@@ -120,6 +136,7 @@ FaultSite parse_site(const std::string& text) {
     forbid(saw_ms, "ms=");
     forbid(saw_mb, "mb=");
     forbid(saw_after, "after=");
+    forbid_server_keys();
   } else if (name == "slow") {
     site.kind = FaultSite::Kind::kSlow;
     require(saw_trial, "trial=");
@@ -127,6 +144,7 @@ FaultSite parse_site(const std::string& text) {
     forbid(saw_prob, "prob=");
     forbid(saw_mb, "mb=");
     forbid(saw_after, "after=");
+    forbid_server_keys();
   } else if (name == "alloc") {
     site.kind = FaultSite::Kind::kAlloc;
     require(saw_trial, "trial=");
@@ -137,17 +155,57 @@ FaultSite parse_site(const std::string& text) {
     forbid(saw_prob, "prob=");
     forbid(saw_ms, "ms=");
     forbid(saw_after, "after=");
+    forbid_server_keys();
   } else if (name == "kill") {
-    site.kind = FaultSite::Kind::kKill;
-    require(saw_after, "after=");
-    if (site.after_records == 0) fail("kill: after must be >= 1");
+    if (saw_after == saw_trial) {
+      fail("kill takes exactly one of after= or trial=");
+    }
+    if (saw_after) {
+      site.kind = FaultSite::Kind::kKill;
+      if (site.after_records == 0) fail("kill: after must be >= 1");
+    } else {
+      site.kind = FaultSite::Kind::kKillTrial;
+    }
+    forbid(saw_prob, "prob=");
+    forbid(saw_ms, "ms=");
+    forbid(saw_mb, "mb=");
+    forbid_server_keys();
+  } else if (name == "drop") {
+    site.kind = FaultSite::Kind::kDropConn;
+    require(saw_conn, "conn=");
+    if (site.conn_events == 0) fail("drop: conn must be >= 1");
     forbid(saw_trial, "trial=");
     forbid(saw_prob, "prob=");
     forbid(saw_ms, "ms=");
     forbid(saw_mb, "mb=");
+    forbid(saw_after, "after=");
+    forbid(saw_every, "every=");
+    forbid(saw_store, "store=");
+  } else if (name == "stallwrite") {
+    site.kind = FaultSite::Kind::kStallWrite;
+    require(saw_every, "every=");
+    require(saw_ms, "ms=");
+    if (site.every_events == 0) fail("stallwrite: every must be >= 1");
+    forbid(saw_trial, "trial=");
+    forbid(saw_prob, "prob=");
+    forbid(saw_mb, "mb=");
+    forbid(saw_after, "after=");
+    forbid(saw_conn, "conn=");
+    forbid(saw_store, "store=");
+  } else if (name == "corrupt") {
+    site.kind = FaultSite::Kind::kCorruptStore;
+    require(saw_store, "store=");
+    if (site.store_index == 0) fail("corrupt: store must be >= 1");
+    forbid(saw_trial, "trial=");
+    forbid(saw_prob, "prob=");
+    forbid(saw_ms, "ms=");
+    forbid(saw_mb, "mb=");
+    forbid(saw_after, "after=");
+    forbid(saw_conn, "conn=");
+    forbid(saw_every, "every=");
   } else {
     fail("unknown site '" + name +
-         "' (known: throw, slow, alloc, kill)");
+         "' (known: throw, slow, alloc, kill, drop, stallwrite, corrupt)");
   }
   return site;
 }
@@ -209,8 +267,15 @@ void FaultPlan::fire_trial_start(std::size_t trial) const {
           }
         }
         break;
+      case FaultSite::Kind::kKillTrial:
+        if (site.trial == trial) kill_self();
+        break;
       case FaultSite::Kind::kKill:
         break;  // fires on record, not on start
+      case FaultSite::Kind::kDropConn:
+      case FaultSite::Kind::kStallWrite:
+      case FaultSite::Kind::kCorruptStore:
+        break;  // server-side sites, fired by the daemon
     }
   }
 }
@@ -221,6 +286,39 @@ void FaultPlan::fire_trial_recorded(std::size_t /*trial*/) {
     if (site.kind == FaultSite::Kind::kKill && count == site.after_records) {
       kill_self();
     }
+  }
+}
+
+bool FaultPlan::fire_event_write(std::size_t event_index) const {
+  bool drop = false;
+  for (const FaultSite& site : sites_) {
+    if (site.kind == FaultSite::Kind::kStallWrite &&
+        event_index % site.every_events == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(site.sleep_ms));
+    } else if (site.kind == FaultSite::Kind::kDropConn &&
+               event_index == site.conn_events) {
+      drop = true;
+    }
+  }
+  return drop;
+}
+
+void FaultPlan::fire_disk_store(std::size_t store_index,
+                                const std::string& path) const {
+  for (const FaultSite& site : sites_) {
+    if (site.kind != FaultSite::Kind::kCorruptStore ||
+        store_index != site.store_index) {
+      continue;
+    }
+    // Clobber the trailing newline — the cache's torn-entry framing byte —
+    // so readers see a torn write, exactly as a crash mid-rename would
+    // leave it.
+    std::FILE* file = std::fopen(path.c_str(), "r+b");
+    if (file == nullptr) continue;
+    if (std::fseek(file, -1, SEEK_END) == 0) {
+      std::fputc('X', file);
+    }
+    std::fclose(file);
   }
 }
 

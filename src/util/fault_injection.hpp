@@ -21,6 +21,25 @@
 //   kill:after=K         deliver SIGKILL to this process immediately after
 //                        the K-th durable checkpoint record is written —
 //                        the crash half of the kill-and-resume suite
+//   kill:trial=K         deliver SIGKILL at the *start* of trial K — dies
+//                        mid-campaign with the in-flight trial unrecorded
+//                        (the serve chaos harness's "kill a worker
+//                        mid-trial" site)
+//
+// Server-side sites (megflood_serve --inject=, fired by the daemon rather
+// than the trial runner — see docs/serving.md):
+//
+//   drop:conn=N          hard-close a connection instead of writing its
+//                        N-th event line (per connection, 1-based) —
+//                        simulates the network dying under a client
+//   stallwrite:every=K,ms=M
+//                        sleep M milliseconds before every K-th event
+//                        line written on a connection (a stalled writer /
+//                        slow network path)
+//   corrupt:store=N      corrupt the N-th disk-cache entry written by the
+//                        daemon (daemon-wide count) by clobbering its
+//                        framing byte — exercises the torn-entry read
+//                        path and store-side healing
 //
 // Unknown site names, unknown keys, malformed numbers and out-of-range
 // values are std::invalid_argument (the driver's config-error exit).
@@ -33,13 +52,26 @@
 namespace megflood {
 
 struct FaultSite {
-  enum class Kind { kThrow, kThrowProb, kSlow, kAlloc, kKill };
+  enum class Kind {
+    kThrow,
+    kThrowProb,
+    kSlow,
+    kAlloc,
+    kKill,
+    kKillTrial,
+    kDropConn,
+    kStallWrite,
+    kCorruptStore,
+  };
   Kind kind = Kind::kThrow;
-  std::size_t trial = 0;       // kThrow / kSlow / kAlloc
+  std::size_t trial = 0;       // kThrow / kSlow / kAlloc / kKillTrial
   double probability = 0.0;    // kThrowProb
-  std::uint64_t sleep_ms = 0;  // kSlow
+  std::uint64_t sleep_ms = 0;  // kSlow / kStallWrite
   std::uint64_t alloc_mb = 0;  // kAlloc
-  std::size_t after_records = 0;  // kKill
+  std::size_t after_records = 0;   // kKill
+  std::size_t conn_events = 0;     // kDropConn
+  std::uint64_t every_events = 0;  // kStallWrite
+  std::size_t store_index = 0;     // kCorruptStore
 };
 
 class FaultPlan {
@@ -73,6 +105,18 @@ class FaultPlan {
   // Hook for MeasureHooks::on_trial_recorded: counts durable records and
   // fires any kill site whose threshold the count reaches.  Thread-safe.
   void fire_trial_recorded(std::size_t trial);
+
+  // Server-side hook, called by a connection writer before sending its
+  // `event_index`-th line (1-based, per connection).  Sleeps for matching
+  // stallwrite sites; returns true when a drop site says the connection
+  // must be hard-closed instead of written to.  Thread-safe.
+  bool fire_event_write(std::size_t event_index) const;
+
+  // Server-side hook, called after the daemon's `store_index`-th disk
+  // cache entry (1-based, daemon-wide) lands at `path`.  A matching
+  // corrupt site clobbers the entry's trailing frame byte in place.
+  // Thread-safe (reads immutable state, file I/O is per-call).
+  void fire_disk_store(std::size_t store_index, const std::string& path) const;
 
  private:
   std::vector<FaultSite> sites_;

@@ -69,7 +69,16 @@ TEST(FaultPlan, RejectsMalformedSpecs) {
       "alloc:trial=1,mb=0",      // mb out of range
       "alloc:trial=1,mb=99999",  // mb out of range
       "kill:after=0",            // after must be >= 1
-      "kill:trial=1",            // kill takes after=, not trial=
+      "kill:after=1,trial=1",    // ... exactly one of after= / trial=
+      "kill",                    // ... and at least one
+      "drop:conn=0",             // conn must be >= 1
+      "drop:after=1",            // drop takes conn=, not after=
+      "stallwrite:every=4",      // stallwrite needs ms=
+      "stallwrite:ms=5",         // ... and every=
+      "stallwrite:every=0,ms=5", // every must be >= 1
+      "corrupt:store=0",         // store must be >= 1
+      "corrupt:trial=1",         // corrupt takes store=, not trial=
+      "throw:conn=1",            // server-side key on a trial site
       "throw:trial=1+",          // trailing empty site
       "throw:bogus=1",           // unknown key
   };

@@ -8,9 +8,11 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "core/campaign.hpp"
 #include "serve/cache.hpp"
+#include "util/fault_injection.hpp"
 
 namespace megflood::serve {
 namespace {
@@ -133,6 +135,127 @@ TEST(ServeCache, MemoryOnlyWhenNoDirectoryConfigured) {
   cache.store(key, "{\"v\": 7}");
   EXPECT_EQ(cache.stats().entries, 1u);  // nothing to assert on disk — the
   // constructor contract is simply that no directory is touched.
+}
+
+// ---------------------------------------------------------------------------
+// Shared-directory robustness (ISSUE 9): two daemons on one --cache_dir
+// ---------------------------------------------------------------------------
+
+std::string entry_path(const std::string& dir, const CampaignKey& key) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(campaign_key_hash(key)));
+  return dir + "/" + std::string(buffer) + ".mfc";
+}
+
+// Clobbers the trailing newline — the framing byte whose absence marks a
+// torn entry — exactly what the corrupt:store= fault site does.
+void tear_entry(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(file, nullptr) << path;
+  std::fseek(file, -1, SEEK_END);
+  std::fputc('X', file);
+  std::fclose(file);
+}
+
+TEST(ServeCache, TwoDaemonsSharingADirectoryFirstStoreWinsOnDisk) {
+  const std::string dir = fresh_dir("serve_cache_shared");
+  const CampaignKey key = key_for(8);
+  ResultCache a(dir);
+  ResultCache b(dir);  // a second live daemon on the same directory
+  a.store(key, "{\"v\": 8}");
+  b.store(key, "{\"v\": 9}");  // loses: a complete entry is never replaced
+  ResultCache fresh(dir);
+  EXPECT_EQ(fresh.lookup(key).value_or(""), "{\"v\": 8}");
+}
+
+TEST(ServeCache, TornEntryIsUnlinkedOnReadAndTheSlotIsReusable) {
+  const std::string dir = fresh_dir("serve_cache_heal");
+  const CampaignKey key = key_for(9);
+  const std::string bytes = "{\"v\": 10}";
+  {
+    ResultCache writer(dir);
+    writer.store(key, bytes);
+  }
+  tear_entry(entry_path(dir, key));
+
+  ResultCache reader(dir);  // the *other* daemon reads the torn entry
+  EXPECT_FALSE(reader.lookup(key).has_value());
+  // The read path healed the slot: the torn file is gone, so a re-store
+  // lands in the primary slot instead of being shadowed forever.
+  EXPECT_FALSE(std::filesystem::exists(entry_path(dir, key)));
+  reader.store(key, bytes);
+  {
+    ResultCache verify(dir);
+    EXPECT_EQ(verify.lookup(key).value_or(""), bytes);
+    EXPECT_EQ(verify.stats().disk_hits, 1u);
+  }
+}
+
+TEST(ServeCache, ReStoreOverARemnantTornEntryCompletesIt) {
+  const std::string dir = fresh_dir("serve_cache_restore");
+  const CampaignKey key = key_for(10);
+  const std::string bytes = "{\"v\": 11}";
+  {
+    ResultCache writer(dir);
+    writer.store(key, bytes);
+  }
+  tear_entry(entry_path(dir, key));
+  // This daemon never reads the slot first: the store path itself must
+  // recognize the torn same-key entry and overwrite it in place.
+  ResultCache other(dir);
+  other.store(key, bytes);
+  ResultCache verify(dir);
+  EXPECT_EQ(verify.lookup(key).value_or(""), bytes);
+}
+
+TEST(ServeCache, RacingStoresFromTwoDaemonsLeaveCompleteEntries) {
+  const std::string dir = fresh_dir("serve_cache_race");
+  constexpr std::uint64_t kKeys = 32;
+  ResultCache a(dir);
+  ResultCache b(dir);
+  const auto bytes_for = [](std::uint64_t seed) {
+    return "{\"v\": " + std::to_string(seed) + "}";
+  };
+  // Determinism guarantees both daemons compute the same bytes for the
+  // same campaign — the race is purely about who writes the file.
+  std::thread ta([&] {
+    for (std::uint64_t s = 100; s < 100 + kKeys; ++s) {
+      a.store(key_for(s), bytes_for(s));
+    }
+  });
+  std::thread tb([&] {
+    for (std::uint64_t s = 100 + kKeys; s-- > 100;) {
+      b.store(key_for(s), bytes_for(s));
+    }
+  });
+  ta.join();
+  tb.join();
+  ResultCache fresh(dir);
+  for (std::uint64_t s = 100; s < 100 + kKeys; ++s) {
+    EXPECT_EQ(fresh.lookup(key_for(s)).value_or(""), bytes_for(s)) << s;
+  }
+}
+
+TEST(ServeCache, CorruptInjectionTearsOneStoreAndTheCacheRecovers) {
+  const std::string dir = fresh_dir("serve_cache_corrupt");
+  ResultCache cache(dir);
+  FaultPlan plan = FaultPlan::parse("corrupt:store=2", 1);
+  cache.set_disk_store_hook(
+      [&plan](std::size_t index, const std::string& path) {
+        plan.fire_disk_store(index, path);
+      });
+  const CampaignKey k1 = key_for(11);
+  const CampaignKey k2 = key_for(12);
+  cache.store(k1, "{\"v\": 12}");  // store #1: intact
+  cache.store(k2, "{\"v\": 13}");  // store #2: torn on disk by the fault
+
+  ResultCache fresh(dir);
+  EXPECT_EQ(fresh.lookup(k1).value_or(""), "{\"v\": 12}");
+  EXPECT_FALSE(fresh.lookup(k2).has_value());  // a miss, never a wrong answer
+  fresh.store(k2, "{\"v\": 13}");  // recomputed: the slot took the re-store
+  ResultCache verify(dir);
+  EXPECT_EQ(verify.lookup(k2).value_or(""), "{\"v\": 13}");
 }
 
 }  // namespace

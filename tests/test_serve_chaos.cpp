@@ -1,0 +1,463 @@
+// Chaos harness for megflood_serve (ISSUE 9): the daemon under injected
+// faults — dropped connections, stalled writers, corrupted disk-cache
+// entries, a saturated admission queue, and a genuine SIGKILL mid-trial
+// followed by a restart that must resume the interrupted campaign and
+// answer byte-identically to an uninterrupted run.
+//
+// The in-process tests drive a real Server through ServerConfig::inject;
+// the kill/restart test execs the real megflood_serve binary (path
+// injected by CMake as MEGFLOOD_SERVE_PATH) because SIGKILL cannot be
+// simulated in-process — kill:trial=K makes the daemon SIGKILL *itself*
+// at a deterministic trial, so the crash point is not a timing race.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/json.hpp"
+#include "serve/server.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace megflood::serve {
+namespace {
+
+constexpr int kRecvMs = 30000;  // generous: CI boxes can stall
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string event_kind(const std::string& line) {
+  std::string error;
+  const auto event = parse_json(line, error);
+  if (!event || !event->is_object()) return "";
+  const JsonValue* kind = event->find("event");
+  return kind && kind->is_string() ? kind->string : "";
+}
+
+std::string submit_line(const std::string& id, std::uint64_t seed,
+                        std::size_t trials, std::size_t n = 16) {
+  return "{\"op\":\"submit\",\"id\":\"" + id +
+         "\",\"args\":[\"--model=fixed\",\"--n=" + std::to_string(n) +
+         "\",\"--trials=" + std::to_string(trials) +
+         "\",\"--seed=" + std::to_string(seed) + "\"]}";
+}
+
+// The result bytes of a done event, from the (single) sub-job's result
+// object to the end of the line — identity-bearing payload only, not the
+// run-dependent "cached" flag or cache_hits counters.
+std::string results_suffix(const std::string& done_line) {
+  const std::size_t at = done_line.find("\"result\": {");
+  return at == std::string::npos ? "" : done_line.substr(at);
+}
+
+struct ChaosServer {
+  explicit ChaosServer(ServerConfig config) {
+    if (config.unix_path.empty()) {
+      config.unix_path = testing::TempDir() + "megflood_chaos.sock";
+    }
+    path = config.unix_path;
+    server = std::make_unique<Server>(config);
+    thread = std::thread([this] { server->serve(stop); });
+  }
+
+  ~ChaosServer() { shutdown(); }
+
+  void shutdown() {
+    if (thread.joinable()) {
+      server->request_shutdown();
+      thread.join();
+    }
+  }
+
+  LineClient connect() { return LineClient::connect_unix(path); }
+
+  std::string path;
+  std::atomic<bool> stop{false};
+  std::unique_ptr<Server> server;
+  std::thread thread;
+};
+
+// ---------------------------------------------------------------------------
+// Dropped connections: drop:conn=N shuts the socket down at the N-th
+// written event.  A fresh 2-trial job streams exactly 5 events (queued,
+// running, trial_done x2, done), so drop:conn=5 severs every first
+// attempt at the done line — after the server has cached the result.
+// The retrying client must reconnect, resubmit, and be answered from the
+// cache, byte-identically.
+// ---------------------------------------------------------------------------
+
+TEST(ServeChaos, DroppedConnectionIsSurvivedByRetryingClient) {
+  ServerConfig config;
+  config.workers = 1;
+  config.inject = "drop:conn=5";
+  ChaosServer server(config);
+
+  RetryPolicy policy;
+  policy.seed = 7;
+  policy.base_backoff_ms = 5;
+  policy.max_backoff_ms = 100;
+  RetryingClient client([&server] { return server.connect(); }, policy);
+
+  ASSERT_TRUE(client.submit("j", submit_line("j", 41, 2)));
+  std::optional<std::string> done;
+  for (int i = 0; i < 100 && !done; ++i) {
+    auto line = client.recv_event(kRecvMs);
+    ASSERT_TRUE(line.has_value()) << "retrying client gave up";
+    if (event_kind(*line) == "done") done = line;
+  }
+  ASSERT_TRUE(done.has_value());
+  EXPECT_NE(done->find("\"result\": {"), std::string::npos) << *done;
+  EXPECT_GE(client.reconnects(), 1u);  // the drop really happened
+  EXPECT_GE(client.resubmits(), 1u);
+  EXPECT_EQ(client.pending(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Stalled writer: stallwrite:every=K,ms=M delays event delivery without
+// corrupting it — the stream must still arrive complete and in order.
+// ---------------------------------------------------------------------------
+
+TEST(ServeChaos, StalledWriterDelaysButDeliversEveryEvent) {
+  ServerConfig config;
+  config.workers = 1;
+  config.inject = "stallwrite:every=2,ms=20";
+  ChaosServer server(config);
+
+  LineClient client = server.connect();
+  ASSERT_TRUE(client.send_line(submit_line("j", 42, 2)));
+  std::vector<std::string> kinds;
+  while (kinds.empty() || kinds.back() != "done") {
+    const auto line = client.recv_line(kRecvMs);
+    ASSERT_TRUE(line.has_value()) << "stream broke under stallwrite";
+    kinds.push_back(event_kind(*line));
+  }
+  const std::vector<std::string> expected = {"queued", "running", "trial_done",
+                                             "trial_done", "done"};
+  EXPECT_EQ(kinds, expected);
+}
+
+// ---------------------------------------------------------------------------
+// Corrupted disk entry: corrupt:store=1 tears the first entry the daemon
+// persists.  A restarted daemon must treat the torn entry as a miss,
+// recompute, and answer byte-identically — never serve garbage.
+// ---------------------------------------------------------------------------
+
+TEST(ServeChaos, CorruptedDiskEntryIsRecomputedByteIdenticallyOnRestart) {
+  const std::string cache_dir = fresh_dir("chaos_corrupt_cache");
+  std::string first_done;
+  {
+    ServerConfig config;
+    config.workers = 1;
+    config.cache_dir = cache_dir;
+    config.inject = "corrupt:store=1";
+    ChaosServer server(config);
+    LineClient client = server.connect();
+    ASSERT_TRUE(client.send_line(submit_line("j", 43, 2)));
+    while (true) {
+      const auto line = client.recv_line(kRecvMs);
+      ASSERT_TRUE(line.has_value());
+      if (event_kind(*line) == "done") {
+        first_done = *line;
+        break;
+      }
+    }
+  }
+  // Restart on the same directory, no faults: the torn entry is a miss.
+  ServerConfig config;
+  config.workers = 1;
+  config.cache_dir = cache_dir;
+  ChaosServer server(config);
+  LineClient client = server.connect();
+  ASSERT_TRUE(client.send_line(submit_line("j", 43, 2)));
+  std::string second_done;
+  std::string second_queued;
+  while (second_done.empty()) {
+    const auto line = client.recv_line(kRecvMs);
+    ASSERT_TRUE(line.has_value());
+    if (event_kind(*line) == "queued") second_queued = *line;
+    if (event_kind(*line) == "done") second_done = *line;
+  }
+  // Recomputed (the torn entry did not count as a hit) ...
+  EXPECT_NE(second_queued.find("\"cache_hits\": 0"), std::string::npos)
+      << second_queued;
+  // ... and byte-identical to the first answer.
+  ASSERT_FALSE(results_suffix(first_done).empty());
+  EXPECT_EQ(results_suffix(second_done), results_suffix(first_done));
+}
+
+// ---------------------------------------------------------------------------
+// Saturation: with a one-slot queue and a busy worker, submissions past
+// the cap get `rejected` (never a hang, never a silent drop) — and a
+// retrying client turns those rejections into eventual completion.
+// ---------------------------------------------------------------------------
+
+TEST(ServeChaos, SaturatedQueueRejectsEveryOverflowTerminally) {
+  ServerConfig config;
+  config.workers = 1;
+  config.max_queue = 1;
+  ChaosServer server(config);
+
+  LineClient client = server.connect();
+  // Three long jobs back-to-back: the worker holds the first for its full
+  // duration, so at most one of the others fits the one-slot queue.
+  for (int j = 0; j < 3; ++j) {
+    ASSERT_TRUE(client.send_line(
+        submit_line("j" + std::to_string(j), 100 + std::uint64_t(j), 500)));
+  }
+  std::size_t done = 0;
+  std::size_t rejected = 0;
+  while (done + rejected < 3) {
+    const auto line = client.recv_line(kRecvMs);
+    ASSERT_TRUE(line.has_value()) << "a job was silently dropped";
+    const std::string kind = event_kind(*line);
+    if (kind == "done") ++done;
+    if (kind == "rejected") {
+      ++rejected;
+      EXPECT_NE(line->find("\"reason\": \"queue_full\""), std::string::npos)
+          << *line;
+      EXPECT_NE(line->find("\"retry_after_ms\": "), std::string::npos);
+    }
+  }
+  EXPECT_GE(rejected, 1u);
+  EXPECT_GE(done, 1u);
+}
+
+TEST(ServeChaos, RetryingClientRidesOutSaturation) {
+  ServerConfig config;
+  config.workers = 1;
+  config.max_queue = 1;
+  ChaosServer server(config);
+
+  RetryPolicy policy;
+  policy.seed = 11;
+  policy.base_backoff_ms = 5;
+  policy.max_backoff_ms = 100;
+  RetryingClient client([&server] { return server.connect(); }, policy);
+  for (int j = 0; j < 3; ++j) {
+    const std::string id = "j" + std::to_string(j);
+    ASSERT_TRUE(
+        client.submit(id, submit_line(id, 110 + std::uint64_t(j), 500)));
+  }
+  std::size_t done = 0;
+  // Each 500-trial job streams hundreds of trial_done events; the bound
+  // exists only to turn a wedged server into a test failure.
+  for (int i = 0; i < 20000 && done < 3; ++i) {
+    const auto line = client.recv_event(kRecvMs);
+    ASSERT_TRUE(line.has_value()) << "retrying client gave up under load";
+    if (event_kind(*line) == "done") ++done;
+  }
+  EXPECT_EQ(done, 3u);
+  EXPECT_EQ(client.pending(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance chaos proof: SIGKILL the real daemon mid-campaign, then
+// restart on the same cache directory — the interrupted campaign resumes
+// from its journal and the answer is byte-identical to a clean run.
+// ---------------------------------------------------------------------------
+
+#if defined(MEGFLOOD_SERVE_PATH) && (defined(__unix__) || defined(__APPLE__))
+
+struct Daemon {
+  pid_t pid = -1;
+  std::string stdout_path;
+  int raw_status = -1;
+  bool reaped = false;
+
+  ~Daemon() {
+    if (pid > 0 && !reaped) {
+      ::kill(pid, SIGKILL);
+      (void)wait();
+    }
+  }
+
+  int wait() {
+    if (pid > 0 && !reaped) {
+      ::waitpid(pid, &raw_status, 0);
+      reaped = true;
+    }
+    return raw_status;
+  }
+
+  std::string stdout_text() const {
+    std::ifstream in(stdout_path);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+};
+
+Daemon spawn_daemon(const std::vector<std::string>& flags,
+                    const std::string& tag) {
+  Daemon daemon;
+  daemon.stdout_path = testing::TempDir() + "chaos_daemon_" + tag + ".log";
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    const int fd = ::open(daemon.stdout_path.c_str(),
+                          O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (fd >= 0) {
+      ::dup2(fd, 1);
+      ::dup2(fd, 2);
+      ::close(fd);
+    }
+    std::vector<std::string> args;
+    args.push_back(MEGFLOOD_SERVE_PATH);
+    args.insert(args.end(), flags.begin(), flags.end());
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    ::execv(MEGFLOOD_SERVE_PATH, argv.data());
+    ::_exit(127);
+  }
+  daemon.pid = pid;
+  return daemon;
+}
+
+// Polls until the daemon's socket accepts, or fails the test if the
+// daemon exited first.
+bool await_socket(Daemon& daemon, const std::string& socket_path) {
+  for (int i = 0; i < 200; ++i) {
+    int status = 0;
+    if (::waitpid(daemon.pid, &status, WNOHANG) == daemon.pid) {
+      daemon.raw_status = status;
+      daemon.reaped = true;
+      return false;  // died before listening
+    }
+    try {
+      LineClient probe = LineClient::connect_unix(socket_path, 250);
+      return true;
+    } catch (const std::runtime_error&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  return false;
+}
+
+// Submits `line` and returns the done event, riding out disconnects and
+// rejections with the retrying client.
+std::optional<std::string> submit_and_await_done(const std::string& socket,
+                                                 const std::string& id,
+                                                 const std::string& line) {
+  RetryPolicy policy;
+  policy.seed = 13;
+  policy.base_backoff_ms = 20;
+  policy.max_backoff_ms = 500;
+  policy.connect_timeout_ms = 5000;
+  RetryingClient client(
+      [&socket, &policy] {
+        return LineClient::connect_unix(socket, policy.connect_timeout_ms);
+      },
+      policy);
+  if (!client.submit(id, line)) return std::nullopt;
+  for (int i = 0; i < 1000; ++i) {
+    const auto event = client.recv_event(kRecvMs);
+    if (!event) return std::nullopt;
+    if (event_kind(*event) == "done") return event;
+  }
+  return std::nullopt;
+}
+
+TEST(ServeChaos, SigkilledDaemonResumesJournaledCampaignByteIdentically) {
+  if (std::FILE* f = std::fopen(MEGFLOOD_SERVE_PATH, "rb")) {
+    std::fclose(f);
+  } else {
+    GTEST_SKIP() << "megflood_serve not built at " << MEGFLOOD_SERVE_PATH;
+  }
+  const std::string cache_dir = fresh_dir("chaos_kill_cache");
+  const std::string socket = testing::TempDir() + "chaos_kill.sock";
+  const std::string campaign = submit_line("j", 77, 6, 32);
+
+  // Phase 1: a daemon armed to SIGKILL itself at trial 3 of the campaign
+  // — by then three trials are durably journaled under --cache_dir.
+  {
+    Daemon victim = spawn_daemon({"--socket=" + socket, "--workers=1",
+                                  "--cache_dir=" + cache_dir,
+                                  "--inject=kill:trial=3"},
+                                 "victim");
+    ASSERT_TRUE(await_socket(victim, socket)) << victim.stdout_text();
+    LineClient client = LineClient::connect_unix(socket, 5000);
+    ASSERT_TRUE(client.send_line(campaign));
+    // Drain until the connection dies with the daemon.
+    RecvStatus status = RecvStatus::kLine;
+    while (status == RecvStatus::kLine) {
+      (void)client.recv_line(kRecvMs, &status);
+    }
+    EXPECT_EQ(status, RecvStatus::kClosed);
+    const int raw = victim.wait();
+    ASSERT_TRUE(WIFSIGNALED(raw) && WTERMSIG(raw) == SIGKILL)
+        << "raw status " << raw;
+  }
+  // The crash left a journal, not a cache entry.
+  std::size_t journals = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(cache_dir)) {
+    if (entry.path().extension() == ".mfj") ++journals;
+  }
+  ASSERT_EQ(journals, 1u);
+
+  // Phase 2: restart on the same directory; the journal is recovered and
+  // the same submission completes.
+  std::string resumed_done;
+  {
+    Daemon revived = spawn_daemon(
+        {"--socket=" + socket, "--workers=1", "--cache_dir=" + cache_dir},
+        "revived");
+    ASSERT_TRUE(await_socket(revived, socket)) << revived.stdout_text();
+    const auto done = submit_and_await_done(socket, "j", campaign);
+    ASSERT_TRUE(done.has_value()) << revived.stdout_text();
+    resumed_done = *done;
+    LineClient stopper = LineClient::connect_unix(socket, 5000);
+    ASSERT_TRUE(stopper.send_line("{\"op\":\"shutdown\"}"));
+    const int raw = revived.wait();
+    EXPECT_TRUE(WIFEXITED(raw) && WEXITSTATUS(raw) == 0)
+        << "raw status " << raw;
+    EXPECT_NE(revived.stdout_text().find("recovered 1 interrupted"),
+              std::string::npos)
+        << revived.stdout_text();
+  }
+
+  // Phase 3: a pristine daemon on a fresh directory answers the same
+  // campaign from scratch — the resumed answer must match byte for byte.
+  const std::string fresh_cache = fresh_dir("chaos_kill_fresh");
+  {
+    Daemon pristine = spawn_daemon(
+        {"--socket=" + socket, "--workers=1", "--cache_dir=" + fresh_cache},
+        "pristine");
+    ASSERT_TRUE(await_socket(pristine, socket)) << pristine.stdout_text();
+    const auto done = submit_and_await_done(socket, "j", campaign);
+    ASSERT_TRUE(done.has_value()) << pristine.stdout_text();
+    ASSERT_FALSE(results_suffix(*done).empty());
+    EXPECT_EQ(results_suffix(resumed_done), results_suffix(*done))
+        << "resumed campaign is not byte-identical to a clean run";
+    LineClient stopper = LineClient::connect_unix(socket, 5000);
+    ASSERT_TRUE(stopper.send_line("{\"op\":\"shutdown\"}"));
+    pristine.wait();
+  }
+}
+
+#else
+
+TEST(ServeChaos, DISABLED_KillRestartNeedsDaemonBinaryAndPosix) {}
+
+#endif  // MEGFLOOD_SERVE_PATH && POSIX
+
+}  // namespace
+}  // namespace megflood::serve

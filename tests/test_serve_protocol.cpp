@@ -191,5 +191,102 @@ TEST(ServeProtocol, EventsAreSingleLineJsonObjects) {
   EXPECT_NE(event_error("", "x").find("\"id\": null"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Deadlines and overload events (ISSUE 9)
+// ---------------------------------------------------------------------------
+
+TEST(ServeProtocol, ParsesAndValidatesDeadline) {
+  const Request with = parse_request(
+      "{\"op\":\"submit\",\"id\":\"j\",\"args\":[],\"deadline_s\":1.5}");
+  EXPECT_DOUBLE_EQ(with.deadline_s, 1.5);
+  const Request without =
+      parse_request("{\"op\":\"submit\",\"id\":\"j\",\"args\":[]}");
+  EXPECT_DOUBLE_EQ(without.deadline_s, 0.0);  // 0 = no deadline
+
+  const std::vector<std::string> bad = {
+      "{\"op\":\"submit\",\"id\":\"j\",\"args\":[],\"deadline_s\":0}",
+      "{\"op\":\"submit\",\"id\":\"j\",\"args\":[],\"deadline_s\":-1}",
+      "{\"op\":\"submit\",\"id\":\"j\",\"args\":[],\"deadline_s\":\"5\"}",
+      "{\"op\":\"submit\",\"id\":\"j\",\"args\":[],\"deadline_s\":true}",
+      "{\"op\":\"submit\",\"id\":\"j\",\"args\":[],\"deadline_s\":null}",
+      "{\"op\":\"cancel\",\"id\":\"j\",\"deadline_s\":1}",  // submit-only
+  };
+  for (const std::string& line : bad) {
+    EXPECT_THROW((void)parse_request(line), ProtocolError) << line;
+  }
+}
+
+TEST(ServeProtocol, RejectedEventCarriesReasonAndRetryHint) {
+  const std::string line =
+      event_rejected("j1", RejectReason::kQueueFull, 120, "");
+  std::string error;
+  const auto parsed = parse_json(line, error);
+  ASSERT_TRUE(parsed.has_value()) << line << " -> " << error;
+  EXPECT_EQ(parsed->find("event")->string, "rejected");
+  EXPECT_EQ(parsed->find("reason")->string, "queue_full");
+  EXPECT_DOUBLE_EQ(parsed->find("retry_after_ms")->number, 120.0);
+  EXPECT_EQ(parsed->find("detail"), nullptr);  // omitted when empty
+
+  const std::string fatal =
+      event_rejected("j2", RejectReason::kTooLarge, 0, "5000 sub-jobs");
+  const auto big = parse_json(fatal, error);
+  ASSERT_TRUE(big.has_value()) << fatal;
+  EXPECT_EQ(big->find("reason")->string, "too_large");
+  EXPECT_EQ(big->find("detail")->string, "5000 sub-jobs");
+  EXPECT_NE(event_rejected("j3", RejectReason::kDraining, 1000, "")
+                .find("\"reason\": \"draining\""),
+            std::string::npos);
+}
+
+TEST(ServeProtocol, DeadlineEventsRenderOnTheJobAndInTheDone) {
+  const std::string line = event_deadline_exceeded("j1", 3, 16);
+  std::string error;
+  const auto parsed = parse_json(line, error);
+  ASSERT_TRUE(parsed.has_value()) << line << " -> " << error;
+  EXPECT_EQ(parsed->find("event")->string, "deadline_exceeded");
+  EXPECT_DOUBLE_EQ(parsed->find("completed")->number, 3.0);
+  EXPECT_DOUBLE_EQ(parsed->find("total")->number, 16.0);
+
+  SubJobReply late;
+  late.key = "k";
+  late.deadline_exceeded = true;
+  late.error = "trial exceeded its watchdog deadline";
+  const std::string done = event_done("j1", {late}, 0, 3, 16);
+  EXPECT_NE(done.find("\"deadline_exceeded\": true"), std::string::npos)
+      << done;
+}
+
+TEST(ServeProtocol, StatsRenderQueueCountersAndPerClientRows) {
+  StatsSnapshot stats;
+  stats.jobs_rejected = 2;
+  stats.deadline_exceeded = 1;
+  stats.queued_subjobs = 5;
+  stats.running_subjobs = 3;
+  stats.max_queue = 64;
+  stats.max_client_queue = 16;
+  ClientStats a;
+  a.client = 7;
+  a.jobs_active = 2;
+  a.queued_subjobs = 4;
+  a.in_flight = 1;
+  stats.per_client.push_back(a);
+
+  const std::string line = event_stats(stats);
+  std::string error;
+  const auto parsed = parse_json(line, error);
+  ASSERT_TRUE(parsed.has_value()) << line << " -> " << error;
+  EXPECT_DOUBLE_EQ(parsed->find("jobs_rejected")->number, 2.0);
+  EXPECT_DOUBLE_EQ(parsed->find("deadline_exceeded")->number, 1.0);
+  EXPECT_DOUBLE_EQ(parsed->find("queued_subjobs")->number, 5.0);
+  EXPECT_DOUBLE_EQ(parsed->find("running_subjobs")->number, 3.0);
+  EXPECT_DOUBLE_EQ(parsed->find("max_queue")->number, 64.0);
+  EXPECT_DOUBLE_EQ(parsed->find("max_client_queue")->number, 16.0);
+  const JsonValue* per_client = parsed->find("per_client");
+  ASSERT_NE(per_client, nullptr);
+  ASSERT_EQ(per_client->array.size(), 1u);
+  EXPECT_DOUBLE_EQ(per_client->array[0].find("client")->number, 7.0);
+  EXPECT_DOUBLE_EQ(per_client->array[0].find("in_flight")->number, 1.0);
+}
+
 }  // namespace
 }  // namespace megflood::serve

@@ -10,14 +10,26 @@
 //   $ megflood_load --socket=/tmp/megflood.sock --jobs=1200
 //         --connections=40 --distinct=40 --min_hit_ratio=0.9
 //
+// With --retry each connection runs through serve/client's
+// RetryingClient (ISSUE 9): dropped connections are survived by
+// reconnect + idempotent resubmit, and queue_full/draining rejections
+// wait out the server's retry_after_ms hint — so a chaos run (daemon
+// kill -9 + restart, or a saturating queue) is expected to exit 0 with
+// every job resolved.  Without --retry a rejection or disconnect is a
+// hard failure, reported distinctly from a receive timeout.
+//
 // Exit codes: 0 clean; 1 on any protocol error, unresolved job,
-// byte-identity mismatch, or a hit ratio below --min_hit_ratio; 2 on a
-// bad flag.  Latency is wall clock (steady_clock) from submit write to
-// done receipt.
+// rejected job (without --retry), byte-identity mismatch, or a hit
+// ratio below --min_hit_ratio; 2 on a bad flag.  A job is *unresolved*
+// when no terminal event (done/cancelled/error/rejected) ever arrived
+// for it — unresolved jobs are never silently dropped from the tally.
+// Latency is wall clock (steady_clock) from submit write to done
+// receipt.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <mutex>
@@ -33,6 +45,9 @@ namespace {
 
 using megflood::serve::JsonValue;
 using megflood::serve::LineClient;
+using megflood::serve::RecvStatus;
+using megflood::serve::RetryingClient;
+using megflood::serve::RetryPolicy;
 
 struct Options {
   std::string socket_path;
@@ -45,6 +60,8 @@ struct Options {
   std::size_t n = 64;
   double min_hit_ratio = -1.0;  // < 0: report only, assert nothing
   int timeout_ms = 60000;
+  bool retry = false;
+  std::string dump_results;  // file for sorted "key<TAB>result" lines
 };
 
 // Shared tallies; one mutex, touched once per event — the harness itself
@@ -55,10 +72,16 @@ struct Tally {
   std::size_t done = 0;
   std::size_t cancelled = 0;
   std::size_t errors = 0;
+  std::size_t rejected = 0;
   std::size_t unresolved = 0;
+  std::size_t timeouts = 0;     // receive windows that elapsed empty
+  std::size_t disconnects = 0;  // server-gone while jobs were pending
   std::size_t subjobs = 0;
   std::size_t cached_subjobs = 0;
   std::size_t identity_mismatches = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t resubmits = 0;
+  std::uint64_t rejected_retries = 0;
   std::map<std::string, std::string> first_bytes;  // campaign key -> result
   std::vector<std::string> sample_errors;
 };
@@ -112,9 +135,111 @@ double quantile(const std::vector<double>& sorted, double q) {
   return sorted[lo] + (sorted[hi] - sorted[lo]) * fraction;
 }
 
-void run_connection(std::size_t thread_index, std::size_t first_job,
-                    std::size_t job_count, const Options& options,
-                    Tally& tally) {
+using Clock = std::chrono::steady_clock;
+using PendingMap = std::map<std::string, Clock::time_point>;
+
+// Folds one received event line into the tallies.  Terminal events
+// (done / cancelled / error-with-id / rejected) erase the job from
+// `pending`; anything the connection loop never resolves stays there and
+// is counted unresolved at the end — jobs cannot vanish silently.
+void process_event(const std::string& line, PendingMap& pending,
+                   Tally& tally) {
+  std::string parse_error;
+  const auto event = megflood::serve::parse_json(line, parse_error);
+  if (!event || !event->is_object()) {
+    std::lock_guard<std::mutex> lock(tally.mutex);
+    ++tally.errors;
+    tally.sample_errors.push_back("unparseable event: " + line);
+    return;
+  }
+  const JsonValue* kind = event->find("event");
+  if (!kind || !kind->is_string()) return;
+  const JsonValue* id_field = event->find("id");
+  const std::string id =
+      id_field && id_field->is_string() ? id_field->string : "";
+
+  if (kind->string == "error") {
+    std::lock_guard<std::mutex> lock(tally.mutex);
+    ++tally.errors;
+    if (tally.sample_errors.size() < 5) {
+      tally.sample_errors.push_back(line);
+    }
+    if (!id.empty()) pending.erase(id);
+    return;
+  }
+  if (kind->string == "rejected") {
+    // With --retry only terminal rejections (too_large) reach here —
+    // queue_full/draining are absorbed inside RetryingClient.
+    std::lock_guard<std::mutex> lock(tally.mutex);
+    ++tally.rejected;
+    if (tally.sample_errors.size() < 5) {
+      tally.sample_errors.push_back(line);
+    }
+    if (!id.empty()) pending.erase(id);
+    return;
+  }
+  if (kind->string == "cancelled") {
+    std::lock_guard<std::mutex> lock(tally.mutex);
+    ++tally.cancelled;
+    pending.erase(id);
+    return;
+  }
+  if (kind->string != "done") return;  // queued / running / trial_done
+
+  const auto submitted = pending.find(id);
+  if (submitted == pending.end()) return;
+  const double latency_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() -
+                                                submitted->second)
+          .count();
+  pending.erase(submitted);
+
+  std::size_t subjobs = 0;
+  std::size_t cached = 0;
+  if (const JsonValue* field = event->find("subjobs")) {
+    subjobs = static_cast<std::size_t>(field->number);
+  }
+  if (const JsonValue* field = event->find("cache_hits")) {
+    cached = static_cast<std::size_t>(field->number);
+  }
+  // Byte-identity: the raw result object of the (single) sub-job,
+  // compared against the first bytes ever seen for its campaign key.
+  std::string key;
+  if (const JsonValue* results = event->find("results")) {
+    if (results->is_array() && !results->array.empty()) {
+      if (const JsonValue* key_field = results->array[0].find("key")) {
+        key = key_field->string;
+      }
+    }
+  }
+  std::string result_bytes;
+  const std::size_t marker = line.find("\"result\": {");
+  if (marker != std::string::npos) {
+    result_bytes = extract_object(line, marker + 10);
+  }
+
+  std::lock_guard<std::mutex> lock(tally.mutex);
+  ++tally.done;
+  tally.latencies_ms.push_back(latency_ms);
+  tally.subjobs += subjobs;
+  tally.cached_subjobs += cached;
+  if (!key.empty() && !result_bytes.empty()) {
+    const auto [it, inserted] = tally.first_bytes.emplace(key, result_bytes);
+    if (!inserted && it->second != result_bytes) {
+      ++tally.identity_mismatches;
+      if (tally.sample_errors.size() < 5) {
+        tally.sample_errors.push_back("byte mismatch for key: " + key);
+      }
+    }
+  }
+}
+
+// One plain connection: submit everything, then drain events until the
+// pending map empties, a receive window elapses (timeout), or the server
+// goes away (disconnect) — the two failures are tallied separately so a
+// wedged daemon and a crashed one are distinguishable in the report.
+void run_plain(std::size_t thread_index, std::size_t first_job,
+               std::size_t job_count, const Options& options, Tally& tally) {
   LineClient client;
   try {
     client = options.use_tcp ? LineClient::connect_tcp(options.port)
@@ -126,8 +251,7 @@ void run_connection(std::size_t thread_index, std::size_t first_job,
     return;
   }
 
-  using Clock = std::chrono::steady_clock;
-  std::map<std::string, Clock::time_point> pending;  // id -> submit time
+  PendingMap pending;  // id -> submit time
   for (std::size_t j = 0; j < job_count; ++j) {
     const std::string id =
         "c" + std::to_string(thread_index) + "-" + std::to_string(j);
@@ -135,6 +259,7 @@ void run_connection(std::size_t thread_index, std::size_t first_job,
     const auto start = Clock::now();
     if (!client.send_line(submit_line(id, options, variant))) {
       std::lock_guard<std::mutex> lock(tally.mutex);
+      ++tally.disconnects;
       tally.unresolved += job_count - j;
       return;
     }
@@ -142,89 +267,77 @@ void run_connection(std::size_t thread_index, std::size_t first_job,
   }
 
   while (!pending.empty()) {
-    const auto line = client.recv_line(options.timeout_ms);
-    if (!line) break;  // timeout or server went away
-    std::string parse_error;
-    const auto event = megflood::serve::parse_json(*line, parse_error);
-    if (!event || !event->is_object()) {
+    RecvStatus status = RecvStatus::kClosed;
+    const auto line = client.recv_line(options.timeout_ms, &status);
+    if (!line) {
       std::lock_guard<std::mutex> lock(tally.mutex);
-      ++tally.errors;
-      tally.sample_errors.push_back("unparseable event: " + *line);
-      continue;
-    }
-    const JsonValue* kind = event->find("event");
-    if (!kind || !kind->is_string()) continue;
-    const JsonValue* id_field = event->find("id");
-    const std::string id =
-        id_field && id_field->is_string() ? id_field->string : "";
-
-    if (kind->string == "error") {
-      std::lock_guard<std::mutex> lock(tally.mutex);
-      ++tally.errors;
-      if (tally.sample_errors.size() < 5) {
-        tally.sample_errors.push_back(*line);
+      if (status == RecvStatus::kTimeout) {
+        ++tally.timeouts;
+      } else {
+        ++tally.disconnects;
       }
-      if (!id.empty()) pending.erase(id);
-      continue;
+      break;
     }
-    if (kind->string == "cancelled") {
-      std::lock_guard<std::mutex> lock(tally.mutex);
-      ++tally.cancelled;
-      pending.erase(id);
-      continue;
-    }
-    if (kind->string != "done") continue;  // queued / running / trial_done
-
-    const auto submitted = pending.find(id);
-    if (submitted == pending.end()) continue;
-    const double latency_ms =
-        std::chrono::duration<double, std::milli>(Clock::now() -
-                                                  submitted->second)
-            .count();
-    pending.erase(submitted);
-
-    std::size_t subjobs = 0;
-    std::size_t cached = 0;
-    if (const JsonValue* field = event->find("subjobs")) {
-      subjobs = static_cast<std::size_t>(field->number);
-    }
-    if (const JsonValue* field = event->find("cache_hits")) {
-      cached = static_cast<std::size_t>(field->number);
-    }
-    // Byte-identity: the raw result object of the (single) sub-job,
-    // compared against the first bytes ever seen for its campaign key.
-    std::string key;
-    if (const JsonValue* results = event->find("results")) {
-      if (results->is_array() && !results->array.empty()) {
-        if (const JsonValue* key_field = results->array[0].find("key")) {
-          key = key_field->string;
-        }
-      }
-    }
-    std::string result_bytes;
-    const std::size_t marker = line->find("\"result\": {");
-    if (marker != std::string::npos) {
-      result_bytes = extract_object(*line, marker + 10);
-    }
-
-    std::lock_guard<std::mutex> lock(tally.mutex);
-    ++tally.done;
-    tally.latencies_ms.push_back(latency_ms);
-    tally.subjobs += subjobs;
-    tally.cached_subjobs += cached;
-    if (!key.empty() && !result_bytes.empty()) {
-      const auto [it, inserted] = tally.first_bytes.emplace(key, result_bytes);
-      if (!inserted && it->second != result_bytes) {
-        ++tally.identity_mismatches;
-        if (tally.sample_errors.size() < 5) {
-          tally.sample_errors.push_back("byte mismatch for key: " + key);
-        }
-      }
-    }
+    process_event(*line, pending, tally);
   }
 
   std::lock_guard<std::mutex> lock(tally.mutex);
   tally.unresolved += pending.size();
+}
+
+// One retrying connection: same job stream, but the transport absorbs
+// disconnects (reconnect + resubmit of everything pending) and
+// queue_full/draining rejections (backoff honoring retry_after_ms).
+void run_retrying(std::size_t thread_index, std::size_t first_job,
+                  std::size_t job_count, const Options& options,
+                  Tally& tally) {
+  RetryPolicy policy;
+  policy.seed = 0x6d666c6f6164ULL + thread_index;  // per-thread jitter stream
+  policy.connect_timeout_ms = 5000;
+  RetryingClient client(
+      [&options, &policy] {
+        return options.use_tcp
+                   ? LineClient::connect_tcp(options.port,
+                                             policy.connect_timeout_ms)
+                   : LineClient::connect_unix(options.socket_path,
+                                              policy.connect_timeout_ms);
+      },
+      policy);
+
+  PendingMap pending;  // id -> submit time
+  for (std::size_t j = 0; j < job_count; ++j) {
+    const std::string id =
+        "c" + std::to_string(thread_index) + "-" + std::to_string(j);
+    const std::size_t variant = (first_job + j) % options.distinct;
+    const auto start = Clock::now();
+    if (!client.submit(id, submit_line(id, options, variant))) {
+      std::lock_guard<std::mutex> lock(tally.mutex);
+      ++tally.disconnects;
+      tally.sample_errors.push_back("server unreachable through backoff");
+      tally.unresolved += job_count - j;
+      return;
+    }
+    pending.emplace(id, start);
+  }
+
+  while (!pending.empty()) {
+    const auto line = client.recv_event(options.timeout_ms);
+    if (!line) {
+      // Timeout, or the server stayed unreachable through a full backoff
+      // cycle — recv_event reports unreachable as nullopt too, so count
+      // it as a disconnect when the transport lost the connection.
+      std::lock_guard<std::mutex> lock(tally.mutex);
+      ++tally.timeouts;
+      break;
+    }
+    process_event(*line, pending, tally);
+  }
+
+  std::lock_guard<std::mutex> lock(tally.mutex);
+  tally.unresolved += pending.size();
+  tally.reconnects += client.reconnects();
+  tally.resubmits += client.resubmits();
+  tally.rejected_retries += client.rejected_retries();
 }
 
 std::uint64_t parse_u64(const std::string& flag, const std::string& value) {
@@ -246,7 +359,11 @@ void usage(std::ostream& out) {
          "  --n=<nodes>          model size (default 64)\n"
          "  --min_hit_ratio=<x>  fail unless cached/subjobs >= x\n"
          "  --timeout_ms=<ms>    per-connection receive timeout "
-         "(default 60000)\n";
+         "(default 60000)\n"
+         "  --retry              survive disconnects and queue_full\n"
+         "                       rejections via reconnect/backoff/resubmit\n"
+         "  --dump_results=<f>   write sorted 'key<TAB>result' lines to f\n"
+         "                       (for byte-identity diffs across runs)\n";
 }
 
 }  // namespace
@@ -260,6 +377,10 @@ int main(int argc, char** argv) {
       if (arg == "--help" || arg == "-h") {
         usage(std::cout);
         return 0;
+      }
+      if (arg == "--retry") {
+        options.retry = true;
+        continue;
       }
       const std::size_t equals = arg.find('=');
       if (arg.compare(0, 2, "--") != 0 || equals == std::string::npos) {
@@ -292,6 +413,8 @@ int main(int argc, char** argv) {
         options.min_hit_ratio = std::stod(value);
       } else if (flag == "--timeout_ms") {
         options.timeout_ms = static_cast<int>(parse_u64(flag, value));
+      } else if (flag == "--dump_results") {
+        options.dump_results = value;
       } else {
         throw std::invalid_argument("unrecognized flag '" + flag + "'");
       }
@@ -321,8 +444,9 @@ int main(int argc, char** argv) {
       const std::size_t count =
           (options.jobs - assigned + remaining_threads - 1) /
           remaining_threads;
-      threads.emplace_back(run_connection, t, assigned, count,
-                           std::cref(options), std::ref(tally));
+      threads.emplace_back(options.retry ? run_retrying : run_plain, t,
+                           assigned, count, std::cref(options),
+                           std::ref(tally));
       assigned += count;
     }
     for (std::thread& thread : threads) thread.join();
@@ -339,11 +463,18 @@ int main(int argc, char** argv) {
 
   std::cout << "megflood_load: jobs=" << options.jobs
             << " connections=" << options.connections
-            << " distinct=" << options.distinct << "\n";
+            << " distinct=" << options.distinct
+            << (options.retry ? " retry=on" : "") << "\n";
   std::cout << "megflood_load: done=" << tally.done
             << " cancelled=" << tally.cancelled
             << " errors=" << tally.errors
+            << " rejected=" << tally.rejected
             << " unresolved=" << tally.unresolved << "\n";
+  std::cout << "megflood_load: timeouts=" << tally.timeouts
+            << " disconnects=" << tally.disconnects
+            << " reconnects=" << tally.reconnects
+            << " resubmits=" << tally.resubmits
+            << " rejected_retries=" << tally.rejected_retries << "\n";
   std::cout << "megflood_load: wall_s=" << wall_s << " throughput_jobs_s="
             << (wall_s > 0.0 ? static_cast<double>(tally.done) / wall_s : 0.0)
             << "\n";
@@ -362,7 +493,22 @@ int main(int argc, char** argv) {
     std::cerr << "megflood_load: sample error: " << sample << "\n";
   }
 
-  if (tally.errors > 0 || tally.unresolved > 0 ||
+  if (!options.dump_results.empty()) {
+    // std::map iterates in key order, so the dump is deterministic and
+    // two runs over the same campaign pool diff cleanly (CI byte-identity
+    // across a daemon kill/restart uses exactly this).
+    std::ofstream dump(options.dump_results, std::ios::trunc);
+    if (!dump) {
+      std::cerr << "megflood_load: cannot write " << options.dump_results
+                << "\n";
+      return 1;
+    }
+    for (const auto& [key, bytes] : tally.first_bytes) {
+      dump << key << '\t' << bytes << '\n';
+    }
+  }
+
+  if (tally.errors > 0 || tally.unresolved > 0 || tally.rejected > 0 ||
       tally.identity_mismatches > 0) {
     return 1;
   }

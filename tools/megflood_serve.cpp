@@ -34,14 +34,23 @@ extern "C" void request_graceful_stop(int /*signum*/) {
 void usage(std::ostream& out) {
   out << "usage: megflood_serve [--socket=<path> | --port=<n>]\n"
          "                      [--workers=<n>] [--cache_dir=<path>]\n"
-         "                      [--max_line=<bytes>]\n"
+         "                      [--max_line=<bytes>] [--max_queue=<n>]\n"
+         "                      [--max_client_queue=<n>] [--inject=<spec>]\n"
          "  --socket=<path>     listen on a Unix-domain socket\n"
          "  --port=<n>          listen on localhost TCP (0 = ephemeral;\n"
          "                      the bound port is printed on stdout)\n"
          "  --workers=<n>       scheduler worker threads (default 0 = one\n"
          "                      per hardware thread)\n"
-         "  --cache_dir=<path>  persist the result cache on disk\n"
-         "  --max_line=<bytes>  request-line length limit (default 65536)\n";
+         "  --cache_dir=<path>  persist the result cache on disk; also arms\n"
+         "                      crash-recovery journaling (interrupted\n"
+         "                      campaigns resume on restart)\n"
+         "  --max_line=<bytes>  request-line length limit (default 65536)\n"
+         "  --max_queue=<n>     admission cap on queued sub-jobs across all\n"
+         "                      clients (0 = unbounded); over-limit submits\n"
+         "                      are rejected with a retry_after_ms hint\n"
+         "  --max_client_queue=<n>  per-client queued sub-job cap\n"
+         "  --inject=<spec>     fault injection (docs/operations.md), incl.\n"
+         "                      the daemon sites drop/stallwrite/corrupt\n";
 }
 
 std::uint64_t parse_u64(const std::string& flag, const std::string& value) {
@@ -92,6 +101,13 @@ int main(int argc, char** argv) {
         if (config.max_line < 64) {
           throw std::invalid_argument("--max_line must be >= 64");
         }
+      } else if (flag == "--max_queue") {
+        config.max_queue = static_cast<std::size_t>(parse_u64(flag, value));
+      } else if (flag == "--max_client_queue") {
+        config.max_client_queue =
+            static_cast<std::size_t>(parse_u64(flag, value));
+      } else if (flag == "--inject") {
+        config.inject = value;
       } else {
         throw std::invalid_argument("unrecognized flag '" + flag + "'");
       }
@@ -110,6 +126,10 @@ int main(int argc, char** argv) {
 
   try {
     megflood::serve::Server server(config);
+    if (server.recovered_journals() > 0) {
+      std::cout << "megflood_serve: recovered " << server.recovered_journals()
+                << " interrupted campaign(s)" << std::endl;
+    }
     if (!config.unix_path.empty()) {
       std::cout << "megflood_serve: listening on " << config.unix_path
                 << std::endl;
