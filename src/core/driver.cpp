@@ -280,7 +280,15 @@ int run_driver(const std::vector<std::string>& raw_args, std::ostream& out,
 
     FaultPlan plan;
     if (!inject_spec.empty()) {
-      plan = FaultPlan::parse(inject_spec, spec.trial.seed);
+      try {
+        plan = FaultPlan::parse(inject_spec, spec.trial.seed);
+      } catch (const std::invalid_argument& error) {
+        // A typo'd site should die with the grammar on one line, not a
+        // bare message the user has to chase into the docs.
+        err << "megflood_run: bad --inject: " << error.what() << "\n"
+            << fault_inject_grammar() << "\n";
+        return kExitConfigError;
+      }
     }
     MeasureHooks hooks;
     hooks.cancel = &driver_cancel_flag();

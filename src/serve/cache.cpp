@@ -2,11 +2,17 @@
 
 #include <sys/stat.h>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <dirent.h>
+#endif
+
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 namespace megflood::serve {
 
@@ -49,6 +55,42 @@ ResultCache::ResultCache(std::string disk_dir) : dir_(std::move(disk_dir)) {
     throw std::runtime_error("cache: cannot create directory '" + dir_ +
                              "': " + std::strerror(errno));
   }
+  scan_disk();
+}
+
+// A shared or inherited cache directory can hold entries this daemon
+// cannot open (another uid's files, a permissions accident).  They must
+// not abort startup — lookups degrade to misses and journals stay
+// unrecovered — but the operator should hear about it once, up front,
+// instead of diagnosing silent cache misses later.
+void ResultCache::scan_disk() const {
+#if defined(__unix__) || defined(__APPLE__)
+  std::vector<std::string> names;
+  if (DIR* dir = ::opendir(dir_.c_str())) {
+    while (const dirent* entry = ::readdir(dir)) {
+      const std::string name = entry->d_name;
+      const auto ends_with = [&name](const char* suffix) {
+        const std::size_t n = std::strlen(suffix);
+        return name.size() > n &&
+               name.compare(name.size() - n, n, suffix) == 0;
+      };
+      if (ends_with(".mfc") || ends_with(".mfj")) names.push_back(name);
+    }
+    ::closedir(dir);
+  }
+  std::sort(names.begin(), names.end());  // deterministic warning order
+  for (const std::string& name : names) {
+    const std::string path = dir_ + "/" + name;
+    if (std::FILE* file = std::fopen(path.c_str(), "rb")) {
+      std::fclose(file);
+    } else {
+      std::fprintf(stderr,
+                   "megflood_serve: warning: cache file %s is unreadable "
+                   "(%s); serving without it\n",
+                   path.c_str(), std::strerror(errno));
+    }
+  }
+#endif
 }
 
 std::string ResultCache::entry_path(std::uint64_t hash, int probe) const {

@@ -65,6 +65,11 @@ class ResultCache {
   void disk_store(const std::string& key_string,
                   const std::string& result_json);
   std::string entry_path(std::uint64_t hash, int probe) const;
+  // Startup survey of the cache directory: warns on stderr about .mfc
+  // cache entries and .mfj journals the daemon will not be able to open
+  // (permissions, foreign ownership) instead of failing later, silently
+  // or loudly.  Never throws — an unreadable entry degrades to a miss.
+  void scan_disk() const;
 
   mutable std::mutex mutex_;
   std::map<std::string, std::string> entries_;  // key string -> result bytes

@@ -304,6 +304,7 @@ std::optional<std::string> RetryingClient::recv_event(int timeout_ms) {
       return line;
     }
     if (event->string == "done" || event->string == "cancelled" ||
+        event->string == "failed" ||
         (event->string == "error" && !id.empty())) {
       pending_.erase(id);
     }

@@ -162,16 +162,12 @@ std::string event_trial_done(const std::string& id, std::size_t completed,
          ", \"total\": " + std::to_string(total) + "}";
 }
 
-std::string event_done(const std::string& id,
-                       const std::vector<SubJobReply>& replies,
-                       std::size_t cache_hits, std::size_t completed,
-                       std::size_t total) {
-  std::string out = "{\"event\": \"done\", \"id\": " + json_quote(id) +
-                    ", \"subjobs\": " + std::to_string(replies.size()) +
-                    ", \"cache_hits\": " + std::to_string(cache_hits) +
-                    ", \"completed\": " + std::to_string(completed) +
-                    ", \"total\": " + std::to_string(total) +
-                    ", \"results\": [";
+namespace {
+
+// Shared by done and failed: per-sub-job outcomes, result bytes spliced
+// verbatim so cache hits stay byte-identical.
+std::string render_results(const std::vector<SubJobReply>& replies) {
+  std::string out = "[";
   for (std::size_t i = 0; i < replies.size(); ++i) {
     const SubJobReply& reply = replies[i];
     if (i) out += ", ";
@@ -191,8 +187,47 @@ std::string event_done(const std::string& id,
     }
     out += "}";
   }
-  out += "]}";
+  out += "]";
   return out;
+}
+
+}  // namespace
+
+std::string event_done(const std::string& id,
+                       const std::vector<SubJobReply>& replies,
+                       std::size_t cache_hits, std::size_t completed,
+                       std::size_t total) {
+  return "{\"event\": \"done\", \"id\": " + json_quote(id) +
+         ", \"subjobs\": " + std::to_string(replies.size()) +
+         ", \"cache_hits\": " + std::to_string(cache_hits) +
+         ", \"completed\": " + std::to_string(completed) +
+         ", \"total\": " + std::to_string(total) +
+         ", \"results\": " + render_results(replies) + "}";
+}
+
+std::string event_failed(const std::string& id,
+                         const std::vector<SubJobReply>& replies,
+                         std::size_t cache_hits, std::size_t completed,
+                         std::size_t total) {
+  // The classified crash of the first quarantined sub-job headlines the
+  // event; per-sub-job detail lives in results like any other terminal.
+  std::string signal = "unknown";
+  std::uint64_t crashes = 0;
+  for (const SubJobReply& reply : replies) {
+    if (reply.worker_crash) {
+      signal = reply.crash_signal;
+      crashes = reply.crashes;
+      break;
+    }
+  }
+  return "{\"event\": \"failed\", \"id\": " + json_quote(id) +
+         ", \"reason\": \"worker_crash\", \"signal\": " + json_quote(signal) +
+         ", \"crashes\": " + std::to_string(crashes) +
+         ", \"subjobs\": " + std::to_string(replies.size()) +
+         ", \"cache_hits\": " + std::to_string(cache_hits) +
+         ", \"completed\": " + std::to_string(completed) +
+         ", \"total\": " + std::to_string(total) +
+         ", \"results\": " + render_results(replies) + "}";
 }
 
 std::string event_cancelled(const std::string& id, std::size_t completed,
@@ -220,7 +255,19 @@ std::string event_stats(const StatsSnapshot& stats) {
       ", \"cache\": {\"entries\": " + std::to_string(stats.cache_entries) +
       ", \"hits\": " + std::to_string(stats.cache_hits) +
       ", \"misses\": " + std::to_string(stats.cache_misses) +
-      "}, \"per_client\": [";
+      "}, \"isolation\": \"" + stats.isolation +
+      "\", \"worker_restarts\": " + std::to_string(stats.worker_restarts) +
+      ", \"jobs_quarantined\": " + std::to_string(stats.jobs_quarantined) +
+      ", \"workers\": [";
+  for (std::size_t i = 0; i < stats.workers.size(); ++i) {
+    const WorkerSlotStats& worker = stats.workers[i];
+    if (i) out += ", ";
+    out += "{\"slot\": " + std::to_string(worker.slot) +
+           ", \"pid\": " + std::to_string(worker.pid) + ", \"busy\": " +
+           (worker.busy ? "true" : "false") +
+           ", \"jobs\": " + std::to_string(worker.jobs) + "}";
+  }
+  out += "], \"per_client\": [";
   for (std::size_t i = 0; i < stats.per_client.size(); ++i) {
     const ClientStats& client = stats.per_client[i];
     if (i) out += ", ";

@@ -17,7 +17,7 @@
 //
 // Events (all carry "event"; job events carry "id"):
 //   error | rejected | queued | running | trial_done | deadline_exceeded |
-//   done | cancelled | pong | stats | draining
+//   done | cancelled | failed | pong | stats | draining
 //
 // Submit args use exactly the scenario CLI grammar (core/scenario.hpp),
 // so everything the registry validates for megflood_run is validated for
@@ -67,6 +67,13 @@ struct SubJobReply {
   bool deadline_exceeded = false;
   std::string result_json;  // "{...}" from result_json_object
   std::string error;
+  // Process isolation (docs/serving.md#isolation--supervision): this
+  // campaign killed its worker past the crash limit and was quarantined.
+  // `error` carries the human-readable line; these fields feed the
+  // terminal `failed` event.
+  bool worker_crash = false;
+  std::string crash_signal;   // WorkerDeath::describe(), e.g. "SIGSEGV"
+  std::uint64_t crashes = 0;  // total worker deaths charged to the campaign
 };
 
 // Why a submission was turned away at admission.  The reason string in
@@ -94,12 +101,28 @@ std::string event_done(const std::string& id,
                        std::size_t total);
 std::string event_cancelled(const std::string& id, std::size_t completed,
                             std::size_t total);
+// Terminal event for a job with at least one quarantined (worker-killing)
+// sub-job: reason=worker_crash plus the classified signal and crash count
+// of the first such sub-job; `results` renders like done's, so the other
+// sub-jobs' outcomes are not lost.
+std::string event_failed(const std::string& id,
+                         const std::vector<SubJobReply>& replies,
+                         std::size_t cache_hits, std::size_t completed,
+                         std::size_t total);
 
 struct ClientStats {
   std::uint64_t client = 0;  // scheduler-assigned client id
   std::uint64_t jobs_active = 0;
   std::uint64_t queued_subjobs = 0;
   std::uint64_t in_flight = 0;  // sub-jobs of this client running right now
+};
+
+// One worker-pool slot in process-isolation mode.
+struct WorkerSlotStats {
+  std::uint64_t slot = 0;
+  std::uint64_t pid = 0;   // 0 = no live worker in this slot
+  bool busy = false;       // a sub-job is dispatched to it right now
+  std::uint64_t jobs = 0;  // sub-jobs dispatched to this slot's workers
 };
 
 struct StatsSnapshot {
@@ -119,6 +142,10 @@ struct StatsSnapshot {
   std::uint64_t cache_entries = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::string isolation = "thread";  // "thread" | "process"
+  std::uint64_t worker_restarts = 0;   // workers respawned after a death
+  std::uint64_t jobs_quarantined = 0;  // campaigns past the crash limit
+  std::vector<WorkerSlotStats> workers;  // process mode only (else empty)
   std::vector<ClientStats> per_client;
 };
 

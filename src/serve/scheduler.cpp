@@ -1,7 +1,9 @@
 #include "serve/scheduler.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -15,6 +17,8 @@
 #include "core/format.hpp"
 #include "core/process.hpp"
 #include "core/sweep.hpp"
+#include "serve/json.hpp"
+#include "serve/worker.hpp"
 #include "util/fault_injection.hpp"
 
 namespace megflood::serve {
@@ -31,6 +35,16 @@ constexpr std::size_t kMaxSubJobs = 4096;
 // the same key hash with their own extension.
 constexpr const char* kJournalSuffix = ".mfj";
 
+// Quarantine markers for poison campaigns (process isolation): same
+// hash-derived name, so the marker, journal, and cache entry of one
+// campaign sit side by side.  Format: key line, signal line, crash-count
+// line.
+constexpr const char* kQuarantineSuffix = ".mfq";
+
+// How often the supervisor's pump wakes to check cancel flags and the
+// heartbeat watchdog while waiting on a worker.
+constexpr int kWorkerPollMs = 250;
+
 std::string hex64(std::uint64_t value) {
   char buffer[17];
   std::snprintf(buffer, sizeof(buffer), "%016llx",
@@ -45,15 +59,35 @@ Scheduler::Scheduler(const SchedulerConfig& config, ResultCache* cache)
       max_queue_(config.max_queue),
       max_client_queue_(config.max_client_queue),
       journal_dir_(config.journal_dir),
-      fault_plan_(config.fault_plan) {
+      fault_plan_(config.fault_plan),
+      isolation_(config.isolation),
+      worker_binary_(config.worker_binary),
+      inject_spec_(config.inject_spec),
+      worker_memory_mb_(config.worker_memory_mb),
+      crash_limit_(std::max<std::size_t>(1, config.crash_limit)),
+      heartbeat_timeout_ms_(std::max(1000, config.heartbeat_timeout_ms)) {
+  if (isolation_ == IsolationMode::kProcess) {
+    // One slot per pool thread plus a trailing slot for manual-mode
+    // run_one() callers.
+    worker_slots_.resize(config.workers + 1);
+    load_quarantine_markers();
+  }
   workers_.reserve(config.workers);
   for (std::size_t i = 0; i < config.workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
+namespace {
+SchedulerConfig workers_only_config(std::size_t workers) {
+  SchedulerConfig config;
+  config.workers = workers;
+  return config;
+}
+}  // namespace
+
 Scheduler::Scheduler(std::size_t workers, ResultCache* cache)
-    : Scheduler(SchedulerConfig{workers, 0, 0, "", nullptr}, cache) {}
+    : Scheduler(workers_only_config(workers), cache) {}
 
 Scheduler::~Scheduler() { drain(); }
 
@@ -274,10 +308,19 @@ void Scheduler::finalize(const std::shared_ptr<Job>& job) {
     return;
   }
   bool failed = false;
+  bool crashed = false;
   for (const SubJobReply& reply : job->replies) {
     if (!reply.error.empty()) failed = true;
+    if (reply.worker_crash) crashed = true;
   }
   failed ? ++jobs_failed_ : ++jobs_done_;
+  if (crashed) {
+    // At least one sub-job killed its workers past the crash limit: the
+    // terminal event is `failed` with the classified crash, not `done`.
+    emit_to(job->client, event_failed(job->id, job->replies, job->cache_hits,
+                                      job->completed, job->total_trials));
+    return;
+  }
   emit_to(job->client, event_done(job->id, job->replies, job->cache_hits,
                                   job->completed, job->total_trials));
 }
@@ -310,8 +353,10 @@ bool Scheduler::pick_next(QueuedSubJob& out) {
 }
 
 // Runs one sub-job on the calling thread.  Takes `lock` held, drops it
-// around the campaign, reacquires to resolve.
-void Scheduler::execute(QueuedSubJob item, std::unique_lock<std::mutex>& lock) {
+// around the campaign, reacquires to resolve.  In process mode the
+// campaign itself runs in the slot's worker subprocess instead.
+void Scheduler::execute(QueuedSubJob item, std::unique_lock<std::mutex>& lock,
+                        std::size_t slot) {
   const std::shared_ptr<Job>& job = item.job;
   SubJobReply reply;
   reply.key = campaign_key_string(item.work.key);
@@ -332,6 +377,21 @@ void Scheduler::execute(QueuedSubJob item, std::unique_lock<std::mutex>& lock) {
     resolve(job, item.work.index, std::move(reply));
     return;
   }
+  if (isolation_ == IsolationMode::kProcess) {
+    // A quarantined campaign never executes again: it resolves straight
+    // to its recorded crash verdict, so a resubmitted poison job costs a
+    // map lookup, not another worker.
+    const auto poisoned = quarantined_.find(reply.key);
+    if (poisoned != quarantined_.end()) {
+      reply.worker_crash = true;
+      reply.crash_signal = poisoned->second.signal;
+      reply.crashes = poisoned->second.crashes;
+      reply.error = "quarantined: worker crashed (" + reply.crash_signal +
+                    ") " + std::to_string(reply.crashes) + " times";
+      resolve(job, item.work.index, std::move(reply));
+      return;
+    }
+  }
   if (!job->running_emitted) {
     job->running_emitted = true;
     emit_to(job->client, event_running(job->id));
@@ -341,6 +401,10 @@ void Scheduler::execute(QueuedSubJob item, std::unique_lock<std::mutex>& lock) {
   {
     const auto owner = clients_.find(job->client);
     if (owner != clients_.end()) ++owner->second.in_flight;
+  }
+  if (isolation_ == IsolationMode::kProcess) {
+    execute_in_worker(item, std::move(reply), lock, slot);
+    return;
   }
 
   MeasureHooks hooks;
@@ -448,15 +512,234 @@ void Scheduler::execute(QueuedSubJob item, std::unique_lock<std::mutex>& lock) {
   resolve(job, item.work.index, std::move(reply));
 }
 
+// Process-mode execution: dispatch the sub-job to the slot's worker and
+// pump its event stream, translating trial lines into the same
+// trial_done events thread mode emits.  A worker death charges the
+// campaign and retries on a respawned worker until the crash limit, then
+// quarantines.  Entered with mutex_ held (counters already bumped by
+// execute()); returns with it held.
+void Scheduler::execute_in_worker(const QueuedSubJob& item, SubJobReply reply,
+                                  std::unique_lock<std::mutex>& lock,
+                                  std::size_t slot_index) {
+  using Clock = std::chrono::steady_clock;
+  const std::shared_ptr<Job>& job = item.job;
+  WorkerSlot& slot = worker_slots_[slot_index];
+  slot.busy = true;
+  ++slot.jobs;
+
+  WorkerJob wjob;
+  wjob.job = next_dispatch_++;
+  // The canonical CLI from the campaign key carries the full identity
+  // (scenario args + --seed + --trials); the worker re-derives the spec
+  // from it, which is exactly the recover_journals() round-trip.
+  wjob.cli = item.work.key.scenario_cli;
+  wjob.journal = journal_dir_.empty() ? std::string()
+                                      : journal_path(item.work.key);
+  wjob.deadline_s = job->deadline_s;
+  wjob.memory_mb = worker_memory_mb_;
+
+  std::string result_json;
+  std::string error;
+  bool interrupted = false;
+  bool deadline_hit = false;
+  // Cumulative trials this sub-job has reported (journal replays
+  // included), so a crash-retry resumes the count instead of repeating it.
+  std::uint64_t sub_done = 0;
+
+  while (true) {
+    // mutex_ held at the top of every attempt.
+    {
+      const auto it = campaign_crashes_.find(reply.key);
+      wjob.attempt = it == campaign_crashes_.end() ? 0 : it->second;
+    }
+    if (job->cancel.load(std::memory_order_relaxed)) {
+      interrupted = true;
+      break;
+    }
+    lock.unlock();
+
+    // The slot's process is touched only by this (owning) thread with the
+    // lock released; pid/busy/jobs mirrors are updated under the lock.
+    if (!slot.process) {
+      slot.process =
+          std::make_unique<WorkerProcess>(worker_binary_, inject_spec_);
+    }
+    if (!slot.process->alive()) {
+      std::string spawn_error;
+      if (!slot.process->spawn(spawn_error)) {
+        lock.lock();
+        error = "worker spawn failed: " + spawn_error;
+        break;
+      }
+      lock.lock();
+      slot.pid = static_cast<std::uint64_t>(slot.process->pid());
+      lock.unlock();
+    }
+
+    WorkerDeath death;
+    bool died = false;
+    bool got_result = false;
+    if (!slot.process->send_line(worker_job_line(wjob))) {
+      death = slot.process->reap_after_close();
+      died = true;
+    }
+    auto last_activity = Clock::now();
+    bool cancel_sent = false;
+    while (!died && !got_result) {
+      if (!cancel_sent && job->cancel.load(std::memory_order_relaxed)) {
+        cancel_sent = true;
+        slot.process->send_line("{\"op\": \"cancel\", \"job\": " +
+                                std::to_string(wjob.job) + "}");
+      }
+      std::string line;
+      const auto status = slot.process->read_line(kWorkerPollMs, line);
+      if (status == WorkerProcess::ReadStatus::kClosed) {
+        death = slot.process->reap_after_close();
+        died = true;
+        break;
+      }
+      if (status == WorkerProcess::ReadStatus::kTimeout) {
+        const auto silent_ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                Clock::now() - last_activity)
+                .count();
+        if (silent_ms >= heartbeat_timeout_ms_) {
+          // Wedged, not dead: no trial, heartbeat, or result line for the
+          // whole window.  SIGKILL and classify as heartbeat_timeout.
+          death = slot.process->kill_and_reap();
+          died = true;
+          break;
+        }
+        continue;
+      }
+      last_activity = Clock::now();
+      std::string parse_error;
+      const auto event = parse_json(line, parse_error);
+      if (!event || !event->is_object()) continue;  // garbage line: skip
+      const JsonValue* kind = event->find("event");
+      if (!kind || !kind->is_string()) continue;
+      if (kind->string == "heartbeat") continue;
+      const JsonValue* jid = event->find("job");
+      if (!jid || !jid->is_number() ||
+          static_cast<std::uint64_t>(jid->number) != wjob.job) {
+        continue;  // stale line from an earlier, abandoned dispatch
+      }
+      if (kind->string == "trial") {
+        const JsonValue* done = event->find("done");
+        if (!done || !done->is_number()) continue;
+        const auto total = static_cast<std::uint64_t>(done->number);
+        // `done` is cumulative; after a journal-less retry the worker
+        // re-counts from zero, so only forward progress is credited.
+        if (total > sub_done) {
+          const std::uint64_t delta = total - sub_done;
+          sub_done = total;
+          std::lock_guard<std::mutex> relock(mutex_);
+          job->completed += delta;
+          trials_done_ += delta;
+          emit_to(job->client, event_trial_done(job->id, job->completed,
+                                                job->total_trials));
+        }
+      } else if (kind->string == "result") {
+        const JsonValue* flag = event->find("deadline");
+        deadline_hit = flag && flag->is_bool() && flag->boolean;
+        flag = event->find("interrupted");
+        interrupted = flag && flag->is_bool() && flag->boolean;
+        if (const JsonValue* err = event->find("error");
+            err != nullptr && err->is_string()) {
+          error = err->string;
+        }
+        // The result object is the line's final member; its bytes are
+        // spliced out verbatim so cache entries stay byte-identical to
+        // thread mode.  (The marker cannot appear earlier: `error` is the
+        // only free-form field before it and json_quote escapes quotes.)
+        const std::string marker = ", \"result\": ";
+        const std::size_t at = line.find(marker);
+        if (at != std::string::npos && line.size() > at + marker.size()) {
+          result_json = line.substr(at + marker.size(),
+                                    line.size() - at - marker.size() - 1);
+        }
+        got_result = true;
+      }
+    }
+
+    if (got_result) {
+      lock.lock();
+      break;
+    }
+
+    // Worker died (or wedged) mid-campaign: classify, charge the
+    // campaign, and either retry on a fresh worker or quarantine.
+    lock.lock();
+    slot.pid = 0;
+    ++worker_restarts_;
+    const std::uint64_t crashes = ++campaign_crashes_[reply.key];
+    std::fprintf(stderr,
+                 "megflood_serve: worker died (%s) running %s "
+                 "[crash %llu/%llu]\n",
+                 death.describe().c_str(), reply.key.c_str(),
+                 static_cast<unsigned long long>(crashes),
+                 static_cast<unsigned long long>(crash_limit_));
+    if (crashes >= crash_limit_) {
+      QuarantineInfo info;
+      info.signal = death.describe();
+      info.crashes = crashes;
+      quarantined_[reply.key] = info;
+      ++jobs_quarantined_;
+      persist_quarantine(reply.key, info);
+      reply.worker_crash = true;
+      reply.crash_signal = info.signal;
+      reply.crashes = crashes;
+      error = "quarantined: worker crashed (" + info.signal + ") " +
+              std::to_string(crashes) + " times";
+      break;
+    }
+    // Below the limit: loop back and re-dispatch.  The journal the dead
+    // worker left behind makes the retry resume bit-identically.
+  }
+
+  // mutex_ held.
+  slot.busy = false;
+  --running_subjobs_;
+  {
+    const auto owner = clients_.find(job->client);
+    if (owner != clients_.end() && owner->second.in_flight > 0) {
+      --owner->second.in_flight;
+    }
+  }
+  if (reply.worker_crash) {
+    reply.error = std::move(error);
+  } else if (deadline_hit) {
+    reply.deadline_exceeded = true;
+    reply.error = std::move(error);
+    ++deadline_exceeded_;
+    emit_to(job->client, event_deadline_exceeded(job->id, job->completed,
+                                                 job->total_trials));
+  } else if (!error.empty()) {
+    reply.error = std::move(error);
+  } else if (interrupted) {
+    reply.cancelled = true;
+  } else if (!result_json.empty()) {
+    reply.result_json = result_json;
+    cache_->store(item.work.key, result_json);
+  } else {
+    reply.error = "worker returned no result";
+  }
+  resolve(job, item.work.index, std::move(reply));
+}
+
 bool Scheduler::run_one() {
   std::unique_lock<std::mutex> lock(mutex_);
   QueuedSubJob item;
   if (!pick_next(item)) return false;
-  execute(std::move(item), lock);
+  // Manual-mode callers share the trailing worker slot (unused by pool
+  // threads); in thread mode the slot index is ignored.
+  const std::size_t slot =
+      worker_slots_.empty() ? 0 : worker_slots_.size() - 1;
+  execute(std::move(item), lock, slot);
   return true;
 }
 
-void Scheduler::worker_loop() {
+void Scheduler::worker_loop(std::size_t slot) {
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
     work_cv_.wait(lock, [this] { return stop_ || has_queued_work(); });
@@ -465,7 +748,7 @@ void Scheduler::worker_loop() {
       if (stop_) return;
       continue;
     }
-    execute(std::move(item), lock);
+    execute(std::move(item), lock, slot);
   }
 }
 
@@ -491,10 +774,107 @@ void Scheduler::drain() {
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
+  // Pool threads are gone; give every surviving worker a clean exit line
+  // (SIGKILL fallback inside shutdown()).
+  for (WorkerSlot& slot : worker_slots_) {
+    if (slot.process) {
+      slot.process->shutdown();
+      slot.process.reset();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (WorkerSlot& slot : worker_slots_) {
+      slot.pid = 0;
+      slot.busy = false;
+    }
+  }
 }
 
 std::string Scheduler::journal_path(const CampaignKey& key) const {
   return journal_dir_ + "/" + hex64(campaign_key_hash(key)) + kJournalSuffix;
+}
+
+std::string Scheduler::quarantine_path(const std::string& key_string) const {
+  return journal_dir_ + "/" + hex64(campaign_key_hash(key_string)) +
+         kQuarantineSuffix;
+}
+
+void Scheduler::persist_quarantine(const std::string& key_string,
+                                   const QuarantineInfo& info) const {
+  if (journal_dir_.empty()) return;
+  // The campaign's journal is poison now: resuming it would crash a
+  // worker on every daemon restart, so it dies with the quarantine.
+  const std::string jpath = journal_dir_ + "/" +
+                            hex64(campaign_key_hash(key_string)) +
+                            kJournalSuffix;
+  std::remove(jpath.c_str());
+  const std::string qpath = quarantine_path(key_string);
+  std::FILE* file = std::fopen(qpath.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr,
+                 "megflood_serve: warning: cannot write quarantine marker "
+                 "%s (quarantine holds for this daemon only)\n",
+                 qpath.c_str());
+    return;
+  }
+  std::fprintf(file, "%s\n%s\n%llu\n", key_string.c_str(),
+               info.signal.c_str(),
+               static_cast<unsigned long long>(info.crashes));
+  std::fclose(file);
+}
+
+void Scheduler::load_quarantine_markers() {
+#if defined(__unix__) || defined(__APPLE__)
+  // Ctor-time only: single-threaded, no lock needed.
+  if (journal_dir_.empty()) return;
+  const std::string suffix = kQuarantineSuffix;
+  std::vector<std::string> names;
+  if (DIR* dir = ::opendir(journal_dir_.c_str())) {
+    while (const dirent* entry = ::readdir(dir)) {
+      const std::string name = entry->d_name;
+      if (name.size() > suffix.size() &&
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+              0) {
+        names.push_back(name);
+      }
+    }
+    ::closedir(dir);
+  }
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    const std::string path = journal_dir_ + "/" + name;
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+      std::fprintf(stderr,
+                   "megflood_serve: warning: skipping unreadable quarantine "
+                   "marker %s\n",
+                   path.c_str());
+      continue;
+    }
+    std::string text;
+    char buffer[512];
+    std::size_t got = 0;
+    while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+      text.append(buffer, got);
+    }
+    std::fclose(file);
+    const std::size_t first = text.find('\n');
+    const std::size_t second =
+        first == std::string::npos ? std::string::npos
+                                   : text.find('\n', first + 1);
+    if (second == std::string::npos) continue;  // malformed: ignore
+    const std::string key_string = text.substr(0, first);
+    QuarantineInfo info;
+    info.signal = text.substr(first + 1, second - first - 1);
+    info.crashes = std::strtoull(text.c_str() + second + 1, nullptr, 10);
+    if (key_string.empty() || info.signal.empty() || info.crashes == 0) {
+      continue;
+    }
+    quarantined_[key_string] = info;
+    campaign_crashes_[key_string] = info.crashes;
+  }
+#endif
 }
 
 std::size_t Scheduler::recover_journals() {
@@ -517,6 +897,17 @@ std::size_t Scheduler::recover_journals() {
   std::size_t recovered = 0;
   for (const std::string& name : names) {
     const std::string path = journal_dir_ + "/" + name;
+    // An unreadable journal (permissions, races with an external cleaner)
+    // must not abort recovery of the readable ones: warn and leave it.
+    if (std::FILE* probe = std::fopen(path.c_str(), "rb")) {
+      std::fclose(probe);
+    } else {
+      std::fprintf(stderr,
+                   "megflood_serve: warning: skipping unreadable journal "
+                   "%s\n",
+                   path.c_str());
+      continue;
+    }
     CheckpointKey key;
     // Daemon journals are always threads=1 (the pool owns parallelism); a
     // file that does not peek as one cannot be resumed here and can only
@@ -524,6 +915,20 @@ std::size_t Scheduler::recover_journals() {
     if (!peek_checkpoint_key(path, key) || key.threads != 1) {
       std::remove(path.c_str());
       continue;
+    }
+    {
+      // A quarantined campaign's journal must not resurrect it into a
+      // fresh crash loop on every restart.
+      const std::string key_string = campaign_key_string(key.campaign);
+      bool poisoned = false;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        poisoned = quarantined_.find(key_string) != quarantined_.end();
+      }
+      if (poisoned) {
+        std::remove(path.c_str());
+        continue;
+      }
     }
     if (cache_->lookup(key.campaign)) {
       std::remove(path.c_str());  // already answered; the journal is spent
@@ -601,6 +1006,19 @@ StatsSnapshot Scheduler::stats() const {
     out.running_subjobs = running_subjobs_;
     out.max_queue = max_queue_;
     out.max_client_queue = max_client_queue_;
+    out.isolation =
+        isolation_ == IsolationMode::kProcess ? "process" : "thread";
+    out.worker_restarts = worker_restarts_;
+    out.jobs_quarantined = jobs_quarantined_;
+    out.workers.reserve(worker_slots_.size());
+    for (std::size_t i = 0; i < worker_slots_.size(); ++i) {
+      WorkerSlotStats row;
+      row.slot = i;
+      row.pid = worker_slots_[i].pid;
+      row.busy = worker_slots_[i].busy;
+      row.jobs = worker_slots_[i].jobs;
+      out.workers.push_back(row);
+    }
   }
   const CacheStats cache = cache_->stats();
   out.cache_entries = cache.entries;

@@ -29,6 +29,18 @@
 // trials through core/checkpoint, so a SIGKILLed daemon finds the
 // orphaned journals on restart (recover_journals()) and completes the
 // interrupted campaigns bit-identical to an uninterrupted run.
+//
+// Process isolation (ISSUE 10): with `isolation = kProcess` each pool
+// thread supervises a WorkerProcess (serve/worker.hpp) instead of
+// running campaigns in-daemon.  The supervisor detects worker death via
+// waitpid, classifies it (signal / exit code / heartbeat timeout),
+// respawns the worker and re-dispatches the lost sub-job; a campaign
+// that kills `crash_limit` workers is quarantined — terminal `failed`
+// event, persistent `.mfq` marker beside its journal, never executed
+// again and never cached.  Because workers journal per-trial through the
+// same `.mfj` files, a re-dispatched sub-job resumes bit-identically,
+// and results stream back verbatim, so process mode is byte-identical to
+// thread mode (test_serve_worker proves both properties).
 
 #include <atomic>
 #include <condition_variable>
@@ -53,6 +65,13 @@ class FaultPlan;
 
 namespace megflood::serve {
 
+class WorkerProcess;
+
+// How campaign sub-jobs execute: on the scheduler's own pool threads
+// (kThread, the default) or in supervised worker subprocesses
+// (kProcess).
+enum class IsolationMode { kThread, kProcess };
+
 // Delivers one event line (no trailing newline) to a client.  Called with
 // the scheduler mutex held — implementations must only do cheap,
 // non-reentrant work (the server's implementation pushes into a
@@ -72,6 +91,22 @@ struct SchedulerConfig {
   // Server-side fault injection (--inject): trial-level sites fire inside
   // worker campaigns.  Not owned; may be null; must outlive the scheduler.
   FaultPlan* fault_plan = nullptr;
+  // --- process isolation (ignored under kThread) ---
+  IsolationMode isolation = IsolationMode::kThread;
+  // The daemon's own executable, self-execed with --worker.  Required in
+  // process mode.
+  std::string worker_binary;
+  // The raw --inject spec, forwarded to workers so trial-level sites
+  // fire inside them (server-side sites still fire via fault_plan).
+  std::string inject_spec;
+  // Per-job RLIMIT_AS budget for workers, MiB; 0 = unlimited.
+  std::uint64_t worker_memory_mb = 0;
+  // Worker deaths a single campaign is allowed to cause before it is
+  // quarantined (>= 1).
+  std::size_t crash_limit = 2;
+  // A busy worker silent (no trial/heartbeat/result line) this long is
+  // declared wedged: SIGKILLed and classified as heartbeat_timeout.
+  int heartbeat_timeout_ms = 30000;
 };
 
 class Scheduler {
@@ -154,6 +189,23 @@ class Scheduler {
     std::size_t in_flight = 0;  // sub-jobs of this client running right now
   };
 
+  // One worker-pool slot in process mode.  The WorkerProcess is touched
+  // (spawned, written, read, reaped) only by the slot's owning thread
+  // with mutex_ released; pid/busy/jobs are mutex_-guarded mirrors that
+  // stats() reads without touching the process.
+  struct WorkerSlot {
+    std::unique_ptr<WorkerProcess> process;
+    std::uint64_t pid = 0;
+    bool busy = false;
+    std::uint64_t jobs = 0;
+  };
+
+  // A quarantined campaign: key string -> how its workers died.
+  struct QuarantineInfo {
+    std::string signal;  // WorkerDeath::describe() of the final crash
+    std::uint64_t crashes = 0;
+  };
+
   // All private helpers below require mutex_ held unless noted.
   void emit_to(std::uint64_t client, const std::string& line);
   void resolve(const std::shared_ptr<Job>& job, std::size_t index,
@@ -162,10 +214,24 @@ class Scheduler {
   void cancel_queued(const std::shared_ptr<Job>& job);
   bool pick_next(QueuedSubJob& out);  // round-robin across clients
   bool has_queued_work() const;
-  void execute(QueuedSubJob item, std::unique_lock<std::mutex>& lock);
-  void worker_loop();
+  void execute(QueuedSubJob item, std::unique_lock<std::mutex>& lock,
+               std::size_t slot);
+  // Process-mode tail of execute(): dispatch to the slot's worker,
+  // supervise, retry across crashes, quarantine past the limit.  Called
+  // with mutex_ held; drops it around worker I/O.
+  void execute_in_worker(const QueuedSubJob& item, SubJobReply reply,
+                         std::unique_lock<std::mutex>& lock,
+                         std::size_t slot);
+  void worker_loop(std::size_t slot);
   std::uint64_t retry_after_ms() const;  // backoff hint from queue depth
   std::string journal_path(const CampaignKey& key) const;  // lock-free
+  std::string quarantine_path(const std::string& key_string) const;
+  // Persists a .mfq marker and drops the campaign's journal (best
+  // effort, lock-free file I/O).
+  void persist_quarantine(const std::string& key_string,
+                          const QuarantineInfo& info) const;
+  // Loads .mfq markers from journal_dir_ into quarantined_ (startup).
+  void load_quarantine_markers();
 
   ResultCache* cache_;
   const std::size_t max_queue_;
@@ -189,6 +255,19 @@ class Scheduler {
   std::uint64_t trials_done_ = 0;
   std::uint64_t queued_subjobs_ = 0;   // invariant: sum of queue sizes
   std::uint64_t running_subjobs_ = 0;  // invariant: sum of in_flight
+  // --- process isolation ---
+  const IsolationMode isolation_;
+  const std::string worker_binary_;
+  const std::string inject_spec_;
+  const std::uint64_t worker_memory_mb_;
+  const std::size_t crash_limit_;
+  const int heartbeat_timeout_ms_;
+  std::vector<WorkerSlot> worker_slots_;  // sized workers+1; last = run_one
+  std::map<std::string, std::uint64_t> campaign_crashes_;  // key -> deaths
+  std::map<std::string, QuarantineInfo> quarantined_;
+  std::uint64_t worker_restarts_ = 0;
+  std::uint64_t jobs_quarantined_ = 0;
+  std::uint64_t next_dispatch_ = 1;  // worker-protocol job ids
   std::vector<std::thread> workers_;
 };
 

@@ -48,6 +48,19 @@ SchedulerConfig scheduler_config(const ServerConfig& config,
   // exactly when result persistence is.
   out.journal_dir = config.cache_dir;
   out.fault_plan = (plan != nullptr && !plan->empty()) ? plan : nullptr;
+  if (config.process_isolation) {
+    if (config.worker_binary.empty()) {
+      throw std::invalid_argument(
+          "process isolation requires a worker binary path");
+    }
+    out.isolation = IsolationMode::kProcess;
+    out.worker_binary = config.worker_binary;
+    // Workers re-parse the spec themselves; forwarding the raw string
+    // keeps trial-level sites firing inside them, identically to thread
+    // mode (same kInjectSeed on both ends).
+    out.inject_spec = config.inject;
+    out.worker_memory_mb = config.worker_memory_mb;
+  }
   return out;
 }
 

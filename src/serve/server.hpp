@@ -46,6 +46,15 @@ struct ServerConfig {
   // server-side drop/stallwrite/corrupt sites); empty = none.  A bad spec
   // makes the Server constructor throw std::invalid_argument.
   std::string inject;
+  // Process isolation (ISSUE 10; docs/serving.md#isolation--supervision):
+  // run campaigns in supervised worker subprocesses instead of on the
+  // daemon's own pool threads.  Requires worker_binary — the daemon's own
+  // executable, self-execed with --worker (the Server constructor throws
+  // std::invalid_argument when isolation is requested without it).
+  bool process_isolation = false;
+  std::string worker_binary;
+  // Per-job RLIMIT_AS budget for workers, MiB; 0 = unlimited.
+  std::uint64_t worker_memory_mb = 0;
 };
 
 class ServerImpl;

@@ -77,7 +77,7 @@ FaultSite parse_site(const std::string& text) {
   FaultSite site;
   bool saw_trial = false, saw_prob = false, saw_ms = false, saw_mb = false,
        saw_after = false, saw_conn = false, saw_every = false,
-       saw_store = false;
+       saw_store = false, saw_once = false;
   if (colon != std::string::npos) {
     for (const std::string& kv : split(text.substr(colon + 1), ',')) {
       const std::size_t eq = kv.find('=');
@@ -110,6 +110,11 @@ FaultSite parse_site(const std::string& text) {
       } else if (key == "store") {
         site.store_index = static_cast<std::size_t>(parse_count(key, value));
         saw_store = true;
+      } else if (key == "once") {
+        const std::uint64_t flag = parse_count(key, value);
+        if (flag > 1) fail("once: must be 0 or 1");
+        site.once = flag != 0;
+        saw_once = true;
       } else {
         fail("unknown key '" + key + "' in site '" + text + "'");
       }
@@ -128,6 +133,7 @@ FaultSite parse_site(const std::string& text) {
     forbid(saw_every, "every=");
     forbid(saw_store, "store=");
   };
+  const auto forbid_once = [&] { forbid(saw_once, "once="); };
   if (name == "throw") {
     if (saw_trial == saw_prob) {
       fail("throw takes exactly one of trial= or prob=");
@@ -137,6 +143,7 @@ FaultSite parse_site(const std::string& text) {
     forbid(saw_mb, "mb=");
     forbid(saw_after, "after=");
     forbid_server_keys();
+    forbid_once();
   } else if (name == "slow") {
     site.kind = FaultSite::Kind::kSlow;
     require(saw_trial, "trial=");
@@ -145,6 +152,7 @@ FaultSite parse_site(const std::string& text) {
     forbid(saw_mb, "mb=");
     forbid(saw_after, "after=");
     forbid_server_keys();
+    forbid_once();
   } else if (name == "alloc") {
     site.kind = FaultSite::Kind::kAlloc;
     require(saw_trial, "trial=");
@@ -156,6 +164,7 @@ FaultSite parse_site(const std::string& text) {
     forbid(saw_ms, "ms=");
     forbid(saw_after, "after=");
     forbid_server_keys();
+    forbid_once();
   } else if (name == "kill") {
     if (saw_after == saw_trial) {
       fail("kill takes exactly one of after= or trial=");
@@ -170,6 +179,24 @@ FaultSite parse_site(const std::string& text) {
     forbid(saw_ms, "ms=");
     forbid(saw_mb, "mb=");
     forbid_server_keys();
+    forbid_once();
+  } else if (name == "segv") {
+    site.kind = FaultSite::Kind::kSegvTrial;
+    require(saw_trial, "trial=");
+    forbid(saw_prob, "prob=");
+    forbid(saw_ms, "ms=");
+    forbid(saw_mb, "mb=");
+    forbid(saw_after, "after=");
+    forbid_server_keys();
+  } else if (name == "oomtrial") {
+    site.kind = FaultSite::Kind::kOomTrial;
+    require(saw_trial, "trial=");
+    require(saw_mb, "mb=");
+    if (site.alloc_mb == 0) fail("oomtrial: mb must be >= 1");
+    forbid(saw_prob, "prob=");
+    forbid(saw_ms, "ms=");
+    forbid(saw_after, "after=");
+    forbid_server_keys();
   } else if (name == "drop") {
     site.kind = FaultSite::Kind::kDropConn;
     require(saw_conn, "conn=");
@@ -181,6 +208,7 @@ FaultSite parse_site(const std::string& text) {
     forbid(saw_after, "after=");
     forbid(saw_every, "every=");
     forbid(saw_store, "store=");
+    forbid_once();
   } else if (name == "stallwrite") {
     site.kind = FaultSite::Kind::kStallWrite;
     require(saw_every, "every=");
@@ -192,6 +220,7 @@ FaultSite parse_site(const std::string& text) {
     forbid(saw_after, "after=");
     forbid(saw_conn, "conn=");
     forbid(saw_store, "store=");
+    forbid_once();
   } else if (name == "corrupt") {
     site.kind = FaultSite::Kind::kCorruptStore;
     require(saw_store, "store=");
@@ -203,9 +232,11 @@ FaultSite parse_site(const std::string& text) {
     forbid(saw_after, "after=");
     forbid(saw_conn, "conn=");
     forbid(saw_every, "every=");
+    forbid_once();
   } else {
     fail("unknown site '" + name +
-         "' (known: throw, slow, alloc, kill, drop, stallwrite, corrupt)");
+         "' (known: throw, slow, alloc, kill, segv, oomtrial, drop, "
+         "stallwrite, corrupt)");
   }
   return site;
 }
@@ -234,8 +265,10 @@ FaultPlan FaultPlan::parse(const std::string& spec, std::uint64_t seed) {
   return plan;
 }
 
-void FaultPlan::fire_trial_start(std::size_t trial) const {
+void FaultPlan::fire_trial_start(std::size_t trial,
+                                 std::uint64_t attempt) const {
   for (const FaultSite& site : sites_) {
+    if (site.once && attempt != 0) continue;
     switch (site.kind) {
       case FaultSite::Kind::kThrow:
         if (site.trial == trial) {
@@ -269,6 +302,35 @@ void FaultPlan::fire_trial_start(std::size_t trial) const {
         break;
       case FaultSite::Kind::kKillTrial:
         if (site.trial == trial) kill_self();
+        break;
+      case FaultSite::Kind::kSegvTrial:
+        if (site.trial == trial) {
+          // An honest wild write: SIGSEGV on a plain build, the
+          // sanitizer's fatal report under ASan/TSan — either way the
+          // process dies and the supervisor classifies the death.
+          volatile int* target = reinterpret_cast<volatile int*>(8);
+#if defined(__GNUC__)
+          // Launder the pointer so the compiler cannot prove (and warn
+          // about) the out-of-bounds store it is asked to emit.
+          __asm__("" : "+r"(target));
+#endif
+          *target = 0;  // NOLINT
+        }
+        break;
+      case FaultSite::Kind::kOomTrial:
+        if (site.trial == trial) {
+          // noexcept frame: an allocation the RLIMIT_AS budget denies
+          // escapes as bad_alloc -> std::terminate -> SIGABRT.  When the
+          // budget admits it, the pressure is transient and the trial
+          // proceeds (same shape as the alloc site).
+          [&]() noexcept {
+            std::vector<char> pressure(site.alloc_mb << 20);
+            volatile char* data = pressure.data();
+            for (std::size_t i = 0; i < pressure.size(); i += 4096) {
+              data[i] = 1;
+            }
+          }();
+        }
         break;
       case FaultSite::Kind::kKill:
         break;  // fires on record, not on start
@@ -320,6 +382,14 @@ void FaultPlan::fire_disk_store(std::size_t store_index,
     }
     std::fclose(file);
   }
+}
+
+const char* fault_inject_grammar() noexcept {
+  return "inject grammar: SITE[+SITE...] where SITE is one of "
+         "throw:trial=K | throw:prob=P | slow:trial=K,ms=M | "
+         "alloc:trial=K,mb=M | kill:after=K | kill:trial=K | "
+         "segv:trial=K[,once=1] | oomtrial:trial=K,mb=M[,once=1] | "
+         "drop:conn=N | stallwrite:every=K,ms=M | corrupt:store=N";
 }
 
 }  // namespace megflood

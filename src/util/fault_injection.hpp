@@ -25,6 +25,25 @@
 //                        mid-campaign with the in-flight trial unrecorded
 //                        (the serve chaos harness's "kill a worker
 //                        mid-trial" site)
+//   segv:trial=K[,once=1]
+//                        dereference a wild pointer at the start of trial
+//                        K — an honest SIGSEGV (or, under a sanitizer, the
+//                        sanitizer's fatal report), the crash half of the
+//                        worker-sandbox containment suite
+//   oomtrial:trial=K,mb=M[,once=1]
+//                        allocate and touch M MiB at the start of trial K
+//                        inside a noexcept frame: under an RLIMIT_AS
+//                        budget below M the allocation fails and the
+//                        escaping bad_alloc terminates the process
+//                        (SIGABRT) — a contained, classified OOM death.
+//                        When the budget admits M MiB the pressure is
+//                        released and the trial proceeds
+//
+// `once=1` scopes a segv/oomtrial site to dispatch attempt 0: a
+// supervisor that re-dispatches the campaign after the crash passes the
+// prior crash count as `attempt`, so the retry runs clean.  This is what
+// lets the sandbox suite prove both halves — crash-once sites prove
+// respawn-and-complete, always-crash sites prove quarantine.
 //
 // Server-side sites (megflood_serve --inject=, fired by the daemon rather
 // than the trial runner — see docs/serving.md):
@@ -59,15 +78,18 @@ struct FaultSite {
     kAlloc,
     kKill,
     kKillTrial,
+    kSegvTrial,
+    kOomTrial,
     kDropConn,
     kStallWrite,
     kCorruptStore,
   };
   Kind kind = Kind::kThrow;
-  std::size_t trial = 0;       // kThrow / kSlow / kAlloc / kKillTrial
+  std::size_t trial = 0;       // kThrow / kSlow / kAlloc / kKillTrial / ...
   double probability = 0.0;    // kThrowProb
   std::uint64_t sleep_ms = 0;  // kSlow / kStallWrite
-  std::uint64_t alloc_mb = 0;  // kAlloc
+  std::uint64_t alloc_mb = 0;  // kAlloc / kOomTrial
+  bool once = false;           // kSegvTrial / kOomTrial: attempt 0 only
   std::size_t after_records = 0;   // kKill
   std::size_t conn_events = 0;     // kDropConn
   std::uint64_t every_events = 0;  // kStallWrite
@@ -98,9 +120,11 @@ class FaultPlan {
   bool empty() const noexcept { return sites_.empty(); }
   const std::vector<FaultSite>& sites() const noexcept { return sites_; }
 
-  // Hook for MeasureHooks::on_trial_start: fires throw/slow/alloc sites
-  // matching `trial`.  Thread-safe (reads immutable state only).
-  void fire_trial_start(std::size_t trial) const;
+  // Hook for MeasureHooks::on_trial_start: fires throw/slow/alloc/crash
+  // sites matching `trial`.  `attempt` is the dispatch attempt for the
+  // campaign (0 on first execution); sites carrying once=1 fire only at
+  // attempt 0.  Thread-safe (reads immutable state only).
+  void fire_trial_start(std::size_t trial, std::uint64_t attempt = 0) const;
 
   // Hook for MeasureHooks::on_trial_recorded: counts durable records and
   // fires any kill site whose threshold the count reaches.  Thread-safe.
@@ -123,5 +147,10 @@ class FaultPlan {
   std::uint64_t seed_ = 0;
   std::atomic<std::size_t> records_{0};
 };
+
+// One-line summary of the --inject grammar, printed by the tools when a
+// spec fails to parse so the operator gets the site vocabulary without
+// opening the docs.
+const char* fault_inject_grammar() noexcept;
 
 }  // namespace megflood

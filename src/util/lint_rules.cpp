@@ -408,6 +408,31 @@ void check_float_accumulation(LintContext& ctx) {
   }
 }
 
+void check_process_control(LintContext& ctx) {
+  // Raw process-control primitives are confined to the worker runtime
+  // (serve/worker.*, which owns the fork/exec/waitpid discipline: argv
+  // prepared pre-fork, async-signal-safe child path, classified reaping)
+  // and util/ (fault_injection's kill_self).  Anywhere else, a stray
+  // fork() in a multithreaded daemon duplicates held locks and a stray
+  // waitpid() races the supervisor's reaping.
+  if (path_contains(ctx.path, "serve/worker") ||
+      path_contains(ctx.path, "util/")) {
+    return;
+  }
+  static const std::regex kPrimitive(
+      R"((^|[^\w.>])(fork|vfork|execv|execve|execvp|execl|execlp|execle|waitpid|wait3|wait4|setrlimit)\s*\()");
+  for (std::size_t i = 0; i < ctx.code_lines.size(); ++i) {
+    std::smatch match;
+    if (std::regex_search(ctx.code_lines[i], match, kPrimitive)) {
+      ctx.report(i + 1, "process-control",
+                 "raw process-control primitive '" + match[2].str() +
+                     "()' outside serve/worker — spawn, supervise and "
+                     "reap subprocesses through serve/worker.hpp "
+                     "(WorkerProcess)");
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rule_catalog() {
@@ -422,6 +447,9 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"float-accumulation",
        "no float accumulation in trial-merge paths (core/) outside the "
        "sanctioned util/stats aggregators"},
+      {"process-control",
+       "no raw fork/exec/waitpid/setrlimit outside serve/worker and "
+       "util/ — subprocess lifecycle goes through WorkerProcess"},
   };
   return kCatalog;
 }
@@ -446,6 +474,7 @@ std::vector<Finding> lint_source(const std::string& path,
   if (on("unordered-iteration")) check_unordered_iteration(ctx);
   if (on("mutable-global")) check_mutable_global(ctx);
   if (on("float-accumulation")) check_float_accumulation(ctx);
+  if (on("process-control")) check_process_control(ctx);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               return a.line != b.line ? a.line < b.line : a.rule < b.rule;

@@ -42,6 +42,16 @@
 //                          sanctioned util/stats aggregators, which fold
 //                          in trial-index order.
 //
+//   process-control        Raw fork/vfork/exec*/waitpid/wait3/wait4/
+//                          setrlimit anywhere outside serve/worker.* and
+//                          util/.  The worker runtime owns the
+//                          subprocess discipline (pre-fork argv,
+//                          async-signal-safe child path, classified
+//                          reaping); a stray fork() in the multithreaded
+//                          daemon duplicates held locks, and a stray
+//                          waitpid() races the supervisor.  Spawn through
+//                          serve/worker.hpp (WorkerProcess) instead.
+//
 // Suppression grammar: a finding on line L is suppressed when line L, or
 // the line immediately above it, carries
 //

@@ -1,0 +1,19 @@
+// Fixture: raw process-control primitives outside serve/worker and util/
+// must fire process-control.  Not compiled — scanned by the lint test.
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+int spawn_raw(char** argv) {
+  const int pid = ::fork();
+  if (pid == 0) {
+    ::execv(argv[0], argv);
+  }
+  struct rlimit budget{};
+  ::setrlimit(RLIMIT_AS, &budget);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  // megflood-lint: allow(process-control)
+  (void)::wait4(pid, &status, 0, nullptr);
+  return status;
+}

@@ -29,6 +29,7 @@ constexpr const char* kSeedRule = "nondeterministic-seed";
 constexpr const char* kUnorderedRule = "unordered-iteration";
 constexpr const char* kGlobalRule = "mutable-global";
 constexpr const char* kFloatRule = "float-accumulation";
+constexpr const char* kProcessRule = "process-control";
 
 std::string fixture_path(const std::string& name) {
   return std::string(MEGFLOOD_LINT_FIXTURE_DIR) + "/" + name;
@@ -94,13 +95,14 @@ void expect_fires_exactly(const std::string& name, const std::string& rule,
       << dump(without);
 }
 
-TEST(MegfloodLint, CatalogListsTheFourRulesInStableOrder) {
+TEST(MegfloodLint, CatalogListsTheFiveRulesInStableOrder) {
   const auto& catalog = rule_catalog();
-  ASSERT_EQ(catalog.size(), 4u);
+  ASSERT_EQ(catalog.size(), 5u);
   EXPECT_EQ(catalog[0].name, kSeedRule);
   EXPECT_EQ(catalog[1].name, kUnorderedRule);
   EXPECT_EQ(catalog[2].name, kGlobalRule);
   EXPECT_EQ(catalog[3].name, kFloatRule);
+  EXPECT_EQ(catalog[4].name, kProcessRule);
   for (const auto& info : catalog) EXPECT_FALSE(info.summary.empty());
 }
 
@@ -143,6 +145,34 @@ TEST(MegfloodLint, FloatAccumulationIsScopedToCorePaths) {
   // Same content, non-core path: the trial-merge rule is out of scope.
   const std::string content = read_fixture("core/float_accum_bad.cpp");
   EXPECT_TRUE(lint_source("src/markov/float_accum.cpp", content).empty());
+}
+
+TEST(MegfloodLint, ProcessControlFixtureFiresOnEveryRawPrimitive) {
+  // Lines: fork, execv, setrlimit, waitpid; the wait4 site is covered by
+  // an allow pragma and must stay silent (pragma coverage for the rule).
+  expect_fires_exactly("process_control_bad.cpp", kProcessRule,
+                       {8, 10, 13, 15});
+}
+
+TEST(MegfloodLint, ProcessControlIsScopedOutOfWorkerAndUtil) {
+  // Identical content inside the sanctioned homes must be silent: the
+  // worker runtime owns the primitives and util/ hosts kill_self().
+  const std::string content = read_fixture("process_control_bad.cpp");
+  EXPECT_TRUE(lint_source("src/serve/worker.cpp", content).empty());
+  EXPECT_TRUE(lint_source("src/util/fault_injection.cpp", content).empty());
+}
+
+TEST(MegfloodLint, ProcessControlPragmaSiteIsLiveOnceThePragmaIsGone) {
+  // Neutralize the fixture's own pragma: the wait4 line must then fire,
+  // proving the pragma suppresses a real finding.
+  std::string content = read_fixture("process_control_bad.cpp");
+  const std::size_t at = content.find("megflood-lint:");
+  ASSERT_NE(at, std::string::npos);
+  content.replace(at, 14, "megflood-nope:");
+  const auto findings =
+      lint_source(fixture_path("process_control_bad.cpp"), content);
+  EXPECT_EQ(lines_of(findings), (std::set<std::size_t>{8, 10, 13, 15, 17}))
+      << dump(findings);
 }
 
 TEST(MegfloodLint, CleanFixtureYieldsNoFindings) {

@@ -288,5 +288,75 @@ TEST(ServeProtocol, StatsRenderQueueCountersAndPerClientRows) {
   EXPECT_DOUBLE_EQ(per_client->array[0].find("in_flight")->number, 1.0);
 }
 
+// ---------------------------------------------------------------------------
+// Process isolation events (ISSUE 10)
+// ---------------------------------------------------------------------------
+
+TEST(ServeProtocol, FailedEventCarriesCrashClassification) {
+  SubJobReply crashed;
+  crashed.key = "k1";
+  crashed.error = "quarantined: worker crashed (SIGSEGV) 2 times";
+  crashed.worker_crash = true;
+  crashed.crash_signal = "SIGSEGV";
+  crashed.crashes = 2;
+  SubJobReply ok;
+  ok.key = "k2";
+  ok.result_json = "{\"rounds_mean\": 3}";
+
+  const std::string line = event_failed("j1", {crashed, ok}, 0, 4, 8);
+  std::string error;
+  const auto parsed = parse_json(line, error);
+  ASSERT_TRUE(parsed.has_value()) << line << " -> " << error;
+  EXPECT_EQ(parsed->find("event")->string, "failed");
+  EXPECT_EQ(parsed->find("id")->string, "j1");
+  EXPECT_EQ(parsed->find("reason")->string, "worker_crash");
+  EXPECT_EQ(parsed->find("signal")->string, "SIGSEGV");
+  EXPECT_DOUBLE_EQ(parsed->find("crashes")->number, 2.0);
+  EXPECT_DOUBLE_EQ(parsed->find("completed")->number, 4.0);
+  EXPECT_DOUBLE_EQ(parsed->find("total")->number, 8.0);
+  // results renders like done's: the healthy sub-job's bytes survive.
+  const JsonValue* results = parsed->find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->array.size(), 2u);
+  EXPECT_NE(line.find("\"result\": {\"rounds_mean\": 3}"),
+            std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"error\": "), std::string::npos);
+}
+
+TEST(ServeProtocol, StatsRenderIsolationAndWorkerRows) {
+  StatsSnapshot stats;
+  stats.isolation = "process";
+  stats.worker_restarts = 3;
+  stats.jobs_quarantined = 1;
+  WorkerSlotStats worker;
+  worker.slot = 0;
+  worker.pid = 1234;
+  worker.busy = true;
+  worker.jobs = 7;
+  stats.workers.push_back(worker);
+
+  const std::string line = event_stats(stats);
+  std::string error;
+  const auto parsed = parse_json(line, error);
+  ASSERT_TRUE(parsed.has_value()) << line << " -> " << error;
+  EXPECT_EQ(parsed->find("isolation")->string, "process");
+  EXPECT_DOUBLE_EQ(parsed->find("worker_restarts")->number, 3.0);
+  EXPECT_DOUBLE_EQ(parsed->find("jobs_quarantined")->number, 1.0);
+  const JsonValue* workers = parsed->find("workers");
+  ASSERT_NE(workers, nullptr);
+  ASSERT_EQ(workers->array.size(), 1u);
+  EXPECT_DOUBLE_EQ(workers->array[0].find("pid")->number, 1234.0);
+  EXPECT_TRUE(workers->array[0].find("busy")->boolean);
+  EXPECT_DOUBLE_EQ(workers->array[0].find("jobs")->number, 7.0);
+
+  // Thread mode keeps the fields but with an empty worker list.
+  const std::string thread_line = event_stats(StatsSnapshot{});
+  const auto thread_parsed = parse_json(thread_line, error);
+  ASSERT_TRUE(thread_parsed.has_value());
+  EXPECT_EQ(thread_parsed->find("isolation")->string, "thread");
+  EXPECT_TRUE(thread_parsed->find("workers")->array.empty());
+}
+
 }  // namespace
 }  // namespace megflood::serve

@@ -336,6 +336,49 @@ TEST(ServeScheduler, PerClientQueueCapLeavesOtherClientsAdmissible) {
   EXPECT_EQ(label(modest_events.back()), "queued:m1");
 }
 
+TEST(ServeScheduler, DisconnectMidJobFreesQueueRowsAndAdmissionBudget) {
+  ResultCache cache;
+  std::vector<std::string> events;
+  std::vector<std::string> other_events;
+  SchedulerConfig config = manual_config();
+  config.max_queue = 2;
+  config.max_client_queue = 2;
+  Scheduler scheduler(config, &cache);
+  const std::uint64_t doomed = scheduler.register_client(
+      [&events](const std::string& line) { events.push_back(line); });
+
+  // Two sub-jobs: run one, disconnect with the other still queued.
+  scheduler.submit(doomed, submit_request("d", sweep_args(70), "n=16:32:16"));
+  EXPECT_EQ(label(events.back()), "queued:d");
+  ASSERT_TRUE(scheduler.run_one());
+  const StatsSnapshot mid = scheduler.stats();
+  ASSERT_EQ(mid.per_client.size(), 1u);
+  EXPECT_EQ(mid.per_client[0].client, doomed);
+  EXPECT_EQ(mid.per_client[0].queued_subjobs, 1u);
+
+  scheduler.unregister_client(doomed);
+
+  // The reaped connection must leave no stale per-client row and must
+  // return its queue slots to the admission budget.
+  const StatsSnapshot after = scheduler.stats();
+  EXPECT_EQ(after.clients, 0u);
+  EXPECT_TRUE(after.per_client.empty());
+  EXPECT_EQ(after.queued_subjobs, 0u);
+  EXPECT_EQ(after.running_subjobs, 0u);
+
+  const std::uint64_t next = scheduler.register_client(
+      [&other_events](const std::string& line) {
+        other_events.push_back(line);
+      });
+  // Two fresh sub-jobs fill the whole global cap — impossible if the
+  // dead client's queued work had leaked into the global counter.
+  scheduler.submit(next, submit_request("n", sweep_args(71), "n=16:32:16"));
+  EXPECT_EQ(label(other_events.back()), "queued:n");
+  while (scheduler.run_one()) {
+  }
+  EXPECT_EQ(label(other_events.back()), "done:n");
+}
+
 TEST(ServeScheduler, CacheHitsAreAdmittedThroughAFullQueue) {
   ResultCache cache;
   std::vector<std::string> events;

@@ -1,0 +1,537 @@
+// Process-isolation suite for megflood_serve (ISSUE 10): the worker wire
+// protocol, byte-identity between --isolation=thread and
+// --isolation=process, crash containment (a segfaulting campaign kills
+// its worker, the supervisor respawns and the job still completes
+// bit-identically via the journal), poison-job quarantine (a campaign
+// that crashes `crash_limit` workers ends in a terminal `failed` event
+// and a persistent .mfq marker — never an infinite crash loop), plus
+// cancel/deadline propagation into workers and rlimit containment of a
+// memory-bomb trial.
+//
+// The workers are real subprocesses: the scheduler self-execs the
+// megflood_serve binary (path injected by CMake as MEGFLOOD_SERVE_PATH)
+// with --worker.  Thread-mode schedulers in the same tests provide the
+// ground-truth event streams for the byte-identity assertions.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/cache.hpp"
+#include "serve/json.hpp"
+#include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/worker.hpp"
+
+#ifndef MEGFLOOD_SERVE_PATH
+#error "MEGFLOOD_SERVE_PATH must point at the megflood_serve binary"
+#endif
+
+// Sanitizer shadow mappings defeat RLIMIT_AS (the worker skips the
+// budget, see serve/worker.cpp) and turn the injected SIGSEGV into a
+// sanitizer report that exits instead of dying on the signal — so the
+// rlimit test skips and the signal-name asserts loosen under sanitizers.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define MEGFLOOD_TEST_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define MEGFLOOD_TEST_SANITIZED 1
+#endif
+#endif
+
+namespace megflood::serve {
+namespace {
+
+Request submit_request(const std::string& id, std::vector<std::string> args,
+                       std::string sweep = "", double deadline_s = 0.0) {
+  Request request;
+  request.op = RequestOp::kSubmit;
+  request.id = id;
+  request.args = std::move(args);
+  request.sweep = std::move(sweep);
+  request.deadline_s = deadline_s;
+  return request;
+}
+
+std::vector<std::string> quick_args(std::uint64_t seed,
+                                    std::size_t trials = 2) {
+  return {"--model=fixed", "--n=16", "--trials=" + std::to_string(trials),
+          "--seed=" + std::to_string(seed)};
+}
+
+// "<event>:<id>" labels, e.g. "done:j1".
+std::string label(const std::string& line) {
+  std::string error;
+  const auto event = parse_json(line, error);
+  if (!event || !event->is_object()) return "unparseable";
+  const JsonValue* kind = event->find("event");
+  const JsonValue* id = event->find("id");
+  std::string out = kind ? kind->string : "?";
+  if (id && id->is_string()) out += ":" + id->string;
+  return out;
+}
+
+double number_field(const std::string& line, const std::string& name) {
+  std::string error;
+  const auto event = parse_json(line, error);
+  if (!event) return -1.0;
+  const JsonValue* field = event->find(name);
+  return field ? field->number : -1.0;
+}
+
+std::string string_field(const std::string& line, const std::string& name) {
+  std::string error;
+  const auto event = parse_json(line, error);
+  if (!event) return "";
+  const JsonValue* field = event->find(name);
+  return field && field->is_string() ? field->string : "";
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::size_t count_files_with_suffix(const std::string& dir,
+                                    const std::string& suffix) {
+  std::size_t count = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() >= suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+SchedulerConfig process_config(std::string inject = "",
+                               std::string journal_dir = "") {
+  SchedulerConfig config;
+  config.workers = 0;  // manual mode: run_one() supervises on this thread
+  config.isolation = IsolationMode::kProcess;
+  config.worker_binary = MEGFLOOD_SERVE_PATH;
+  config.inject_spec = std::move(inject);
+  config.journal_dir = std::move(journal_dir);
+  return config;
+}
+
+// Thread-safe event sink for the tests that run a real worker pool.
+// Declared before the Scheduler in every test (the scheduler destructor
+// drains and may still emit).
+struct EventLog {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<std::string> lines;
+
+  void push(const std::string& line) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      lines.push_back(line);
+    }
+    cv.notify_all();
+  }
+
+  bool wait_for_label(const std::string& want, int timeout_ms) {
+    std::unique_lock<std::mutex> lock(mutex);
+    return cv.wait_for(lock, std::chrono::milliseconds(timeout_ms), [&] {
+      for (const std::string& line : lines) {
+        if (label(line) == want) return true;
+      }
+      return false;
+    });
+  }
+
+  std::vector<std::string> snapshot() {
+    std::lock_guard<std::mutex> lock(mutex);
+    return lines;
+  }
+};
+
+// Runs `requests` to completion on a manual-mode scheduler with `config`
+// and returns the full event stream.
+std::vector<std::string> run_to_completion(SchedulerConfig config,
+                                           ResultCache* cache,
+                                           const std::vector<Request>& requests) {
+  std::vector<std::string> events;
+  Scheduler scheduler(config, cache);
+  const std::uint64_t client = scheduler.register_client(
+      [&events](const std::string& line) { events.push_back(line); });
+  for (const Request& request : requests) scheduler.submit(client, request);
+  while (scheduler.run_one()) {
+  }
+  return events;
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol units
+// ---------------------------------------------------------------------------
+
+TEST(ServeWorker, JobLineRoundTrips) {
+  WorkerJob job;
+  job.job = 42;
+  job.cli = "--model=fixed --n=16 --trials=3 --seed=7";
+  job.journal = "/tmp/cache/deadbeef.mfj";
+  job.deadline_s = 1.5;
+  job.memory_mb = 256;
+  job.attempt = 2;
+
+  WorkerJob back;
+  std::string error;
+  ASSERT_TRUE(parse_worker_job_line(worker_job_line(job), back, error))
+      << error;
+  EXPECT_EQ(back.job, 42u);
+  EXPECT_EQ(back.cli, job.cli);
+  EXPECT_EQ(back.journal, job.journal);
+  EXPECT_DOUBLE_EQ(back.deadline_s, 1.5);
+  EXPECT_EQ(back.memory_mb, 256u);
+  EXPECT_EQ(back.attempt, 2u);
+}
+
+TEST(ServeWorker, JobLineDefaultsSurviveTheWire) {
+  WorkerJob job;
+  job.job = 1;
+  job.cli = "--model=fixed --n=16 --trials=1 --seed=1";
+
+  WorkerJob back;
+  std::string error;
+  ASSERT_TRUE(parse_worker_job_line(worker_job_line(job), back, error));
+  EXPECT_TRUE(back.journal.empty());
+  EXPECT_EQ(back.deadline_s, 0.0);
+  EXPECT_EQ(back.memory_mb, 0u);
+  EXPECT_EQ(back.attempt, 0u);
+}
+
+TEST(ServeWorker, MalformedJobLinesAreRejectedWithAReason) {
+  WorkerJob out;
+  std::string error;
+  for (const char* bad : {
+           "not json at all",
+           "[1, 2, 3]",
+           "{\"op\": \"cancel\", \"job\": 3}",
+           "{\"job\": 3, \"cli\": \"--model=fixed\"}",
+           "{\"op\": \"job\", \"cli\": \"--model=fixed\"}",
+           "{\"op\": \"job\", \"job\": 3}",
+           "{\"op\": \"job\", \"job\": 3, \"cli\": \"\"}",
+       }) {
+    error.clear();
+    EXPECT_FALSE(parse_worker_job_line(bad, out, error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Byte-identity: process mode must answer exactly like thread mode
+// ---------------------------------------------------------------------------
+
+TEST(ServeWorker, ProcessModeEventStreamIsByteIdenticalToThreadMode) {
+  const std::vector<Request> requests = {
+      submit_request("sweep",
+                     {"--model=fixed", "--trials=2", "--seed=91"},
+                     "n=16:48:16"),
+      submit_request("single", quick_args(92, 3)),
+  };
+
+  ResultCache thread_cache;
+  SchedulerConfig thread_config;
+  thread_config.workers = 0;
+  const std::vector<std::string> thread_events =
+      run_to_completion(thread_config, &thread_cache, requests);
+
+  ResultCache process_cache;
+  const std::vector<std::string> process_events =
+      run_to_completion(process_config(), &process_cache, requests);
+
+  // Full-stream equality: same events, same order, same bytes — the
+  // worker's result object is spliced verbatim, never re-rendered.
+  ASSERT_EQ(process_events.size(), thread_events.size());
+  for (std::size_t i = 0; i < thread_events.size(); ++i) {
+    EXPECT_EQ(process_events[i], thread_events[i]) << "event " << i;
+  }
+
+  // And the caches agree entry-for-entry.
+  EXPECT_EQ(process_cache.stats().entries, thread_cache.stats().entries);
+}
+
+TEST(ServeWorker, ProcessModeStatsReportWorkerRows) {
+  ResultCache cache;
+  std::vector<std::string> events;
+  Scheduler scheduler(process_config(), &cache);
+  const std::uint64_t client = scheduler.register_client(
+      [&events](const std::string& line) { events.push_back(line); });
+
+  scheduler.submit(client, submit_request("j", quick_args(93)));
+  while (scheduler.run_one()) {
+  }
+  EXPECT_EQ(label(events.back()), "done:j");
+
+  const StatsSnapshot stats = scheduler.stats();
+  EXPECT_EQ(stats.isolation, "process");
+  EXPECT_EQ(stats.worker_restarts, 0u);
+  EXPECT_EQ(stats.jobs_quarantined, 0u);
+  ASSERT_FALSE(stats.workers.empty());
+  bool saw_live_worker = false;
+  for (const WorkerSlotStats& slot : stats.workers) {
+    if (slot.pid != 0 && slot.jobs > 0) saw_live_worker = true;
+  }
+  EXPECT_TRUE(saw_live_worker);
+}
+
+// ---------------------------------------------------------------------------
+// Crash containment: one crash is respawned, the job completes, and the
+// journal makes the answer byte-identical to a run that never crashed.
+// ---------------------------------------------------------------------------
+
+TEST(ServeWorker, CrashedWorkerIsRespawnedAndTheJobCompletesIdentically) {
+  const std::vector<Request> requests = {
+      submit_request("j", quick_args(94, 4)),
+  };
+
+  ResultCache thread_cache;
+  SchedulerConfig thread_config;
+  thread_config.workers = 0;
+  const std::vector<std::string> clean_events =
+      run_to_completion(thread_config, &thread_cache, requests);
+
+  // segv at trial 2, once=1: the first dispatch journals two trials and
+  // dies; the retry (attempt 1) replays them and finishes clean.
+  const std::string dir = fresh_dir("worker_respawn");
+  ResultCache process_cache;
+  std::vector<std::string> events;
+  Scheduler scheduler(process_config("segv:trial=2,once=1", dir),
+                      &process_cache);
+  const std::uint64_t client = scheduler.register_client(
+      [&events](const std::string& line) { events.push_back(line); });
+  scheduler.submit(client, requests[0]);
+  while (scheduler.run_one()) {
+  }
+
+  ASSERT_EQ(events.size(), clean_events.size());
+  for (std::size_t i = 0; i < clean_events.size(); ++i) {
+    EXPECT_EQ(events[i], clean_events[i]) << "event " << i;
+  }
+  EXPECT_EQ(label(events.back()), "done:j");
+  EXPECT_EQ(number_field(events.back(), "completed"), 4.0);
+
+  const StatsSnapshot stats = scheduler.stats();
+  EXPECT_GE(stats.worker_restarts, 1u);
+  EXPECT_EQ(stats.jobs_quarantined, 0u);
+  // The completed campaign retired its journal and was never quarantined.
+  EXPECT_EQ(count_files_with_suffix(dir, ".mfj"), 0u);
+  EXPECT_EQ(count_files_with_suffix(dir, ".mfq"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Quarantine: a campaign that keeps killing workers is taken out of
+// rotation — terminal `failed`, persistent marker, journal removed.
+// ---------------------------------------------------------------------------
+
+TEST(ServeWorker, PoisonJobIsQuarantinedAfterTheCrashLimit) {
+  const std::string dir = fresh_dir("worker_quarantine");
+  ResultCache cache;
+  std::vector<std::string> events;
+  Scheduler scheduler(process_config("segv:trial=1", dir), &cache);
+  const std::uint64_t client = scheduler.register_client(
+      [&events](const std::string& line) { events.push_back(line); });
+
+  // No once=1: every dispatch of this campaign dies at trial 1.  Two
+  // crashes (the default crash_limit) must end it — not loop forever.
+  scheduler.submit(client, submit_request("poison", quick_args(95, 4)));
+  while (scheduler.run_one()) {
+  }
+
+  ASSERT_FALSE(events.empty());
+  const std::string terminal = events.back();
+  EXPECT_EQ(label(terminal), "failed:poison");
+  EXPECT_EQ(string_field(terminal, "reason"), "worker_crash");
+  EXPECT_EQ(number_field(terminal, "crashes"), 2.0);
+  const std::string signal = string_field(terminal, "signal");
+#if !defined(MEGFLOOD_TEST_SANITIZED)
+  EXPECT_EQ(signal, "SIGSEGV") << terminal;
+#else
+  // Sanitizers intercept the wild write and exit with a report instead;
+  // the classification is still a worker death, just not signal-shaped.
+  EXPECT_FALSE(signal.empty()) << terminal;
+#endif
+
+  StatsSnapshot stats = scheduler.stats();
+  EXPECT_EQ(stats.worker_restarts, 2u);
+  EXPECT_EQ(stats.jobs_quarantined, 1u);
+  EXPECT_EQ(stats.jobs_failed, 1u);
+  // Marker persisted, poison journal removed (it must not be resumed).
+  EXPECT_EQ(count_files_with_suffix(dir, ".mfq"), 1u);
+  EXPECT_EQ(count_files_with_suffix(dir, ".mfj"), 0u);
+  // And the poisoned campaign never reached the cache.
+  EXPECT_EQ(cache.stats().entries, 0u);
+
+  // Resubmitting the identical campaign short-circuits: immediate failed
+  // event, no new worker crashes, no third SIGSEGV.
+  scheduler.submit(client, submit_request("again", quick_args(95, 4)));
+  while (scheduler.run_one()) {
+  }
+  EXPECT_EQ(label(events.back()), "failed:again");
+  EXPECT_EQ(string_field(events.back(), "reason"), "worker_crash");
+  EXPECT_EQ(scheduler.stats().worker_restarts, 2u);
+
+  // A different campaign still runs fine on the same scheduler — the
+  // quarantine is per-campaign, not a poisoned daemon.
+  scheduler.submit(client, submit_request("healthy", quick_args(96, 1)));
+  while (scheduler.run_one()) {
+  }
+  EXPECT_EQ(label(events.back()), "done:healthy");
+}
+
+TEST(ServeWorker, QuarantineSurvivesASchedulerRestart) {
+  const std::string dir = fresh_dir("worker_quarantine_restart");
+  const Request poison = submit_request("p", quick_args(97, 4));
+
+  {
+    ResultCache cache;
+    std::vector<std::string> events;
+    Scheduler scheduler(process_config("segv:trial=1", dir), &cache);
+    const std::uint64_t client = scheduler.register_client(
+        [&events](const std::string& line) { events.push_back(line); });
+    scheduler.submit(client, poison);
+    while (scheduler.run_one()) {
+    }
+    ASSERT_EQ(label(events.back()), "failed:p");
+  }
+
+  // A fresh scheduler over the same journal directory — no injection at
+  // all this time — reloads the marker and refuses the campaign without
+  // spawning a single worker for it.
+  ResultCache cache;
+  std::vector<std::string> events;
+  Scheduler scheduler(process_config("", dir), &cache);
+  EXPECT_EQ(scheduler.recover_journals(), 0u);  // poison journal is gone
+  const std::uint64_t client = scheduler.register_client(
+      [&events](const std::string& line) { events.push_back(line); });
+  scheduler.submit(client, poison);
+  while (scheduler.run_one()) {
+  }
+  EXPECT_EQ(label(events.back()), "failed:p");
+  EXPECT_EQ(string_field(events.back(), "reason"), "worker_crash");
+  EXPECT_EQ(scheduler.stats().worker_restarts, 0u);
+  EXPECT_EQ(scheduler.stats().jobs_quarantined, 0u);  // counted last run
+}
+
+// ---------------------------------------------------------------------------
+// Cancel and deadline reach into the worker
+// ---------------------------------------------------------------------------
+
+TEST(ServeWorker, CancelPropagatesIntoARunningWorker) {
+  EventLog log;
+  ResultCache cache;
+  SchedulerConfig config = process_config("slow:trial=1,ms=4000");
+  config.workers = 1;  // a real pool thread supervises the worker
+  Scheduler scheduler(config, &cache);
+  const std::uint64_t client = scheduler.register_client(
+      [&log](const std::string& line) { log.push(line); });
+
+  scheduler.submit(client, submit_request("c", quick_args(98, 8)));
+  ASSERT_TRUE(log.wait_for_label("trial_done:c", 30000));
+  scheduler.cancel(client, "c");
+  ASSERT_TRUE(log.wait_for_label("cancelled:c", 30000));
+
+  // The cancel interrupted the worker mid-campaign: well short of the 8
+  // submitted trials (trial 1 alone sleeps 4 s).
+  const std::vector<std::string> events = log.snapshot();
+  const std::string terminal = events.back();
+  EXPECT_EQ(label(terminal), "cancelled:c");
+  EXPECT_LT(number_field(terminal, "completed"), 8.0);
+  EXPECT_EQ(scheduler.stats().worker_restarts, 0u);  // cancel is not a crash
+}
+
+TEST(ServeWorker, DeadlineFiresInsideTheWorker) {
+  ResultCache cache;
+  std::vector<std::string> events;
+  Scheduler scheduler(process_config("slow:trial=1,ms=4000"), &cache);
+  const std::uint64_t client = scheduler.register_client(
+      [&events](const std::string& line) { events.push_back(line); });
+
+  // Trial 1 sleeps far past the per-trial budget: the worker's own
+  // cooperative watchdog must end the campaign as a deadline miss — no
+  // crash, no restart, a clean classified reply.
+  scheduler.submit(client,
+                   submit_request("d", quick_args(99, 8), "", 0.2));
+  while (scheduler.run_one()) {
+  }
+
+  // Same shape as thread mode: a deadline_exceeded event for the missed
+  // sub-job, then the terminal done whose reply carries the flag.
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_EQ(label(events[events.size() - 2]), "deadline_exceeded:d");
+  EXPECT_EQ(label(events.back()), "done:d");
+  EXPECT_NE(events.back().find("\"deadline_exceeded\": true"),
+            std::string::npos);
+  EXPECT_LT(number_field(events.back(), "completed"), 8.0);
+  EXPECT_EQ(scheduler.stats().worker_restarts, 0u);
+  EXPECT_EQ(scheduler.stats().deadline_exceeded, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Memory containment: RLIMIT_AS turns a memory bomb into one worker
+// death instead of a daemon OOM.
+// ---------------------------------------------------------------------------
+
+TEST(ServeWorker, MemoryBombIsContainedByTheWorkerBudget) {
+#if defined(MEGFLOOD_TEST_SANITIZED)
+  GTEST_SKIP() << "RLIMIT_AS is disabled under sanitizers";
+#else
+  const std::string dir = fresh_dir("worker_oom");
+  ResultCache cache;
+  std::vector<std::string> events;
+  // A 2 GiB allocation at trial 1, once: the 256 MiB budget denies it,
+  // the worker dies on the escaped bad_alloc, and the retry completes.
+  SchedulerConfig config =
+      process_config("oomtrial:trial=1,mb=2048,once=1", dir);
+  config.worker_memory_mb = 256;
+  Scheduler scheduler(config, &cache);
+  const std::uint64_t client = scheduler.register_client(
+      [&events](const std::string& line) { events.push_back(line); });
+
+  scheduler.submit(client, submit_request("m", quick_args(100, 3)));
+  while (scheduler.run_one()) {
+  }
+
+  EXPECT_EQ(label(events.back()), "done:m");
+  EXPECT_EQ(number_field(events.back(), "completed"), 3.0);
+  EXPECT_GE(scheduler.stats().worker_restarts, 1u);
+  EXPECT_EQ(scheduler.stats().jobs_quarantined, 0u);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// The real binary rejects malformed --inject specs up front (exit 2)
+// ---------------------------------------------------------------------------
+
+TEST(ServeWorker, MalformedInjectSpecExitsWithConfigError) {
+  const std::string binary = MEGFLOOD_SERVE_PATH;
+  for (const char* spec : {"bogus:trial=1", "segv", "segv:trial=1,ms=5"}) {
+    const std::string command = binary + " --inject=" + spec +
+                                " >/dev/null 2>&1";
+    const int status = std::system(command.c_str());
+    ASSERT_TRUE(WIFEXITED(status)) << spec;
+    EXPECT_EQ(WEXITSTATUS(status), 2) << spec;
+
+    const std::string worker_command = binary + " --worker --inject=" + spec +
+                                       " >/dev/null 2>&1";
+    const int worker_status = std::system(worker_command.c_str());
+    ASSERT_TRUE(WIFEXITED(worker_status)) << spec;
+    EXPECT_EQ(WEXITSTATUS(worker_status), 2) << spec;
+  }
+}
+
+}  // namespace
+}  // namespace megflood::serve

@@ -61,6 +61,7 @@ struct Options {
   double min_hit_ratio = -1.0;  // < 0: report only, assert nothing
   int timeout_ms = 60000;
   bool retry = false;
+  bool print_stats = false;  // query and print daemon stats after the run
   std::string dump_results;  // file for sorted "key<TAB>result" lines
 };
 
@@ -71,6 +72,7 @@ struct Tally {
   std::vector<double> latencies_ms;
   std::size_t done = 0;
   std::size_t cancelled = 0;
+  std::size_t failed = 0;  // terminal `failed` events (worker quarantine)
   std::size_t errors = 0;
   std::size_t rejected = 0;
   std::size_t unresolved = 0;
@@ -84,6 +86,7 @@ struct Tally {
   std::uint64_t rejected_retries = 0;
   std::map<std::string, std::string> first_bytes;  // campaign key -> result
   std::vector<std::string> sample_errors;
+  std::vector<std::string> sample_failed;  // first few failed event lines
 };
 
 // The balanced {...} starting at line[start] == '{', string-aware (braces
@@ -181,6 +184,17 @@ void process_event(const std::string& line, PendingMap& pending,
   if (kind->string == "cancelled") {
     std::lock_guard<std::mutex> lock(tally.mutex);
     ++tally.cancelled;
+    pending.erase(id);
+    return;
+  }
+  if (kind->string == "failed") {
+    // Terminal: a sub-job quarantined its campaign (worker_crash).  The
+    // job is resolved — by design this is a clean outcome for the
+    // harness (the daemon survived and answered), so it is tallied and
+    // sampled but does not fail the run.
+    std::lock_guard<std::mutex> lock(tally.mutex);
+    ++tally.failed;
+    if (tally.sample_failed.size() < 5) tally.sample_failed.push_back(line);
     pending.erase(id);
     return;
   }
@@ -362,6 +376,8 @@ void usage(std::ostream& out) {
          "(default 60000)\n"
          "  --retry              survive disconnects and queue_full\n"
          "                       rejections via reconnect/backoff/resubmit\n"
+         "  --stats              print the daemon's stats event after the\n"
+         "                       run (worker restarts, quarantines, ...)\n"
          "  --dump_results=<f>   write sorted 'key<TAB>result' lines to f\n"
          "                       (for byte-identity diffs across runs)\n";
 }
@@ -380,6 +396,10 @@ int main(int argc, char** argv) {
       }
       if (arg == "--retry") {
         options.retry = true;
+        continue;
+      }
+      if (arg == "--stats") {
+        options.print_stats = true;
         continue;
       }
       const std::size_t equals = arg.find('=');
@@ -467,6 +487,7 @@ int main(int argc, char** argv) {
             << (options.retry ? " retry=on" : "") << "\n";
   std::cout << "megflood_load: done=" << tally.done
             << " cancelled=" << tally.cancelled
+            << " failed=" << tally.failed
             << " errors=" << tally.errors
             << " rejected=" << tally.rejected
             << " unresolved=" << tally.unresolved << "\n";
@@ -491,6 +512,29 @@ int main(int argc, char** argv) {
             << " mismatches=" << tally.identity_mismatches << "\n";
   for (const std::string& sample : tally.sample_errors) {
     std::cerr << "megflood_load: sample error: " << sample << "\n";
+  }
+  // Failed (quarantine) samples go to stdout: CI greps them for the
+  // reason/signal fields, and they are an outcome, not a harness error.
+  for (const std::string& sample : tally.sample_failed) {
+    std::cout << "megflood_load: sample failed: " << sample << "\n";
+  }
+
+  if (options.print_stats) {
+    // One fresh connection after the run: the daemon's stats event shows
+    // worker restarts / quarantines the chaos CI lane asserts on.
+    try {
+      LineClient client =
+          options.use_tcp ? LineClient::connect_tcp(options.port)
+                          : LineClient::connect_unix(options.socket_path);
+      if (client.send_line("{\"op\":\"stats\"}")) {
+        RecvStatus status = RecvStatus::kClosed;
+        const auto line = client.recv_line(options.timeout_ms, &status);
+        if (line) std::cout << "megflood_load: stats " << *line << "\n";
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "megflood_load: stats request failed: " << e.what()
+                << "\n";
+    }
   }
 
   if (!options.dump_results.empty()) {

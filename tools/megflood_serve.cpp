@@ -23,6 +23,8 @@
 
 #include "core/driver.hpp"
 #include "serve/server.hpp"
+#include "serve/worker.hpp"
+#include "util/fault_injection.hpp"
 
 namespace {
 
@@ -36,6 +38,8 @@ void usage(std::ostream& out) {
          "                      [--workers=<n>] [--cache_dir=<path>]\n"
          "                      [--max_line=<bytes>] [--max_queue=<n>]\n"
          "                      [--max_client_queue=<n>] [--inject=<spec>]\n"
+         "                      [--isolation=thread|process]\n"
+         "                      [--worker_memory_mb=<n>]\n"
          "  --socket=<path>     listen on a Unix-domain socket\n"
          "  --port=<n>          listen on localhost TCP (0 = ephemeral;\n"
          "                      the bound port is printed on stdout)\n"
@@ -50,7 +54,13 @@ void usage(std::ostream& out) {
          "                      are rejected with a retry_after_ms hint\n"
          "  --max_client_queue=<n>  per-client queued sub-job cap\n"
          "  --inject=<spec>     fault injection (docs/operations.md), incl.\n"
-         "                      the daemon sites drop/stallwrite/corrupt\n";
+         "                      the daemon sites drop/stallwrite/corrupt\n"
+         "  --isolation=process run campaigns in supervised worker\n"
+         "                      subprocesses: crashes are contained,\n"
+         "                      classified, retried, and poison jobs are\n"
+         "                      quarantined (docs/serving.md)\n"
+         "  --worker_memory_mb=<n>  per-job RLIMIT_AS budget for workers,\n"
+         "                      MiB (0 = unlimited; process mode only)\n";
 }
 
 std::uint64_t parse_u64(const std::string& flag, const std::string& value) {
@@ -65,6 +75,35 @@ std::uint64_t parse_u64(const std::string& flag, const std::string& value) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Worker mode: this same binary, self-execed by the daemon's
+  // supervisor, speaking the serve/worker.hpp protocol on fds 0/1.
+  // Recognized before anything else so a worker never binds sockets or
+  // installs the daemon's handlers — the supervisor owns its lifecycle
+  // (a terminal Ctrl-C must drain through the daemon, not tear workers
+  // mid-trial, hence SIG_IGN).
+  if (argc >= 2 && std::string(argv[1]) == "--worker") {
+    std::string inject;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.compare(0, 9, "--inject=") == 0) {
+        inject = arg.substr(9);
+      } else {
+        std::cerr << "megflood_serve: unrecognized worker flag '" << arg
+                  << "'\n";
+        return 2;
+      }
+    }
+    std::signal(SIGINT, SIG_IGN);
+    std::signal(SIGTERM, SIG_IGN);
+    try {
+      return megflood::serve::run_worker_main(0, 1, inject);
+    } catch (const std::exception& e) {
+      std::cerr << "megflood_serve: bad --inject: " << e.what() << "\n"
+                << megflood::fault_inject_grammar() << "\n";
+      return 2;
+    }
+  }
+
   std::signal(SIGINT, request_graceful_stop);
   std::signal(SIGTERM, request_graceful_stop);
 
@@ -108,6 +147,17 @@ int main(int argc, char** argv) {
             static_cast<std::size_t>(parse_u64(flag, value));
       } else if (flag == "--inject") {
         config.inject = value;
+      } else if (flag == "--isolation") {
+        if (value == "thread") {
+          config.process_isolation = false;
+        } else if (value == "process") {
+          config.process_isolation = true;
+        } else {
+          throw std::invalid_argument("--isolation must be 'thread' or "
+                                      "'process', got '" + value + "'");
+        }
+      } else if (flag == "--worker_memory_mb") {
+        config.worker_memory_mb = parse_u64(flag, value);
       } else {
         throw std::invalid_argument("unrecognized flag '" + flag + "'");
       }
@@ -122,6 +172,22 @@ int main(int argc, char** argv) {
     std::cerr << "megflood_serve: " << e.what() << "\n";
     usage(std::cerr);
     return 2;
+  }
+
+  // Validate the inject spec up front so a typo'd site dies with the
+  // grammar on one line, not the full usage wall (the Server constructor
+  // would reject it anyway, but less readably).
+  if (!config.inject.empty()) {
+    try {
+      (void)megflood::FaultPlan::parse(config.inject, 1);
+    } catch (const std::exception& e) {
+      std::cerr << "megflood_serve: bad --inject: " << e.what() << "\n"
+                << megflood::fault_inject_grammar() << "\n";
+      return 2;
+    }
+  }
+  if (config.process_isolation) {
+    config.worker_binary = megflood::serve::self_executable_path(argv[0]);
   }
 
   try {
